@@ -1,0 +1,178 @@
+package repro_test
+
+// One benchmark per table and figure of the paper, plus one per research
+// direction experiment (R1–R8) and ablation micro-benches. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the corresponding experiments runner and
+// asserts the paper-shape result, so `-bench` doubles as the
+// reproduction gate. Custom metrics (ns/op aside) expose the headline
+// quantity of each experiment.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// runExp executes one experiment per benchmark iteration and returns the
+// last result for metric reporting.
+func runExp(b *testing.B, f func() (*experiments.Result, error)) *experiments.Result {
+	b.Helper()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	return last
+}
+
+// BenchmarkTableICost regenerates Table I (cost/power/cooling of 56
+// servers, x86 vs Pi).
+func BenchmarkTableICost(b *testing.B) {
+	r := runExp(b, experiments.Table1)
+	if r.Metrics["picloud_total_usd"] != 1960 || r.Metrics["testbed_total_usd"] != 112000 {
+		b.Fatalf("Table I numbers drifted: %v", r.Metrics)
+	}
+	b.ReportMetric(r.Metrics["cost_ratio"], "cost-ratio")
+	b.ReportMetric(r.Metrics["power_ratio"], "power-ratio")
+}
+
+// BenchmarkFig1Racks regenerates the rack layout (4 × 14).
+func BenchmarkFig1Racks(b *testing.B) {
+	r := runExp(b, experiments.Fig1)
+	if r.Metrics["total_pis"] != 56 {
+		b.Fatalf("wrong scale: %v", r.Metrics)
+	}
+	b.ReportMetric(r.Metrics["idle_power_w"], "idle-W")
+}
+
+// BenchmarkFig2Architecture regenerates the multi-root-tree architecture
+// with reachability verification and re-cabling.
+func BenchmarkFig2Architecture(b *testing.B) {
+	r := runExp(b, experiments.Fig2)
+	if r.Metrics["recabled_fabrics"] != 2 {
+		b.Fatalf("re-cabling failed: %v", r.Metrics)
+	}
+	b.ReportMetric(r.Metrics["mean_path_hops"], "mean-hops")
+}
+
+// BenchmarkFig3Stack boots the per-node software stack with the three
+// application containers.
+func BenchmarkFig3Stack(b *testing.B) {
+	r := runExp(b, experiments.Fig3)
+	if r.Metrics["containers_running"] != 3 {
+		b.Fatalf("stack incomplete: %v", r.Metrics)
+	}
+	b.ReportMetric(r.Metrics["node_mem_used_mib"], "node-MiB")
+}
+
+// BenchmarkFig4Panel serves and drives the management web interface.
+func BenchmarkFig4Panel(b *testing.B) {
+	r := runExp(b, experiments.Fig4)
+	if r.Metrics["vm_spawned"] != 1 || r.Metrics["limits_set"] != 1 {
+		b.Fatalf("management use cases failed: %v", r.Metrics)
+	}
+	b.ReportMetric(r.Metrics["panel_bytes"], "panel-B")
+}
+
+// BenchmarkClaimContainersPerPi verifies the 3-containers-per-Pi density
+// claim (C1).
+func BenchmarkClaimContainersPerPi(b *testing.B) {
+	r := runExp(b, experiments.ClaimDensity)
+	if r.Metrics["containers_fitting"] != 3 {
+		b.Fatalf("density drifted: %v", r.Metrics)
+	}
+	b.ReportMetric(r.Metrics["containers_fitting"], "containers")
+}
+
+// BenchmarkClaimPowerSocket verifies the single-socket power claim (C2).
+func BenchmarkClaimPowerSocket(b *testing.B) {
+	r := runExp(b, experiments.ClaimPower)
+	if r.Metrics["fits_socket"] != 1 {
+		b.Fatalf("socket claim failed: %v", r.Metrics)
+	}
+	b.ReportMetric(r.Metrics["peak_draw_w"], "peak-W")
+}
+
+// BenchmarkClaimCooling verifies the 33% cooling share model (C3).
+func BenchmarkClaimCooling(b *testing.B) {
+	r := runExp(b, experiments.ClaimCooling)
+	b.ReportMetric(r.Metrics["implied_pue"], "PUE")
+}
+
+// BenchmarkPlacementAlgorithms runs R1: cross-rack traffic per placer.
+func BenchmarkPlacementAlgorithms(b *testing.B) {
+	r := runExp(b, experiments.Placement)
+	na := r.Metrics["network-aware_cross_rack_mib"]
+	rr := r.Metrics["round-robin_cross_rack_mib"]
+	if na > rr {
+		b.Fatalf("network-aware (%v) worse than round-robin (%v)", na, rr)
+	}
+	b.ReportMetric(rr-na, "MiB-saved")
+}
+
+// BenchmarkConsolidationRipple runs R2: power saved vs congestion and
+// latency induced by naive consolidation.
+func BenchmarkConsolidationRipple(b *testing.B) {
+	r := runExp(b, experiments.ConsolidationRipple)
+	if r.Metrics["watts_after"] >= r.Metrics["watts_before"] {
+		b.Fatalf("consolidation saved no power: %v", r.Metrics)
+	}
+	b.ReportMetric(r.Metrics["watts_before"]-r.Metrics["watts_after"], "W-saved")
+	b.ReportMetric(r.Metrics["p99_ms_after"]-r.Metrics["p99_ms_before"], "p99-ms-added")
+}
+
+// BenchmarkMigrationRouting runs R3: IP vs label routed migration.
+func BenchmarkMigrationRouting(b *testing.B) {
+	r := runExp(b, experiments.MigrationRouting)
+	if r.Metrics["label_flows_broken"] != 0 {
+		b.Fatalf("label routing broke flows: %v", r.Metrics)
+	}
+	b.ReportMetric(r.Metrics["ip_flows_broken"], "ip-broken")
+	b.ReportMetric(r.Metrics["label_downtime_ms"], "downtime-ms")
+}
+
+// BenchmarkSDNCongestion runs R4: routing policies under a hotspot.
+func BenchmarkSDNCongestion(b *testing.B) {
+	r := runExp(b, experiments.SDNCongestion)
+	b.ReportMetric(r.Metrics["shortest_max_util"], "shortest-util")
+	b.ReportMetric(r.Metrics["congestion_max_util"], "congestion-util")
+}
+
+// BenchmarkTrafficDynamism runs R5: burstiness of the generated traffic.
+func BenchmarkTrafficDynamism(b *testing.B) {
+	r := runExp(b, experiments.TrafficDynamism)
+	if r.Metrics["epoch_load_cov"] < 0.05 {
+		b.Fatalf("traffic too smooth: %v", r.Metrics)
+	}
+	b.ReportMetric(r.Metrics["epoch_load_cov"], "CoV")
+}
+
+// BenchmarkBareVsContainer runs R6: virtualisation-removal comparison.
+func BenchmarkBareVsContainer(b *testing.B) {
+	r := runExp(b, experiments.BareVsContainer)
+	b.ReportMetric(r.Metrics["container_overhead_mib"], "overhead-MiB")
+}
+
+// BenchmarkTopologyRecable runs R7: shuffle makespan per fabric.
+func BenchmarkTopologyRecable(b *testing.B) {
+	r := runExp(b, experiments.TopologyRecable)
+	b.ReportMetric(r.Metrics["multiroot_makespan_s"], "multiroot-s")
+	b.ReportMetric(r.Metrics["fattree_makespan_s"], "fattree-s")
+	b.ReportMetric(r.Metrics["leafspine_makespan_s"], "leafspine-s")
+}
+
+// BenchmarkMapReduceScaleOut runs R8: makespan vs worker count.
+func BenchmarkMapReduceScaleOut(b *testing.B) {
+	r := runExp(b, experiments.MapReduceScaleOut)
+	if r.Metrics["workers_56_makespan_s"] >= r.Metrics["workers_07_makespan_s"] {
+		b.Fatalf("no scale-out: %v", r.Metrics)
+	}
+	b.ReportMetric(r.Metrics["workers_07_makespan_s"], "7w-s")
+	b.ReportMetric(r.Metrics["workers_56_makespan_s"], "56w-s")
+}

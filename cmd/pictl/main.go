@@ -1,0 +1,217 @@
+// Command pictl is the operator CLI for a running PiCloud: it drives
+// pimaster's REST API the way the paper's administrators use the web
+// control panel.
+//
+// Usage:
+//
+//	pictl [-master URL] nodes
+//	pictl [-master URL] vms
+//	pictl [-master URL] spawn -name web1 -image webserver [-placer best-fit]
+//	pictl [-master URL] destroy -name web1
+//	pictl [-master URL] migrate -name web1 -to pi-r01-n00 [-routing label]
+//	pictl [-master URL] power
+//	pictl [-master URL] leases
+//	pictl [-master URL] images
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"text/tabwriter"
+)
+
+func main() {
+	master := flag.String("master", "http://localhost:8080", "pimaster base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if err := run(*master, args[0], args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pictl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pictl [-master URL] nodes|vms|spawn|destroy|migrate|power|leases|images [args]")
+}
+
+func run(master, cmd string, rest []string) error {
+	switch cmd {
+	case "nodes":
+		return nodes(master)
+	case "vms":
+		return vms(master)
+	case "spawn":
+		return spawn(master, rest)
+	case "destroy":
+		return destroy(master, rest)
+	case "migrate":
+		return migrate(master, rest)
+	case "power":
+		return getJSON(master + "/api/v1/power")
+	case "leases":
+		return getJSON(master + "/api/v1/leases")
+	case "images":
+		return getJSON(master + "/api/v1/images")
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// fetch GETs and decodes JSON into out.
+func fetch(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 2048))
+		return fmt.Errorf("%s: %s", resp.Status, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func getJSON(url string) error {
+	var v any
+	if err := fetch(url, &v); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func nodes(master string) error {
+	var sts []struct {
+		Node       string  `json:"node"`
+		CPUUtil    float64 `json:"cpu_util"`
+		MemUsed    int64   `json:"mem_used_bytes"`
+		MemTotal   int64   `json:"mem_total_bytes"`
+		Running    int     `json:"running"`
+		Containers int     `json:"containers"`
+		PowerWatts float64 `json:"power_watts"`
+		PoweredOn  bool    `json:"powered_on"`
+	}
+	if err := fetch(master+"/api/v1/nodes", &sts); err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "NODE\tCPU\tMEM\tCTRS\tPOWER\tSTATE")
+	for _, st := range sts {
+		state := "up"
+		if !st.PoweredOn {
+			state = "off"
+		}
+		fmt.Fprintf(w, "%s\t%.0f%%\t%d/%dMiB\t%d/%d\t%.1fW\t%s\n",
+			st.Node, st.CPUUtil*100, st.MemUsed>>20, st.MemTotal>>20,
+			st.Running, st.Containers, st.PowerWatts, state)
+	}
+	return w.Flush()
+}
+
+func vms(master string) error {
+	var recs []struct {
+		Name  string `json:"name"`
+		Node  string `json:"node"`
+		Image string `json:"image"`
+		IP    string `json:"ip"`
+		FQDN  string `json:"fqdn"`
+	}
+	if err := fetch(master+"/api/v1/vms", &recs); err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "NAME\tNODE\tIMAGE\tIP\tFQDN")
+	for _, r := range recs {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n", r.Name, r.Node, r.Image, r.IP, r.FQDN)
+	}
+	return w.Flush()
+}
+
+// post sends a JSON body and prints the JSON reply.
+func post(url string, body any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s: %s", resp.Status, out)
+	}
+	fmt.Printf("%s\n", out)
+	return nil
+}
+
+func spawn(master string, args []string) error {
+	fs := flag.NewFlagSet("spawn", flag.ContinueOnError)
+	name := fs.String("name", "", "vm name")
+	img := fs.String("image", "webserver", "image reference")
+	placer := fs.String("placer", "", "placement algorithm override")
+	mem := fs.Int64("mem", 0, "memory limit bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("spawn: -name is required")
+	}
+	return post(master+"/api/v1/vms", map[string]any{
+		"name": *name, "image": *img, "placer": *placer, "mem_limit_bytes": *mem,
+	})
+}
+
+func destroy(master string, args []string) error {
+	fs := flag.NewFlagSet("destroy", flag.ContinueOnError)
+	name := fs.String("name", "", "vm name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("destroy: -name is required")
+	}
+	req, err := http.NewRequest(http.MethodDelete, master+"/api/v1/vms/"+*name, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 2048))
+		return fmt.Errorf("%s: %s", resp.Status, body)
+	}
+	fmt.Println("destroyed", *name)
+	return nil
+}
+
+func migrate(master string, args []string) error {
+	fs := flag.NewFlagSet("migrate", flag.ContinueOnError)
+	name := fs.String("name", "", "vm name")
+	to := fs.String("to", "", "target node")
+	routing := fs.String("routing", "label", "label (IP-less) or ip")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *to == "" {
+		return fmt.Errorf("migrate: -name and -to are required")
+	}
+	return post(master+"/api/v1/vms/"+*name+"/migrate", map[string]string{
+		"target_node": *to, "routing": *routing,
+	})
+}

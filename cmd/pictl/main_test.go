@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// withCloud serves a small cloud's pimaster and returns its URL.
+func withCloud(t *testing.T) (string, *core.Cloud) {
+	t.Helper()
+	cloud, err := core.New(core.Config{Racks: 2, HostsPerRack: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cloud.Close)
+	return cloud.ServeMaster(), cloud
+}
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	r.Close()
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput: %s", ferr, buf[:n])
+	}
+	return string(buf[:n])
+}
+
+func TestNodesCommand(t *testing.T) {
+	master, _ := withCloud(t)
+	out := capture(t, func() error { return run(master, "nodes", nil) })
+	if !strings.Contains(out, "pi-r00-n00") || !strings.Contains(out, "NODE") {
+		t.Fatalf("nodes output:\n%s", out)
+	}
+}
+
+func TestSpawnListMigrateDestroy(t *testing.T) {
+	master, cloud := withCloud(t)
+	// Spawn.
+	out := capture(t, func() error {
+		return run(master, "spawn", []string{"-name", "ctlvm", "-image", "webserver"})
+	})
+	if !strings.Contains(out, "ctlvm") {
+		t.Fatalf("spawn output:\n%s", out)
+	}
+	if err := cloud.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	// List.
+	out = capture(t, func() error { return run(master, "vms", nil) })
+	if !strings.Contains(out, "ctlvm") {
+		t.Fatalf("vms output:\n%s", out)
+	}
+	// Migrate to a node in the other rack.
+	rec, err := cloud.Master.VM("ctlvm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := cloud.NodeByName(rec.Node)
+	var target string
+	for _, n := range cloud.Nodes() {
+		if n.Rack != src.Rack {
+			target = n.Name
+			break
+		}
+	}
+	out = capture(t, func() error {
+		return run(master, "migrate", []string{"-name", "ctlvm", "-to", target})
+	})
+	if !strings.Contains(out, "migrating") {
+		t.Fatalf("migrate output:\n%s", out)
+	}
+	if err := cloud.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := cloud.Master.VM("ctlvm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Node != target {
+		t.Fatalf("vm on %s after migrate, want %s", after.Node, target)
+	}
+	// Destroy.
+	out = capture(t, func() error {
+		return run(master, "destroy", []string{"-name", "ctlvm"})
+	})
+	if !strings.Contains(out, "destroyed") {
+		t.Fatalf("destroy output:\n%s", out)
+	}
+}
+
+func TestPowerLeasesImages(t *testing.T) {
+	master, _ := withCloud(t)
+	for _, cmd := range []string{"power", "leases", "images"} {
+		out := capture(t, func() error { return run(master, cmd, nil) })
+		if len(strings.TrimSpace(out)) == 0 {
+			t.Fatalf("%s printed nothing", cmd)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	master, _ := withCloud(t)
+	if err := run(master, "spawn", []string{"-image", "webserver"}); err == nil {
+		t.Fatal("spawn without -name accepted")
+	}
+	if err := run(master, "destroy", nil); err == nil {
+		t.Fatal("destroy without -name accepted")
+	}
+	if err := run(master, "migrate", []string{"-name", "x"}); err == nil {
+		t.Fatal("migrate without -to accepted")
+	}
+	if err := run(master, "frobnicate", nil); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run(master, "destroy", []string{"-name", "ghost"}); err == nil {
+		t.Fatal("destroying a missing VM should fail")
+	}
+}

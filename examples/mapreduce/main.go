@@ -1,0 +1,81 @@
+// Mapreduce: a Hadoop-style batch job over worker containers spread
+// round-robin across all four racks — the paper's "hadoop etc."
+// application class. Shows the shuffle phase contending on ToR uplinks
+// and the scale-out curve from 7 to 56 workers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/pimaster"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	for _, workers := range []int{7, 14, 28, 56} {
+		rep, cross, err := runJob(workers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("workers=%2d  makespan=%8v  map=%v shuffle=%v reduce=%v  shuffled=%.0fMiB cross-rack=%.0fMiB\n",
+			workers, rep.Makespan.Round(1e6), rep.MapPhase.Round(1e6),
+			rep.ShufflePhase.Round(1e6), rep.ReducePhase.Round(1e6),
+			float64(rep.ShuffledBytes)/float64(hw.MiB), cross/float64(hw.MiB))
+	}
+	return nil
+}
+
+func runJob(workers int) (workload.MRReport, float64, error) {
+	cloud, err := core.New(core.Config{Seed: 4})
+	if err != nil {
+		return workload.MRReport{}, 0, err
+	}
+	defer cloud.Close()
+
+	var eps []workload.Endpoint
+	for i := 0; i < workers; i++ {
+		name := fmt.Sprintf("hd-%02d", i)
+		if _, err := cloud.Master.SpawnVM(pimaster.SpawnVMRequest{
+			Name: name, Image: "hadoop", Placer: "round-robin",
+		}); err != nil {
+			return workload.MRReport{}, 0, err
+		}
+		if err := cloud.Settle(); err != nil {
+			return workload.MRReport{}, 0, err
+		}
+		ep, err := cloud.Endpoint(name)
+		if err != nil {
+			return workload.MRReport{}, 0, err
+		}
+		eps = append(eps, ep)
+	}
+	runner, err := workload.NewMRRunner(cloud.Fabric(), eps)
+	if err != nil {
+		return workload.MRReport{}, 0, err
+	}
+	var rep workload.MRReport
+	cloud.Mu.Lock()
+	err = runner.Run(workload.MRJob{
+		Name: "wordcount", Maps: 56, Reduces: 28,
+	}, func(r workload.MRReport) { rep = r })
+	cloud.Mu.Unlock()
+	if err != nil {
+		return workload.MRReport{}, 0, err
+	}
+	if err := cloud.Settle(); err != nil {
+		return workload.MRReport{}, 0, err
+	}
+	cloud.Mu.Lock()
+	cross := workload.CrossRackBytes(cloud.Net, cloud.Topo.Edge)
+	cloud.Mu.Unlock()
+	return rep, cross, nil
+}

@@ -1,0 +1,432 @@
+// Package core assembles the complete Glasgow Raspberry Pi Cloud: 56
+// Raspberry Pi Model B nodes in 4 Lego racks, the multi-root tree fabric
+// with OpenFlow switches and an SDN controller, a Raspbian kernel model
+// and LXC suite per node, a REST management daemon per node, power
+// metering on every board, and the pimaster head node with DHCP, DNS,
+// image management, placement and live migration.
+//
+// This is the public entry point of the reproduction: examples, the
+// benchmark harness and the CLIs all build a Cloud and operate it through
+// pimaster's API, exactly as a user of the physical testbed would.
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/hw"
+	"repro/internal/image"
+	"repro/internal/lxc"
+	"repro/internal/migration"
+	"repro/internal/netsim"
+	"repro/internal/openflow"
+	"repro/internal/oslinux"
+	"repro/internal/pimaster"
+	"repro/internal/placement"
+	"repro/internal/restapi"
+	"repro/internal/sdn"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Config sizes and seeds a cloud. The zero value (with defaults applied)
+// is the published PiCloud: 4 racks × 14 Raspberry Pi Model B.
+type Config struct {
+	Racks        int
+	HostsPerRack int
+	// Board is the node hardware (default hw.PiModelB()).
+	Board hw.BoardSpec
+	// Fabric selects the wiring (default multi-root tree; fat-tree and
+	// leaf-spine model the paper's re-cabling).
+	Fabric topology.Fabric
+	// FatTreeK applies when Fabric is FabricFatTree (default 8).
+	FatTreeK int
+	// UplinkBps overrides the switch-to-switch link capacity (default
+	// 1 Gb/s); lowering it models an oversubscribed fabric.
+	UplinkBps float64
+	// Seed drives all stochastic behaviour.
+	Seed int64
+	// Placer is pimaster's default placement algorithm (best-fit if nil).
+	Placer placement.Placer
+	// Policy carries overcommit settings.
+	Policy placement.Policy
+	// Images is the image registry (stock images if nil).
+	Images *image.Store
+	// RoutingPolicy is the SDN default for workload flows.
+	RoutingPolicy sdn.Policy
+	// MigrationConfig tunes pre-copy.
+	MigrationConfig migration.Config
+}
+
+func (c *Config) fillDefaults() {
+	if c.Racks == 0 {
+		c.Racks = topology.DefaultRacks
+	}
+	if c.HostsPerRack == 0 {
+		c.HostsPerRack = topology.DefaultHostsPerRack
+	}
+	if c.Board.Model == "" {
+		c.Board = hw.PiModelB()
+	}
+	if c.Fabric == 0 {
+		c.Fabric = topology.FabricMultiRoot
+	}
+	if c.FatTreeK == 0 {
+		c.FatTreeK = 8
+	}
+	if c.Images == nil {
+		c.Images = image.StockImages()
+	}
+	if c.RoutingPolicy == 0 {
+		c.RoutingPolicy = sdn.PolicyECMP
+	}
+}
+
+// Node bundles everything attached to one Pi.
+type Node struct {
+	Name   string
+	Host   netsim.NodeID
+	Rack   int
+	Suite  *lxc.Suite
+	Meter  *energy.Meter
+	Daemon *restapi.Daemon
+	Client *restapi.Client
+}
+
+// Cloud is a running PiCloud.
+type Cloud struct {
+	// Mu is the cloud-wide lock: hold it for any direct access to
+	// simulated state (engine, network, suites). The REST daemons take
+	// it per request; the real-time driver takes it per tick.
+	Mu sync.Mutex
+
+	Config Config
+	Engine *sim.Engine
+	Net    *netsim.Network
+	Topo   *topology.Topology
+	Ctrl   *sdn.Controller
+	Meter  *energy.CloudMeter
+	Master *pimaster.Master
+	Mig    *migration.Manager
+
+	nodes  []*Node
+	byHost map[netsim.NodeID]*Node
+	byName map[string]*Node
+
+	masterServer *httptest.Server
+}
+
+// dispatchTransport routes HTTP requests to in-process node handlers by
+// host name, so pimaster's REST traffic needs no TCP listeners.
+type dispatchTransport struct {
+	handlers map[string]http.Handler
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *dispatchTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	h, ok := t.handlers[req.URL.Host]
+	if !ok {
+		return nil, fmt.Errorf("core: no daemon for host %q", req.URL.Host)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// New assembles and boots a cloud at virtual time zero: all boards
+// powered, fabric wired, daemons serving, pimaster populated.
+func New(cfg Config) (*Cloud, error) {
+	cfg.fillDefaults()
+	if err := cfg.Board.Validate(); err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine(cfg.Seed)
+	net := netsim.New(engine)
+
+	var topo *topology.Topology
+	var err error
+	switch cfg.Fabric {
+	case topology.FabricFatTree:
+		topo, err = topology.BuildFatTree(net, topology.FatTreeConfig{
+			K:           cfg.FatTreeK,
+			Hosts:       cfg.Racks * cfg.HostsPerRack,
+			HostLinkBps: float64(cfg.Board.NIC.BitsPerSecond),
+			UplinkBps:   cfg.UplinkBps,
+		})
+	case topology.FabricLeafSpine:
+		topo, err = topology.BuildLeafSpine(net, topology.LeafSpineConfig{
+			Leaves:       cfg.Racks,
+			Spines:       topology.DefaultSpineSwitches,
+			HostsPerLeaf: cfg.HostsPerRack,
+			HostLinkBps:  float64(cfg.Board.NIC.BitsPerSecond),
+			UplinkBps:    cfg.UplinkBps,
+		})
+	default:
+		mrc := topology.DefaultMultiRoot()
+		mrc.Racks = cfg.Racks
+		mrc.HostsPerRack = cfg.HostsPerRack
+		mrc.HostLinkBps = float64(cfg.Board.NIC.BitsPerSecond)
+		if cfg.UplinkBps > 0 {
+			mrc.UplinkBps = cfg.UplinkBps
+		}
+		topo, err = topology.BuildMultiRoot(net, mrc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := topology.Validate(topo, net); err != nil {
+		return nil, err
+	}
+
+	ctrl := sdn.NewController(engine, net, sdn.DefaultConfig())
+	for _, id := range topo.Switches() {
+		ctrl.RegisterSwitch(openflow.NewSwitch(id, engine))
+	}
+
+	c := &Cloud{
+		Config: cfg,
+		Engine: engine,
+		Net:    net,
+		Topo:   topo,
+		Ctrl:   ctrl,
+		Meter:  energy.NewCloudMeter(),
+		byHost: make(map[netsim.NodeID]*Node),
+		byName: make(map[string]*Node),
+	}
+	c.Mig = migration.NewManager(engine, net, ctrl, cfg.MigrationConfig)
+
+	transport := &dispatchTransport{handlers: make(map[string]http.Handler)}
+	httpClient := &http.Client{Transport: transport}
+
+	master, err := pimaster.New(pimaster.Config{
+		Engine:     engine,
+		CloudMu:    &c.Mu,
+		Ctrl:       ctrl,
+		Images:     cfg.Images,
+		Meter:      c.Meter,
+		Placer:     cfg.Placer,
+		Policy:     cfg.Policy,
+		Migrations: c.Mig,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Master = master
+
+	// One kernel + suite + meter + daemon per host.
+	for _, host := range topo.Hosts {
+		name := string(host)
+		rack := topo.RackOf(host)
+		kernel, err := oslinux.NewKernel(engine, cfg.Board, name)
+		if err != nil {
+			return nil, err
+		}
+		meter := energy.NewMeter(cfg.Board.Power, engine.Now())
+		meter.PowerOn(engine.Now())
+		kernel.OnUtilChange(func(at sim.Time, util float64) { meter.SetUtilisation(at, util) })
+		if err := c.Meter.Attach(name, meter); err != nil {
+			return nil, err
+		}
+		suite := lxc.NewSuite(engine, kernel, cfg.Images)
+		daemon := restapi.New(&c.Mu, engine, name, rack, name, suite, meter)
+		transport.handlers[name] = daemon.Handler()
+		client := restapi.NewClient("http://"+name, httpClient)
+		node := &Node{
+			Name: name, Host: host, Rack: rack,
+			Suite: suite, Meter: meter, Daemon: daemon, Client: client,
+		}
+		c.nodes = append(c.nodes, node)
+		c.byHost[host] = node
+		c.byName[name] = node
+
+		idx := indexInRack(name)
+		if err := master.RegisterNode(&pimaster.NodeRef{
+			Name: name, Host: host, Rack: rack,
+			Client: client, Suite: suite, Meter: meter,
+		}, idx); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// indexInRack parses the nYY suffix of pi-rXX-nYY.
+func indexInRack(name string) int {
+	var r, i int
+	if _, err := fmt.Sscanf(name, "pi-r%02d-n%02d", &r, &i); err == nil {
+		return i
+	}
+	return 0
+}
+
+// Nodes returns all nodes in topology order.
+func (c *Cloud) Nodes() []*Node { return append([]*Node(nil), c.nodes...) }
+
+// NodeByName resolves a node.
+func (c *Cloud) NodeByName(name string) (*Node, error) {
+	n, ok := c.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no node %q", name)
+	}
+	return n, nil
+}
+
+// NodeByHost resolves a node by its network identity.
+func (c *Cloud) NodeByHost(host netsim.NodeID) (*Node, error) {
+	n, ok := c.byHost[host]
+	if !ok {
+		return nil, fmt.Errorf("core: no node at %q", host)
+	}
+	return n, nil
+}
+
+// RunFor advances the cloud by d of virtual time under the lock.
+func (c *Cloud) RunFor(d sim.Duration) error {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	return c.Engine.RunFor(d)
+}
+
+// Settle drains all pending events (boots, transfers) under the lock.
+func (c *Cloud) Settle() error {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	return c.Engine.Run()
+}
+
+// Fabric returns the workload plumbing bound to this cloud.
+func (c *Cloud) Fabric() *workload.Fabric {
+	return &workload.Fabric{Engine: c.Engine, Net: c.Net, Ctrl: c.Ctrl, Policy: c.Config.RoutingPolicy}
+}
+
+// Endpoint resolves a spawned VM to a workload endpoint.
+func (c *Cloud) Endpoint(vmName string) (workload.Endpoint, error) {
+	rec, err := c.Master.VM(vmName)
+	if err != nil {
+		return workload.Endpoint{}, err
+	}
+	node, err := c.NodeByName(rec.Node)
+	if err != nil {
+		return workload.Endpoint{}, err
+	}
+	return workload.Endpoint{Host: node.Host, Suite: node.Suite, Container: vmName}, nil
+}
+
+// PowerDraw returns the instantaneous whole-cloud draw in watts — the
+// wall-socket reading of Section III.
+func (c *Cloud) PowerDraw() float64 { return c.Meter.TotalWatts() }
+
+// PowerOffNode cuts a node's power (consolidation experiments). All its
+// containers must be stopped first; the daemon keeps answering (its
+// management plane is assumed out-of-band) but reports PoweredOn=false.
+func (c *Cloud) PowerOffNode(name string) error {
+	node, err := c.NodeByName(name)
+	if err != nil {
+		return err
+	}
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	if node.Suite.RunningCount() > 0 {
+		return fmt.Errorf("core: node %s still has running containers", name)
+	}
+	node.Meter.PowerOff(c.Engine.Now())
+	return nil
+}
+
+// PowerOnNode restores a node's power.
+func (c *Cloud) PowerOnNode(name string) error {
+	node, err := c.NodeByName(name)
+	if err != nil {
+		return err
+	}
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	node.Meter.PowerOn(c.Engine.Now())
+	return nil
+}
+
+// ServeMaster exposes pimaster's HTTP API+panel on an ephemeral local
+// listener and returns its base URL. Call Close when done.
+func (c *Cloud) ServeMaster() string {
+	if c.masterServer == nil {
+		c.masterServer = httptest.NewServer(c.Master.Handler())
+	}
+	return c.masterServer.URL
+}
+
+// Close shuts down any listeners.
+func (c *Cloud) Close() {
+	if c.masterServer != nil {
+		c.masterServer.Close()
+		c.masterServer = nil
+	}
+}
+
+// DriveRealTime advances virtual time in step with the wall clock,
+// multiplied by speed, until stop is closed. It is the loop behind
+// cmd/picloud: the REST daemons and panel serve live state while the
+// simulation ticks underneath. Blocks until stop.
+func (c *Cloud) DriveRealTime(speed float64, stop <-chan struct{}) {
+	if speed <= 0 {
+		speed = 1
+	}
+	const tick = 50 * time.Millisecond
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	c.Mu.Lock()
+	base := c.Engine.Now()
+	c.Mu.Unlock()
+	start := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			target := base.Add(time.Duration(float64(time.Since(start)) * speed))
+			c.Mu.Lock()
+			_ = c.Engine.RunUntil(target)
+			c.Mu.Unlock()
+		}
+	}
+}
+
+// SoftwareStack reports the Fig. 3 layer diagram for one node, bottom-up.
+func (c *Cloud) SoftwareStack(name string) ([]string, error) {
+	node, err := c.NodeByName(name)
+	if err != nil {
+		return nil, err
+	}
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	spec := node.Suite.Kernel().Spec()
+	stack := []string{
+		fmt.Sprintf("ARM System on Chip (%s, %d MB RAM)", spec.Model, spec.MemBytes/hw.MiB),
+		"Raspbian Linux (kernel with CGROUPS)",
+		"Linux Container (LXC)",
+		"libvirt-style RESTful management daemon",
+	}
+	for _, cn := range node.Suite.List() {
+		info, err := node.Suite.InfoOf(cn)
+		if err != nil {
+			continue
+		}
+		stack = append(stack, fmt.Sprintf("container %s [%s] (%s)", cn, info.Image, info.State))
+	}
+	return stack, nil
+}
+
+// Describe renders the rack layout (Fig. 1) plus a one-line summary.
+func (c *Cloud) Describe() string {
+	var b strings.Builder
+	b.WriteString(topology.Render(c.Topo))
+	fmt.Fprintf(&b, "board: %s, power draw %.1f W\n", c.Config.Board.Model, c.PowerDraw())
+	return b.String()
+}

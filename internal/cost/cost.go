@@ -1,0 +1,179 @@
+// Package cost implements the economics of Table I: the cost/power/
+// cooling comparison between a 56-server commodity-x86 testbed and the
+// PiCloud, the Section IV bill-of-materials analysis, and scale-out cost
+// curves for larger deployments.
+package cost
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/energy"
+	"repro/internal/hw"
+)
+
+// Platform is one column of the comparison.
+type Platform struct {
+	Name  string
+	Board hw.BoardSpec
+}
+
+// Testbed is the x86 platform of Table I.
+func Testbed() Platform { return Platform{Name: "Testbed", Board: hw.X86Server()} }
+
+// PiCloud is the Raspberry Pi platform of Table I.
+func PiCloud() Platform { return Platform{Name: "PiCloud", Board: hw.PiModelB()} }
+
+// Row is one row of Table I.
+type Row struct {
+	Platform     string
+	Servers      int
+	TotalCostUSD float64
+	UnitCostUSD  float64
+	TotalPeakW   float64
+	UnitPeakW    float64
+	NeedsCooling bool
+}
+
+// RowFor computes a platform's row at a given scale.
+func RowFor(p Platform, servers int) Row {
+	return Row{
+		Platform:     p.Name,
+		Servers:      servers,
+		TotalCostUSD: p.Board.UnitCostUSD * float64(servers),
+		UnitCostUSD:  p.Board.UnitCostUSD,
+		TotalPeakW:   p.Board.Power.PeakWatts * float64(servers),
+		UnitPeakW:    p.Board.Power.PeakWatts,
+		NeedsCooling: p.Board.NeedsCooling,
+	}
+}
+
+// TableI reproduces the paper's table for n servers (the paper uses 56).
+func TableI(servers int) []Row {
+	return []Row{RowFor(Testbed(), servers), RowFor(PiCloud(), servers)}
+}
+
+// FormatTableI renders rows in the paper's layout.
+func FormatTableI(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s  %-22s  %-22s  %s\n", "", "Server", "Power", "Needs Cooling?")
+	for _, r := range rows {
+		cool := "No"
+		if r.NeedsCooling {
+			cool = "Yes"
+		}
+		fmt.Fprintf(&b, "%-8s  $%s (@$%.0f)  %sW/h (@%.1fW/h)  %s\n",
+			r.Platform, formatThousands(r.TotalCostUSD), r.UnitCostUSD,
+			formatThousands(r.TotalPeakW), r.UnitPeakW, cool)
+	}
+	return b.String()
+}
+
+// formatThousands renders 10080 as "10,080".
+func formatThousands(v float64) string {
+	s := fmt.Sprintf("%.0f", v)
+	n := len(s)
+	if n <= 3 {
+		return s
+	}
+	var b strings.Builder
+	lead := n % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+		if n > lead {
+			b.WriteString(",")
+		}
+	}
+	for i := lead; i < n; i += 3 {
+		b.WriteString(s[i : i+3])
+		if i+3 < n {
+			b.WriteString(",")
+		}
+	}
+	return b.String()
+}
+
+// CostRatio returns testbed cost / PiCloud cost at a given scale — the
+// paper's "several orders of magnitude smaller" claim.
+func CostRatio(servers int) float64 {
+	t := RowFor(Testbed(), servers)
+	p := RowFor(PiCloud(), servers)
+	return t.TotalCostUSD / p.TotalCostUSD
+}
+
+// PowerRatio returns testbed peak power / PiCloud peak power.
+func PowerRatio(servers int) float64 {
+	t := RowFor(Testbed(), servers)
+	p := RowFor(PiCloud(), servers)
+	return t.TotalPeakW / p.TotalPeakW
+}
+
+// AnnualEnergyCost estimates a platform's yearly electricity bill at the
+// given average utilisation and tariff, including cooling overhead when
+// the platform needs it (the 33% share of Section IV).
+func AnnualEnergyCost(p Platform, servers int, avgUtil, usdPerKWh float64) float64 {
+	watts := p.Board.Power.At(avgUtil) * float64(servers)
+	if p.Board.NeedsCooling {
+		watts = energy.DefaultCooling().FacilityWatts(watts)
+	}
+	hours := 24.0 * 365.0
+	return watts / 1000 * hours * usdPerKWh
+}
+
+// BoMSummary reports the Section IV component-cost analysis: the
+// estimated build cost of a Pi and the share of it attributable to
+// multimedia peripherals a DC-tuned SoC could shed.
+type BoMSummary struct {
+	Items      []hw.BoMItem
+	TotalUSD   float64
+	RetailUSD  float64
+	MarginUSD  float64
+	SoCCostUSD float64
+}
+
+// AnalyseBoM computes the summary.
+func AnalyseBoM() BoMSummary {
+	items := hw.PiBoM()
+	total := hw.BoMTotal(items)
+	retail := hw.PiModelB().UnitCostUSD
+	soc := 0.0
+	for _, it := range items {
+		if strings.Contains(it.Component, "processor") {
+			soc = it.CostUSD
+		}
+	}
+	return BoMSummary{
+		Items:      items,
+		TotalUSD:   total,
+		RetailUSD:  retail,
+		MarginUSD:  retail - total,
+		SoCCostUSD: soc,
+	}
+}
+
+// ScalePoint is one point on the scale-out curve.
+type ScalePoint struct {
+	Servers        int
+	TestbedCostUSD float64
+	PiCloudCostUSD float64
+	TestbedPeakW   float64
+	PiCloudPeakW   float64
+}
+
+// ScaleCurve computes cost/power at multiple scales (e.g. 56 → 10,000
+// servers, the "tens of thousands of networked machines" of the
+// abstract).
+func ScaleCurve(scales []int) []ScalePoint {
+	out := make([]ScalePoint, 0, len(scales))
+	for _, n := range scales {
+		t, p := RowFor(Testbed(), n), RowFor(PiCloud(), n)
+		out = append(out, ScalePoint{
+			Servers:        n,
+			TestbedCostUSD: t.TotalCostUSD,
+			PiCloudCostUSD: p.TotalCostUSD,
+			TestbedPeakW:   t.TotalPeakW,
+			PiCloudPeakW:   p.TotalPeakW,
+		})
+	}
+	return out
+}

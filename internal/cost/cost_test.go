@@ -1,0 +1,153 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestTableIPinsPaperNumbers is the headline reproduction check: the
+// generated table must carry exactly the figures printed in the paper.
+func TestTableIPinsPaperNumbers(t *testing.T) {
+	rows := TableI(56)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	tb, pi := rows[0], rows[1]
+	if tb.Platform != "Testbed" || pi.Platform != "PiCloud" {
+		t.Fatalf("platforms = %s/%s", tb.Platform, pi.Platform)
+	}
+	// Testbed: $112,000 (@$2,000), 10,080W (@180W), cooling yes.
+	if tb.TotalCostUSD != 112000 || tb.UnitCostUSD != 2000 {
+		t.Errorf("testbed cost = $%v (@$%v), paper says $112,000 (@$2,000)", tb.TotalCostUSD, tb.UnitCostUSD)
+	}
+	if tb.TotalPeakW != 10080 || tb.UnitPeakW != 180 {
+		t.Errorf("testbed power = %v (@%v), paper says 10,080W (@180W)", tb.TotalPeakW, tb.UnitPeakW)
+	}
+	if !tb.NeedsCooling {
+		t.Error("testbed must need cooling")
+	}
+	// PiCloud: $1,960 (@$35), 196W (@3.5W), no cooling.
+	if pi.TotalCostUSD != 1960 || pi.UnitCostUSD != 35 {
+		t.Errorf("picloud cost = $%v (@$%v), paper says $1,960 (@$35)", pi.TotalCostUSD, pi.UnitCostUSD)
+	}
+	if math.Abs(pi.TotalPeakW-196) > 1e-9 || pi.UnitPeakW != 3.5 {
+		t.Errorf("picloud power = %v (@%v), paper says 196W (@3.5W)", pi.TotalPeakW, pi.UnitPeakW)
+	}
+	if pi.NeedsCooling {
+		t.Error("picloud must not need cooling")
+	}
+}
+
+func TestFormatTableI(t *testing.T) {
+	out := FormatTableI(TableI(56))
+	for _, want := range []string{"$112,000", "(@$2000)", "10,080W/h", "$1,960", "196W/h", "Yes", "No"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatThousands(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {999, "999"}, {1000, "1,000"}, {10080, "10,080"},
+		{112000, "112,000"}, {1234567, "1,234,567"},
+	}
+	for _, c := range cases {
+		if got := formatThousands(c.in); got != c.want {
+			t.Errorf("formatThousands(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRatios(t *testing.T) {
+	// $112,000 / $1,960 ≈ 57×; 10,080 / 196 ≈ 51×.
+	if got := CostRatio(56); math.Abs(got-112000.0/1960) > 1e-9 {
+		t.Errorf("cost ratio = %v", got)
+	}
+	if got := PowerRatio(56); math.Abs(got-10080.0/196) > 1e-9 {
+		t.Errorf("power ratio = %v", got)
+	}
+	// Ratios are scale-invariant.
+	if CostRatio(56) != CostRatio(1000) {
+		t.Error("cost ratio should not depend on scale")
+	}
+}
+
+func TestAnnualEnergyCost(t *testing.T) {
+	// PiCloud at idle: 56 × 2.1W = 117.6W, no cooling.
+	pi := AnnualEnergyCost(PiCloud(), 56, 0, 0.15)
+	wantPi := 117.6 / 1000 * 24 * 365 * 0.15
+	if math.Abs(pi-wantPi) > 1e-6 {
+		t.Errorf("pi cost = %v, want %v", pi, wantPi)
+	}
+	// x86 pays the 33% cooling share: facility watts > IT watts.
+	tb := AnnualEnergyCost(Testbed(), 56, 0, 0.15)
+	itOnly := 56 * 90.0 / 1000 * 24 * 365 * 0.15
+	if tb <= itOnly {
+		t.Errorf("x86 cost %v should exceed IT-only %v (cooling overhead)", tb, itOnly)
+	}
+	// The cooling overhead is exactly 33% of the facility total.
+	if math.Abs((tb-itOnly)/tb-0.33) > 1e-9 {
+		t.Errorf("cooling share = %v, want 0.33", (tb-itOnly)/tb)
+	}
+}
+
+func TestAnalyseBoM(t *testing.T) {
+	s := AnalyseBoM()
+	if s.TotalUSD <= 0 || s.TotalUSD >= s.RetailUSD {
+		t.Errorf("BoM total $%v vs retail $%v", s.TotalUSD, s.RetailUSD)
+	}
+	if s.MarginUSD != s.RetailUSD-s.TotalUSD {
+		t.Error("margin arithmetic wrong")
+	}
+	if s.SoCCostUSD != 10 {
+		t.Errorf("SoC cost = $%v, paper estimates $10", s.SoCCostUSD)
+	}
+}
+
+func TestScaleCurve(t *testing.T) {
+	pts := ScaleCurve([]int{56, 560, 10000})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.TestbedCostUSD <= p.PiCloudCostUSD {
+			t.Errorf("point %d: testbed not more expensive", i)
+		}
+		if i > 0 && p.TestbedCostUSD <= pts[i-1].TestbedCostUSD {
+			t.Errorf("curve not increasing at %d", i)
+		}
+	}
+	// At 10k servers the PiCloud stays under one x86 rack's worth of cost.
+	if pts[2].PiCloudCostUSD >= pts[0].TestbedCostUSD*4 {
+		t.Error("10k-Pi cost unexpectedly high")
+	}
+}
+
+// Property: for any scale, the PiCloud is cheaper and cooler than the
+// testbed, and totals are linear in unit values.
+func TestPropertyDominance(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%10000) + 1
+		tb, pi := RowFor(Testbed(), n), RowFor(PiCloud(), n)
+		if pi.TotalCostUSD >= tb.TotalCostUSD || pi.TotalPeakW >= tb.TotalPeakW {
+			return false
+		}
+		return tb.TotalCostUSD == tb.UnitCostUSD*float64(n) &&
+			math.Abs(pi.TotalPeakW-pi.UnitPeakW*float64(n)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = FormatTableI(TableI(56))
+	}
+}

@@ -1,0 +1,232 @@
+// Package energy implements the power-accounting layer of the PiCloud:
+// per-device meters that integrate a piecewise-constant power signal over
+// virtual time, a whole-cloud meter (the "single trailing power socket"
+// of Section III), and the data-centre cooling model behind Table I's
+// cooling column and the paper's "33% of total power" claim.
+package energy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// DefaultCoolingShare is the fraction of total DC power consumed by power
+// and cooling infrastructure, "reportedly 33%" (Section IV).
+const DefaultCoolingShare = 0.33
+
+// Meter integrates the energy drawn by one device. Power is treated as
+// piecewise-constant between SetUtilisation calls on the virtual clock.
+// Meter is safe for concurrent use so HTTP handlers can read it.
+type Meter struct {
+	mu      sync.Mutex
+	profile hw.PowerProfile
+	lastAt  sim.Time
+	util    float64
+	joules  float64
+	on      bool
+}
+
+// NewMeter returns a meter for a device with the given power profile.
+// The device starts powered off at the given time.
+func NewMeter(profile hw.PowerProfile, at sim.Time) *Meter {
+	return &Meter{profile: profile, lastAt: at}
+}
+
+// PowerOn marks the device powered with zero utilisation.
+func (m *Meter) PowerOn(at sim.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accumulate(at)
+	m.on = true
+	m.util = 0
+}
+
+// PowerOff marks the device unpowered; it draws nothing until PowerOn.
+func (m *Meter) PowerOff(at sim.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accumulate(at)
+	m.on = false
+	m.util = 0
+}
+
+// SetUtilisation records a change in CPU utilisation at virtual time at.
+// Calls must carry non-decreasing times.
+func (m *Meter) SetUtilisation(at sim.Time, util float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accumulate(at)
+	m.util = util
+}
+
+// accumulate folds the signal up to at into the running total.
+// Caller holds m.mu.
+func (m *Meter) accumulate(at sim.Time) {
+	dt := at.Sub(m.lastAt).Seconds()
+	if dt > 0 && m.on {
+		m.joules += m.profile.At(m.util) * dt
+	}
+	if at > m.lastAt {
+		m.lastAt = at
+	}
+}
+
+// CurrentWatts returns the instantaneous draw.
+func (m *Meter) CurrentWatts() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.on {
+		return 0
+	}
+	return m.profile.At(m.util)
+}
+
+// On reports whether the device is powered.
+func (m *Meter) On() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.on
+}
+
+// EnergyJoules returns the total energy consumed up to virtual time at.
+func (m *Meter) EnergyJoules(at sim.Time) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accumulate(at)
+	return m.joules
+}
+
+// EnergyWh returns the total energy in watt-hours up to at.
+func (m *Meter) EnergyWh(at sim.Time) float64 { return m.EnergyJoules(at) / 3600 }
+
+// CloudMeter aggregates many device meters: the PiCloud "run from a
+// single trailing power socket board".
+type CloudMeter struct {
+	mu     sync.Mutex
+	meters map[string]*Meter
+}
+
+// NewCloudMeter returns an empty aggregate meter.
+func NewCloudMeter() *CloudMeter {
+	return &CloudMeter{meters: make(map[string]*Meter)}
+}
+
+// Attach registers a device meter under a unique name.
+func (c *CloudMeter) Attach(name string, m *Meter) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.meters[name]; dup {
+		return fmt.Errorf("energy: meter %q already attached", name)
+	}
+	c.meters[name] = m
+	return nil
+}
+
+// Meter returns the named device meter, or nil.
+func (c *CloudMeter) Meter(name string) *Meter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.meters[name]
+}
+
+// Names returns the attached device names in map order.
+func (c *CloudMeter) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.meters))
+	for n := range c.meters {
+		out = append(out, n)
+	}
+	return out
+}
+
+// sortedNames returns meter names in stable order. Summation must be
+// order-stable or float rounding makes identical runs differ in the last
+// bit (map iteration order is random). Caller holds c.mu.
+func (c *CloudMeter) sortedNames() []string {
+	names := make([]string, 0, len(c.meters))
+	for n := range c.meters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalWatts returns the instantaneous aggregate draw.
+func (c *CloudMeter) TotalWatts() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0.0
+	for _, n := range c.sortedNames() {
+		total += c.meters[n].CurrentWatts()
+	}
+	return total
+}
+
+// TotalEnergyJoules returns the aggregate energy consumed up to at.
+func (c *CloudMeter) TotalEnergyJoules(at sim.Time) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0.0
+	for _, n := range c.sortedNames() {
+		total += c.meters[n].EnergyJoules(at)
+	}
+	return total
+}
+
+// Cooling models data-centre power/cooling overhead as a share of total
+// facility power: cooling = Share × total, IT = (1-Share) × total.
+type Cooling struct {
+	// Share is the fraction of total facility power consumed by power and
+	// cooling infrastructure. The paper reports 33% for Cloud DCs.
+	Share float64
+}
+
+// DefaultCooling returns the paper's 33% model.
+func DefaultCooling() Cooling { return Cooling{Share: DefaultCoolingShare} }
+
+// OverheadWatts returns the cooling power needed for a given IT load.
+// With share s, total = it/(1-s), so overhead = it·s/(1-s).
+func (c Cooling) OverheadWatts(itWatts float64) float64 {
+	if c.Share <= 0 {
+		return 0
+	}
+	if c.Share >= 1 {
+		panic("energy: cooling share must be below 1")
+	}
+	return itWatts * c.Share / (1 - c.Share)
+}
+
+// FacilityWatts returns total facility power for a given IT load.
+func (c Cooling) FacilityWatts(itWatts float64) float64 {
+	return itWatts + c.OverheadWatts(itWatts)
+}
+
+// PUE returns the power-usage-effectiveness implied by the share:
+// facility/IT.
+func (c Cooling) PUE() float64 {
+	if c.Share >= 1 {
+		panic("energy: cooling share must be below 1")
+	}
+	return 1 / (1 - c.Share)
+}
+
+// SocketBoard models the paper's single trailing power socket: a UK
+// 13 A / 230 V strip delivering about 3 kW.
+type SocketBoard struct {
+	VoltsRMS float64
+	MaxAmps  float64
+}
+
+// UKTrailingSocket returns the standard UK strip.
+func UKTrailingSocket() SocketBoard { return SocketBoard{VoltsRMS: 230, MaxAmps: 13} }
+
+// MaxWatts returns the socket's capacity.
+func (s SocketBoard) MaxWatts() float64 { return s.VoltsRMS * s.MaxAmps }
+
+// CanSupply reports whether the socket can feed the given load.
+func (s SocketBoard) CanSupply(watts float64) bool { return watts <= s.MaxWatts() }

@@ -1,0 +1,178 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func at(sec int) sim.Time { return sim.Time(time.Duration(sec) * time.Second) }
+
+func TestMeterOffDrawsNothing(t *testing.T) {
+	m := NewMeter(hw.PiModelB().Power, 0)
+	if m.CurrentWatts() != 0 {
+		t.Fatalf("off meter draws %v W", m.CurrentWatts())
+	}
+	if got := m.EnergyJoules(at(100)); got != 0 {
+		t.Fatalf("off meter accumulated %v J", got)
+	}
+}
+
+func TestMeterIdleEnergy(t *testing.T) {
+	p := hw.PowerProfile{IdleWatts: 2, PeakWatts: 4}
+	m := NewMeter(p, 0)
+	m.PowerOn(0)
+	if got := m.EnergyJoules(at(10)); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("10s idle at 2W = %v J, want 20", got)
+	}
+}
+
+func TestMeterPiecewiseIntegration(t *testing.T) {
+	p := hw.PowerProfile{IdleWatts: 2, PeakWatts: 4}
+	m := NewMeter(p, 0)
+	m.PowerOn(0)
+	m.SetUtilisation(at(5), 1.0)  // 5s at 2W = 10J
+	m.SetUtilisation(at(10), 0.5) // 5s at 4W = 20J
+	m.PowerOff(at(20))            // 10s at 3W = 30J
+	got := m.EnergyJoules(at(30)) // then off: nothing
+	if math.Abs(got-60) > 1e-9 {
+		t.Fatalf("energy = %v J, want 60", got)
+	}
+	if m.CurrentWatts() != 0 {
+		t.Fatalf("powered-off draw = %v", m.CurrentWatts())
+	}
+	if m.On() {
+		t.Fatal("On() after PowerOff")
+	}
+}
+
+func TestMeterWh(t *testing.T) {
+	p := hw.PowerProfile{IdleWatts: 3.5, PeakWatts: 3.5}
+	m := NewMeter(p, 0)
+	m.PowerOn(0)
+	if got := m.EnergyWh(at(3600)); math.Abs(got-3.5) > 1e-9 {
+		t.Fatalf("1h at 3.5W = %v Wh, want 3.5", got)
+	}
+}
+
+// Property: energy is non-decreasing in time regardless of the
+// utilisation signal.
+func TestPropertyEnergyMonotonic(t *testing.T) {
+	f := func(utils []float64) bool {
+		m := NewMeter(hw.PiModelB().Power, 0)
+		m.PowerOn(0)
+		prev := 0.0
+		now := 0
+		for _, u := range utils {
+			if math.IsNaN(u) {
+				continue
+			}
+			now++
+			m.SetUtilisation(at(now), u)
+			e := m.EnergyJoules(at(now))
+			if e < prev-1e-9 {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloudMeterAggregation(t *testing.T) {
+	cm := NewCloudMeter()
+	p := hw.PowerProfile{IdleWatts: 2, PeakWatts: 3.5}
+	for i := 0; i < 3; i++ {
+		m := NewMeter(p, 0)
+		m.PowerOn(0)
+		if err := cm.Attach(string(rune('a'+i)), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cm.TotalWatts(); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("TotalWatts = %v, want 6", got)
+	}
+	if got := cm.TotalEnergyJoules(at(10)); math.Abs(got-60) > 1e-9 {
+		t.Fatalf("TotalEnergy = %v, want 60", got)
+	}
+	if len(cm.Names()) != 3 {
+		t.Fatalf("Names = %v", cm.Names())
+	}
+	if cm.Meter("a") == nil || cm.Meter("zzz") != nil {
+		t.Fatal("Meter lookup wrong")
+	}
+}
+
+func TestCloudMeterDuplicateAttach(t *testing.T) {
+	cm := NewCloudMeter()
+	m := NewMeter(hw.PiModelB().Power, 0)
+	if err := cm.Attach("x", m); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.Attach("x", m); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+}
+
+func TestPaperPowerClaims(t *testing.T) {
+	// Table I: 56 Pis at peak 3.5W = 196W; 56 x86 at 180W = 10,080W.
+	pi := hw.PiModelB().Power
+	if got := pi.At(1) * 56; math.Abs(got-196) > 1e-9 {
+		t.Errorf("56 Pis peak = %v W, Table I says 196", got)
+	}
+	x86 := hw.X86Server().Power
+	if got := x86.At(1) * 56; math.Abs(got-10080) > 1e-9 {
+		t.Errorf("56 x86 peak = %v W, Table I says 10,080", got)
+	}
+	// Section III: the whole PiCloud runs from a single trailing socket.
+	sock := UKTrailingSocket()
+	if !sock.CanSupply(196) {
+		t.Error("UK socket cannot supply the PiCloud, contradicting the paper")
+	}
+	if sock.CanSupply(10080) {
+		t.Error("UK socket should not supply the x86 testbed")
+	}
+}
+
+func TestCooling(t *testing.T) {
+	c := DefaultCooling()
+	if c.Share != 0.33 {
+		t.Fatalf("share = %v, paper says 33%%", c.Share)
+	}
+	it := 670.0
+	total := c.FacilityWatts(it)
+	// Cooling must be 33% of the total facility power.
+	if got := c.OverheadWatts(it) / total; math.Abs(got-0.33) > 1e-9 {
+		t.Fatalf("cooling share of total = %v, want 0.33", got)
+	}
+	if got := c.PUE(); math.Abs(got-1/(1-0.33)) > 1e-12 {
+		t.Fatalf("PUE = %v", got)
+	}
+	if (Cooling{Share: 0}).OverheadWatts(100) != 0 {
+		t.Fatal("zero share should add no overhead")
+	}
+}
+
+func TestCoolingInvalidShare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for share >= 1")
+		}
+	}()
+	_ = Cooling{Share: 1}.OverheadWatts(1)
+}
+
+func BenchmarkMeterSetUtilisation(b *testing.B) {
+	m := NewMeter(hw.PiModelB().Power, 0)
+	m.PowerOn(0)
+	for i := 0; i < b.N; i++ {
+		m.SetUtilisation(sim.Time(time.Duration(i)*time.Microsecond), float64(i%100)/100)
+	}
+}

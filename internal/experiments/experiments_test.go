@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"testbed_total_usd": 112000,
+		"testbed_total_w":   10080,
+		"picloud_total_usd": 1960,
+		"picloud_total_w":   196,
+	}
+	for k, v := range want {
+		if r.Metrics[k] != v {
+			t.Errorf("%s = %v, paper says %v", k, r.Metrics[k], v)
+		}
+	}
+	if !strings.Contains(r.Table, "$112,000") {
+		t.Errorf("table text:\n%s", r.Table)
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	r, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["racks"] != 4 || r.Metrics["pis_per_rack"] != 14 || r.Metrics["total_pis"] != 56 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestFig2Architecture(t *testing.T) {
+	r, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["tor_switches"] != 4 {
+		t.Errorf("tor = %v", r.Metrics["tor_switches"])
+	}
+	if r.Metrics["gateways"] != 1 {
+		t.Errorf("gateways = %v", r.Metrics["gateways"])
+	}
+	if r.Metrics["recabled_fabrics"] != 2 {
+		t.Errorf("recabled = %v", r.Metrics["recabled_fabrics"])
+	}
+	// Same-rack pairs take 2 hops, cross-rack 4: mean in (2,4).
+	if h := r.Metrics["mean_path_hops"]; h <= 2 || h >= 4 {
+		t.Errorf("mean hops = %v", h)
+	}
+}
+
+func TestFig3Stack(t *testing.T) {
+	r, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["containers_running"] != 3 {
+		t.Errorf("containers = %v", r.Metrics["containers_running"])
+	}
+	if r.Metrics["idle_rss_per_ctr_mb"] != 30 {
+		t.Errorf("idle RSS = %v", r.Metrics["idle_rss_per_ctr_mb"])
+	}
+	for _, want := range []string{"ARM System on Chip", "Raspbian", "LXC", "webserver", "database", "hadoop"} {
+		if !strings.Contains(r.Table, want) {
+			t.Errorf("stack missing %q", want)
+		}
+	}
+}
+
+func TestFig4Panel(t *testing.T) {
+	r, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["vm_spawned"] != 1 || r.Metrics["limits_set"] != 1 {
+		t.Fatalf("use cases failed: %v", r.Metrics)
+	}
+	if r.Metrics["nodes_monitored"] != 6 {
+		t.Errorf("monitored = %v, want 6", r.Metrics["nodes_monitored"])
+	}
+	if r.Metrics["panel_shows_vm"] != 1 || r.Metrics["panel_shows_watt"] != 1 {
+		t.Error("panel content missing")
+	}
+}
+
+func TestClaimDensity(t *testing.T) {
+	r, err := ClaimDensity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["containers_fitting"] != 3 {
+		t.Errorf("fitting = %v, paper says 3 comfortably", r.Metrics["containers_fitting"])
+	}
+	if r.Metrics["fourth_rejected"] != 1 {
+		t.Error("fourth container should be rejected")
+	}
+}
+
+func TestClaimPower(t *testing.T) {
+	r, err := ClaimPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["peak_draw_w"] != 196 {
+		t.Errorf("peak = %v, paper says 196", r.Metrics["peak_draw_w"])
+	}
+	if r.Metrics["fits_socket"] != 1 {
+		t.Error("PiCloud must fit one socket")
+	}
+	if r.Metrics["x86_fits_socket"] != 0 {
+		t.Error("x86 testbed must not fit one socket")
+	}
+}
+
+func TestClaimCooling(t *testing.T) {
+	r, err := ClaimCooling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["cooling_share"] != 0.33 {
+		t.Errorf("share = %v", r.Metrics["cooling_share"])
+	}
+	total := r.Metrics["x86_facility_w"]
+	cool := r.Metrics["x86_cooling_w"]
+	if ratio := cool / total; ratio < 0.329 || ratio > 0.331 {
+		t.Errorf("cooling/total = %v, want 0.33", ratio)
+	}
+}
+
+func TestPlacementExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cloud experiment")
+	}
+	r, err := Placement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The network-aware placer must produce no more cross-rack traffic
+	// than round-robin — that is the point of R1.
+	na := r.Metrics["network-aware_cross_rack_mib"]
+	rr := r.Metrics["round-robin_cross_rack_mib"]
+	if na > rr {
+		t.Errorf("network-aware (%v MiB) worse than round-robin (%v MiB)", na, rr)
+	}
+}
+
+func TestMigrationRoutingExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cloud experiment")
+	}
+	r, err := MigrationRouting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["ip_flows_broken"] == 0 {
+		t.Error("IP-routed migration should break flows")
+	}
+	if r.Metrics["label_flows_broken"] != 0 {
+		t.Error("label-routed migration should break nothing")
+	}
+	if r.Metrics["label_flows_rerouted"] == 0 {
+		t.Error("label-routed migration should re-point flows")
+	}
+}
+
+func TestSDNCongestionExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cloud experiment")
+	}
+	r, err := SDNCongestion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spreading policies must not be worse than single shortest path on
+	// the hottest link.
+	if r.Metrics["ecmp_max_util"] > r.Metrics["shortest_max_util"]+1e-9 {
+		t.Errorf("ecmp hotter than shortest: %v vs %v", r.Metrics["ecmp_max_util"], r.Metrics["shortest_max_util"])
+	}
+	if r.Metrics["congestion_max_util"] > r.Metrics["shortest_max_util"]+1e-9 {
+		t.Errorf("congestion-aware hotter than shortest: %v vs %v",
+			r.Metrics["congestion_max_util"], r.Metrics["shortest_max_util"])
+	}
+}
+
+func TestTrafficDynamismExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r, err := TrafficDynamism()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["epoch_load_cov"] < 0.05 {
+		t.Errorf("CoV = %v; traffic should be bursty", r.Metrics["epoch_load_cov"])
+	}
+	if r.Metrics["onoff_bursts"] == 0 {
+		t.Error("no ON/OFF bursts")
+	}
+}
+
+func TestBareVsContainerExperiment(t *testing.T) {
+	r, err := BareVsContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["container_overhead_mib"] < 25 {
+		t.Errorf("container overhead = %v MiB; expected ≥ idle RSS", r.Metrics["container_overhead_mib"])
+	}
+	if r.Metrics["bare_sd_mib"] != 0 {
+		t.Errorf("bare node SD usage = %v", r.Metrics["bare_sd_mib"])
+	}
+}
+
+func TestMapReduceScaleOutExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r, err := MapReduceScaleOut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Makespan must improve 7 → 28 workers.
+	if r.Metrics["workers_28_makespan_s"] >= r.Metrics["workers_07_makespan_s"] {
+		t.Errorf("no scale-out: 7w=%v 28w=%v",
+			r.Metrics["workers_07_makespan_s"], r.Metrics["workers_28_makespan_s"])
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	for _, id := range []string{"t1", "T1", "table1"} {
+		if _, err := ByID(id); err != nil {
+			t.Fatalf("ByID(%q): %v", id, err)
+		}
+	}
+	if _, err := ByID("zzz"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if len(IDs()) != 17 {
+		t.Fatalf("IDs = %v", IDs())
+	}
+}
+
+func TestConsolidationRippleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r, err := ConsolidationRipple()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's warning: consolidation saves power but induces
+	// congestion and hurts tail latency.
+	if r.Metrics["watts_after"] >= r.Metrics["watts_before"] {
+		t.Errorf("no power saved: %v → %v", r.Metrics["watts_before"], r.Metrics["watts_after"])
+	}
+	if r.Metrics["p99_ms_after"] <= r.Metrics["p99_ms_before"] {
+		t.Errorf("no latency ripple: p99 %vms → %vms",
+			r.Metrics["p99_ms_before"], r.Metrics["p99_ms_after"])
+	}
+}
+
+func TestTopologyRecableExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r, err := TopologyRecable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oversubscribed uplinks must slow the shuffle relative to the
+	// published gigabit wiring.
+	if r.Metrics["oversub_makespan_s"] <= r.Metrics["multiroot_makespan_s"] {
+		t.Errorf("oversubscription had no effect: %v vs %v",
+			r.Metrics["oversub_makespan_s"], r.Metrics["multiroot_makespan_s"])
+	}
+}
+
+func TestP2PManagementExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r, err := P2PManagement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["convergence_s"] < 0 {
+		t.Error("membership never converged")
+	}
+	if r.Metrics["failure_detection_s"] < 0 {
+		t.Error("failure never detected")
+	}
+	if r.Metrics["placement_agreement"] != 1 {
+		t.Errorf("placement agreement = %v, want 1 (all agents agree)", r.Metrics["placement_agreement"])
+	}
+}

@@ -1,0 +1,274 @@
+// Package hw models the hardware of the PiCloud and of the x86 testbed it
+// is compared against in Table I of the paper: boards (Raspberry Pi
+// Model A/B, a commodity x86 server), the BCM2835 SoC, SD-card storage
+// and the network interface.
+//
+// Capacities carry the paper's published numbers (256 MB RAM on the
+// original Model B, 100 Mb/s Ethernet, 16 GB SanDisk SD card, 3.5 W power
+// draw, $35 unit cost) so that resource contention in the simulation
+// appears at the same points it would on the physical testbed.
+package hw
+
+import (
+	"fmt"
+)
+
+// Byte sizes.
+const (
+	KiB int64 = 1 << 10
+	MiB int64 = 1 << 20
+	GiB int64 = 1 << 30
+)
+
+// Arch identifies an instruction-set architecture.
+type Arch int
+
+// Architectures present in the paper's comparison.
+const (
+	ArchARMv6 Arch = iota + 1
+	ArchX86_64
+)
+
+// String returns the conventional name of the architecture.
+func (a Arch) String() string {
+	switch a {
+	case ArchARMv6:
+		return "armv6"
+	case ArchX86_64:
+		return "x86_64"
+	default:
+		return fmt.Sprintf("arch(%d)", int(a))
+	}
+}
+
+// MIPS expresses compute capacity in millions of (Dhrystone-like) work
+// units per second. Workload CPU costs are expressed in MI (millions of
+// work units), so time = MI / MIPS.
+type MIPS float64
+
+// MI is an amount of CPU work in millions of work units.
+type MI float64
+
+// PowerProfile is the linear utilisation→watts model used throughout the
+// energy accounting: draw = Idle + (Peak-Idle)·util.
+type PowerProfile struct {
+	IdleWatts float64
+	PeakWatts float64
+}
+
+// At returns the power draw in watts at CPU utilisation util ∈ [0,1].
+// Utilisation outside the range is clamped.
+func (p PowerProfile) At(util float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	return p.IdleWatts + (p.PeakWatts-p.IdleWatts)*util
+}
+
+// SDCard models the flash storage each Pi boots from: capacity and
+// sequential bandwidth. Class-10 SD cards of the era sustain roughly
+// 20 MB/s reads and 10 MB/s writes.
+type SDCard struct {
+	CapacityBytes  int64
+	ReadBytesPerS  int64
+	WriteBytesPerS int64
+}
+
+// SanDisk16GB is the card the paper states every Pi runs from.
+func SanDisk16GB() SDCard {
+	return SDCard{
+		CapacityBytes:  16 * GiB,
+		ReadBytesPerS:  20 * MiB,
+		WriteBytesPerS: 10 * MiB,
+	}
+}
+
+// ServerDisk is the SATA disk assumed in the x86 comparison platform.
+func ServerDisk() SDCard {
+	return SDCard{
+		CapacityBytes:  1000 * GiB,
+		ReadBytesPerS:  150 * MiB,
+		WriteBytesPerS: 120 * MiB,
+	}
+}
+
+// ReadTimeSeconds returns the seconds needed to read n bytes sequentially.
+func (s SDCard) ReadTimeSeconds(n int64) float64 {
+	if s.ReadBytesPerS <= 0 {
+		return 0
+	}
+	return float64(n) / float64(s.ReadBytesPerS)
+}
+
+// WriteTimeSeconds returns the seconds needed to write n bytes sequentially.
+func (s SDCard) WriteTimeSeconds(n int64) float64 {
+	if s.WriteBytesPerS <= 0 {
+		return 0
+	}
+	return float64(n) / float64(s.WriteBytesPerS)
+}
+
+// NIC describes a network interface.
+type NIC struct {
+	BitsPerSecond int64
+}
+
+// BoMItem is one line of a bill-of-materials estimate.
+type BoMItem struct {
+	Component string
+	CostUSD   float64
+}
+
+// SoC describes a system-on-chip, including the integrated peripherals
+// the paper's Section IV argues could be cut for a DC-tuned part.
+type SoC struct {
+	Name        string
+	CoreISA     Arch
+	Cores       int
+	ClockMHz    int
+	Peripherals []string
+}
+
+// BCM2835 is the Broadcom multimedia SoC at the heart of the Raspberry
+// Pi, "primarily designed for multimedia-capable embedded devices".
+func BCM2835() SoC {
+	return SoC{
+		Name:     "BCM2835",
+		CoreISA:  ArchARMv6,
+		Cores:    1,
+		ClockMHz: 700,
+		Peripherals: []string{
+			"dual-core multimedia co-processor",
+			"HD video encode/decode",
+			"image sensing pipeline",
+			"GPU",
+			"video display unit",
+		},
+	}
+}
+
+// BoardSpec describes a complete machine: the SKU the simulated node
+// hardware is instantiated from.
+type BoardSpec struct {
+	Model       string
+	Arch        Arch
+	Cores       int
+	CPU         MIPS // aggregate capacity across cores
+	MemBytes    int64
+	NIC         NIC
+	Storage     SDCard
+	Power       PowerProfile
+	UnitCostUSD float64
+	// NeedsCooling records whether a 56-unit deployment of this board
+	// requires dedicated cooling infrastructure (Table I, last column).
+	NeedsCooling bool
+}
+
+// Validate reports whether the spec is internally consistent.
+func (b BoardSpec) Validate() error {
+	switch {
+	case b.Model == "":
+		return fmt.Errorf("hw: board has no model name")
+	case b.Cores <= 0:
+		return fmt.Errorf("hw: board %q has %d cores", b.Model, b.Cores)
+	case b.CPU <= 0:
+		return fmt.Errorf("hw: board %q has non-positive CPU capacity", b.Model)
+	case b.MemBytes <= 0:
+		return fmt.Errorf("hw: board %q has non-positive memory", b.Model)
+	case b.NIC.BitsPerSecond <= 0:
+		return fmt.Errorf("hw: board %q has non-positive NIC rate", b.Model)
+	case b.Power.PeakWatts < b.Power.IdleWatts:
+		return fmt.Errorf("hw: board %q peak power below idle", b.Model)
+	case b.UnitCostUSD < 0:
+		return fmt.Errorf("hw: board %q has negative cost", b.Model)
+	}
+	return nil
+}
+
+// PiModelB is the board the PiCloud is built from: the $35 Raspberry Pi
+// Model B with 256 MB RAM (original revision), 100 Mb/s Ethernet, a 16 GB
+// SD card, drawing at most 3.5 W. The ARM1176JZF-S at 700 MHz delivers
+// roughly 875 DMIPS (1.25 DMIPS/MHz).
+func PiModelB() BoardSpec {
+	return BoardSpec{
+		Model:        "raspberry-pi-model-b",
+		Arch:         ArchARMv6,
+		Cores:        1,
+		CPU:          875,
+		MemBytes:     256 * MiB,
+		NIC:          NIC{BitsPerSecond: 100_000_000},
+		Storage:      SanDisk16GB(),
+		Power:        PowerProfile{IdleWatts: 2.1, PeakWatts: 3.5},
+		UnitCostUSD:  35,
+		NeedsCooling: false,
+	}
+}
+
+// PiModelBRev2 is the Model B after the Raspberry Pi Foundation "doubled
+// the RAM size on every Raspberry Pi while keeping the same price"
+// (Section IV).
+func PiModelBRev2() BoardSpec {
+	b := PiModelB()
+	b.Model = "raspberry-pi-model-b-rev2"
+	b.MemBytes = 512 * MiB
+	return b
+}
+
+// PiModelA is the $25 entry board the paper mentions, with less RAM and
+// fewer I/O ports than the Model B.
+func PiModelA() BoardSpec {
+	b := PiModelB()
+	b.Model = "raspberry-pi-model-a"
+	b.UnitCostUSD = 25
+	// Model A has no onboard Ethernet; a USB adapter is assumed so it
+	// can still participate in a cluster, at reduced throughput.
+	b.NIC = NIC{BitsPerSecond: 50_000_000}
+	b.Power = PowerProfile{IdleWatts: 1.2, PeakWatts: 2.5}
+	return b
+}
+
+// X86Server is the commodity server platform of Table I: a $2,000 box
+// drawing 180 W that needs machine-room cooling. A dual-socket 2013-era
+// Xeon delivers on the order of 150k DMIPS.
+func X86Server() BoardSpec {
+	return BoardSpec{
+		Model:        "commodity-x86-server",
+		Arch:         ArchX86_64,
+		Cores:        16,
+		CPU:          150_000,
+		MemBytes:     32 * GiB,
+		NIC:          NIC{BitsPerSecond: 1_000_000_000},
+		Storage:      ServerDisk(),
+		Power:        PowerProfile{IdleWatts: 90, PeakWatts: 180},
+		UnitCostUSD:  2000,
+		NeedsCooling: true,
+	}
+}
+
+// PiBoM returns the Section IV bill-of-materials estimate for the
+// Raspberry Pi: the BCM2835 as the most expensive component at around
+// $10, followed by the PCB, RAM, Ethernet connector and the remaining
+// parts. The exact BoM is under NDA; these are the paper's inferences.
+func PiBoM() []BoMItem {
+	return []BoMItem{
+		{Component: "BCM2835 processor", CostUSD: 10.0},
+		{Component: "printed circuit board", CostUSD: 5.0},
+		{Component: "256MB RAM (PoP)", CostUSD: 4.5},
+		{Component: "Ethernet connector + PHY", CostUSD: 3.5},
+		{Component: "power regulation", CostUSD: 2.0},
+		{Component: "connectors (HDMI, USB, GPIO)", CostUSD: 3.0},
+		{Component: "passives and assembly", CostUSD: 4.0},
+	}
+}
+
+// BoMTotal sums a bill of materials.
+func BoMTotal(items []BoMItem) float64 {
+	total := 0.0
+	for _, it := range items {
+		total += it.CostUSD
+	}
+	return total
+}

@@ -1,0 +1,171 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoardSpecsValidate(t *testing.T) {
+	for _, b := range []BoardSpec{PiModelA(), PiModelB(), PiModelBRev2(), X86Server()} {
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Model, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*BoardSpec)
+	}{
+		{"no model", func(b *BoardSpec) { b.Model = "" }},
+		{"zero cores", func(b *BoardSpec) { b.Cores = 0 }},
+		{"zero cpu", func(b *BoardSpec) { b.CPU = 0 }},
+		{"zero mem", func(b *BoardSpec) { b.MemBytes = 0 }},
+		{"zero nic", func(b *BoardSpec) { b.NIC.BitsPerSecond = 0 }},
+		{"peak below idle", func(b *BoardSpec) { b.Power.PeakWatts = b.Power.IdleWatts - 1 }},
+		{"negative cost", func(b *BoardSpec) { b.UnitCostUSD = -1 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := PiModelB()
+			c.mutate(&b)
+			if err := b.Validate(); err == nil {
+				t.Fatalf("Validate accepted spec mutated by %q", c.name)
+			}
+		})
+	}
+}
+
+// Table I numbers are model parameters; pin them.
+func TestPaperNumbersPinned(t *testing.T) {
+	pi := PiModelB()
+	if pi.UnitCostUSD != 35 {
+		t.Errorf("Pi unit cost = $%v, paper says $35", pi.UnitCostUSD)
+	}
+	if pi.Power.PeakWatts != 3.5 {
+		t.Errorf("Pi peak power = %vW, paper says 3.5W", pi.Power.PeakWatts)
+	}
+	if pi.MemBytes != 256*MiB {
+		t.Errorf("Pi RAM = %d, paper says 256MB", pi.MemBytes)
+	}
+	if pi.Storage.CapacityBytes != 16*GiB {
+		t.Errorf("Pi SD = %d, paper says 16GB", pi.Storage.CapacityBytes)
+	}
+	if pi.NeedsCooling {
+		t.Error("PiCloud needs no cooling per Table I")
+	}
+	x86 := X86Server()
+	if x86.UnitCostUSD != 2000 {
+		t.Errorf("x86 unit cost = $%v, paper says $2,000", x86.UnitCostUSD)
+	}
+	if x86.Power.PeakWatts != 180 {
+		t.Errorf("x86 peak power = %vW, paper says 180W", x86.Power.PeakWatts)
+	}
+	if !x86.NeedsCooling {
+		t.Error("x86 testbed needs cooling per Table I")
+	}
+	rev2 := PiModelBRev2()
+	if rev2.MemBytes != 2*pi.MemBytes {
+		t.Error("rev2 should double RAM (Section IV)")
+	}
+	if rev2.UnitCostUSD != pi.UnitCostUSD {
+		t.Error("rev2 kept the same price (Section IV)")
+	}
+	if PiModelA().UnitCostUSD != 25 {
+		t.Error("Model A is the $25 board")
+	}
+}
+
+func TestPowerProfile(t *testing.T) {
+	p := PowerProfile{IdleWatts: 2, PeakWatts: 4}
+	cases := []struct {
+		util, want float64
+	}{
+		{0, 2}, {0.5, 3}, {1, 4}, {-1, 2}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := p.At(c.util); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.util, got, c.want)
+		}
+	}
+}
+
+// Property: power is monotonic in utilisation and bounded by [idle, peak].
+func TestPropertyPowerMonotonic(t *testing.T) {
+	p := PiModelB().Power
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		pa, pb := p.At(lo), p.At(hi)
+		return pa <= pb && pa >= p.IdleWatts-1e-9 && pb <= p.PeakWatts+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSDCardTimes(t *testing.T) {
+	sd := SanDisk16GB()
+	if got := sd.ReadTimeSeconds(20 * MiB); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("read 20MiB = %vs, want 1s", got)
+	}
+	if got := sd.WriteTimeSeconds(10 * MiB); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("write 10MiB = %vs, want 1s", got)
+	}
+	var zero SDCard
+	if zero.ReadTimeSeconds(1) != 0 || zero.WriteTimeSeconds(1) != 0 {
+		t.Error("zero-rate card should report 0 time, not divide by zero")
+	}
+}
+
+func TestBCM2835(t *testing.T) {
+	soc := BCM2835()
+	if soc.CoreISA != ArchARMv6 {
+		t.Errorf("ISA = %v, want armv6", soc.CoreISA)
+	}
+	if soc.ClockMHz != 700 {
+		t.Errorf("clock = %d, want 700", soc.ClockMHz)
+	}
+	if len(soc.Peripherals) < 4 {
+		t.Error("BCM2835 should list its multimedia peripherals (Section IV)")
+	}
+}
+
+func TestPiBoM(t *testing.T) {
+	items := PiBoM()
+	total := BoMTotal(items)
+	pi := PiModelB()
+	if total <= 0 || total >= pi.UnitCostUSD {
+		t.Errorf("BoM total $%v should be positive and below the $%v retail price", total, pi.UnitCostUSD)
+	}
+	// The paper estimates the processor as the most expensive component
+	// at around $10.
+	max := items[0]
+	for _, it := range items {
+		if it.CostUSD > max.CostUSD {
+			max = it
+		}
+	}
+	if max.Component != "BCM2835 processor" {
+		t.Errorf("most expensive BoM item = %q, paper says the processor", max.Component)
+	}
+	if max.CostUSD != 10 {
+		t.Errorf("processor cost = $%v, paper estimates $10", max.CostUSD)
+	}
+}
+
+func TestArchString(t *testing.T) {
+	if ArchARMv6.String() != "armv6" || ArchX86_64.String() != "x86_64" {
+		t.Error("arch names wrong")
+	}
+	if Arch(99).String() != "arch(99)" {
+		t.Error("unknown arch should format numerically")
+	}
+}

@@ -1,0 +1,318 @@
+// Package image implements pimaster's image-management substrate: a
+// content-addressed store of layered container images with the
+// "upgrading, patching, and spawning" operations the paper assigns to the
+// head node. Layers are deduplicated by digest, so clones of a base image
+// cost only their delta — which is what makes 16 GB SD cards workable.
+package image
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/hw"
+)
+
+// Errors.
+var (
+	ErrNotFound  = errors.New("image: not found")
+	ErrExists    = errors.New("image: already exists")
+	ErrBadLayer  = errors.New("image: invalid layer")
+	ErrBadRef    = errors.New("image: invalid reference")
+	ErrNoSuchTag = errors.New("image: no such tag")
+)
+
+// Layer is one immutable filesystem layer.
+type Layer struct {
+	// ID is the content digest, derived from the descriptor fields.
+	ID        string
+	SizeBytes int64
+	// Packages lists the software the layer adds (Raspbian ships
+	// "over 35,000 pre-compiled software packages"; images carry the
+	// few each workload needs).
+	Packages []string
+	Note     string
+}
+
+// digest computes the content address of a layer descriptor.
+func digest(sizeBytes int64, packages []string, note string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d\n", sizeBytes)
+	sorted := append([]string(nil), packages...)
+	sort.Strings(sorted)
+	for _, p := range sorted {
+		fmt.Fprintf(h, "pkg:%s\n", p)
+	}
+	fmt.Fprintf(h, "note:%s\n", note)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// NewLayer builds a layer with its content digest filled in.
+func NewLayer(sizeBytes int64, packages []string, note string) (Layer, error) {
+	if sizeBytes <= 0 {
+		return Layer{}, fmt.Errorf("%w: non-positive size", ErrBadLayer)
+	}
+	return Layer{
+		ID:        digest(sizeBytes, packages, note),
+		SizeBytes: sizeBytes,
+		Packages:  append([]string(nil), packages...),
+		Note:      note,
+	}, nil
+}
+
+// Image is an ordered stack of layers published under name:tag.
+type Image struct {
+	Name   string
+	Tag    string
+	Layers []Layer
+}
+
+// Ref returns the name:tag reference.
+func (img *Image) Ref() string { return img.Name + ":" + img.Tag }
+
+// ID is the digest of the layer stack.
+func (img *Image) ID() string {
+	h := sha256.New()
+	for _, l := range img.Layers {
+		fmt.Fprintf(h, "%s\n", l.ID)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// SizeBytes returns the total (un-deduplicated) image size.
+func (img *Image) SizeBytes() int64 {
+	var total int64
+	for _, l := range img.Layers {
+		total += l.SizeBytes
+	}
+	return total
+}
+
+// Packages returns the union of all layers' packages, sorted.
+func (img *Image) Packages() []string {
+	set := make(map[string]struct{})
+	for _, l := range img.Layers {
+		for _, p := range l.Packages {
+			set[p] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseRef splits "name:tag"; a missing tag defaults to "latest".
+func ParseRef(ref string) (name, tag string, err error) {
+	if ref == "" {
+		return "", "", fmt.Errorf("%w: empty", ErrBadRef)
+	}
+	parts := strings.SplitN(ref, ":", 2)
+	name = parts[0]
+	tag = "latest"
+	if len(parts) == 2 {
+		tag = parts[1]
+	}
+	if name == "" || tag == "" {
+		return "", "", fmt.Errorf("%w: %q", ErrBadRef, ref)
+	}
+	return name, tag, nil
+}
+
+// Store is the image registry hosted on pimaster.
+type Store struct {
+	images map[string]*Image // by name:tag
+	layers map[string]Layer  // by digest
+}
+
+// NewStore returns an empty registry.
+func NewStore() *Store {
+	return &Store{
+		images: make(map[string]*Image),
+		layers: make(map[string]Layer),
+	}
+}
+
+// Publish registers an image under its name:tag.
+func (s *Store) Publish(img Image) error {
+	if img.Name == "" || img.Tag == "" {
+		return fmt.Errorf("%w: %q:%q", ErrBadRef, img.Name, img.Tag)
+	}
+	if len(img.Layers) == 0 {
+		return fmt.Errorf("%w: image %s has no layers", ErrBadLayer, img.Ref())
+	}
+	if _, dup := s.images[img.Ref()]; dup {
+		return fmt.Errorf("%w: %s", ErrExists, img.Ref())
+	}
+	stored := Image{Name: img.Name, Tag: img.Tag, Layers: append([]Layer(nil), img.Layers...)}
+	for _, l := range stored.Layers {
+		if l.ID == "" || l.SizeBytes <= 0 {
+			return fmt.Errorf("%w: layer %+v", ErrBadLayer, l)
+		}
+		s.layers[l.ID] = l
+	}
+	s.images[stored.Ref()] = &stored
+	return nil
+}
+
+// Get resolves a reference.
+func (s *Store) Get(ref string) (*Image, error) {
+	name, tag, err := ParseRef(ref)
+	if err != nil {
+		return nil, err
+	}
+	img, ok := s.images[name+":"+tag]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s:%s", ErrNotFound, name, tag)
+	}
+	return img, nil
+}
+
+// List returns all references, sorted.
+func (s *Store) List() []string {
+	out := make([]string, 0, len(s.images))
+	for ref := range s.images {
+		out = append(out, ref)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Layer returns a stored layer by digest.
+func (s *Store) Layer(id string) (Layer, bool) {
+	l, ok := s.layers[id]
+	return l, ok
+}
+
+// UniqueBytes returns the deduplicated storage the given references need
+// together: each distinct layer counted once. This is the SD-card cost of
+// hosting those images on one node.
+func (s *Store) UniqueBytes(refs ...string) (int64, error) {
+	seen := make(map[string]struct{})
+	var total int64
+	for _, ref := range refs {
+		img, err := s.Get(ref)
+		if err != nil {
+			return 0, err
+		}
+		for _, l := range img.Layers {
+			if _, dup := seen[l.ID]; dup {
+				continue
+			}
+			seen[l.ID] = struct{}{}
+			total += l.SizeBytes
+		}
+	}
+	return total, nil
+}
+
+// Patch publishes name:newTag as the old image plus one layer — the
+// "patching" operation (e.g. a security fix).
+func (s *Store) Patch(ref, newTag string, patch Layer) (*Image, error) {
+	base, err := s.Get(ref)
+	if err != nil {
+		return nil, err
+	}
+	if patch.ID == "" || patch.SizeBytes <= 0 {
+		return nil, fmt.Errorf("%w: patch layer", ErrBadLayer)
+	}
+	out := Image{
+		Name:   base.Name,
+		Tag:    newTag,
+		Layers: append(append([]Layer(nil), base.Layers...), patch),
+	}
+	if err := s.Publish(out); err != nil {
+		return nil, err
+	}
+	return s.images[out.Ref()], nil
+}
+
+// Upgrade publishes name:newTag with the base (first) layer replaced —
+// the "upgrading" operation (new OS release). Upper layers carry over.
+func (s *Store) Upgrade(ref, newTag string, newBase Layer) (*Image, error) {
+	old, err := s.Get(ref)
+	if err != nil {
+		return nil, err
+	}
+	if newBase.ID == "" || newBase.SizeBytes <= 0 {
+		return nil, fmt.Errorf("%w: base layer", ErrBadLayer)
+	}
+	layers := append([]Layer{newBase}, old.Layers[1:]...)
+	out := Image{Name: old.Name, Tag: newTag, Layers: layers}
+	if err := s.Publish(out); err != nil {
+		return nil, err
+	}
+	return s.images[out.Ref()], nil
+}
+
+// Spawn derives a new named image from an existing one without adding
+// layers — the "spawning" operation that stamps per-tenant images.
+func (s *Store) Spawn(ref, newName, newTag string) (*Image, error) {
+	base, err := s.Get(ref)
+	if err != nil {
+		return nil, err
+	}
+	out := Image{Name: newName, Tag: newTag, Layers: append([]Layer(nil), base.Layers...)}
+	if err := s.Publish(out); err != nil {
+		return nil, err
+	}
+	return s.images[out.Ref()], nil
+}
+
+// Delete removes a reference (layers stay; other images may share them).
+func (s *Store) Delete(ref string) error {
+	name, tag, err := ParseRef(ref)
+	if err != nil {
+		return err
+	}
+	key := name + ":" + tag
+	if _, ok := s.images[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	delete(s.images, key)
+	return nil
+}
+
+// --- Stock PiCloud images ---
+
+// mustLayer builds a layer from constants; it panics only on programmer
+// error in this file.
+func mustLayer(size int64, packages []string, note string) Layer {
+	l, err := NewLayer(size, packages, note)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// RaspbianBase is the minimal Raspbian rootfs layer every container
+// image builds on.
+func RaspbianBase() Layer {
+	return mustLayer(200*hw.MiB, []string{"raspbian-core", "busybox", "openssh"}, "raspbian wheezy minimal rootfs")
+}
+
+// StockImages publishes the three application images of Fig. 3 — web
+// server, database and Hadoop-style worker — into a fresh store.
+func StockImages() *Store {
+	s := NewStore()
+	base := RaspbianBase()
+	web := mustLayer(30*hw.MiB, []string{"lighttpd"}, "lightweight httpd")
+	db := mustLayer(60*hw.MiB, []string{"sqlite", "kv-server"}, "database server")
+	hadoop := mustLayer(120*hw.MiB, []string{"jre-headless", "hadoop-worker"}, "hadoop worker")
+	for _, img := range []Image{
+		{Name: "raspbian", Tag: "latest", Layers: []Layer{base}},
+		{Name: "webserver", Tag: "latest", Layers: []Layer{base, web}},
+		{Name: "database", Tag: "latest", Layers: []Layer{base, db}},
+		{Name: "hadoop", Tag: "latest", Layers: []Layer{base, hadoop}},
+	} {
+		if err := s.Publish(img); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}

@@ -1,0 +1,286 @@
+package image
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+)
+
+func TestNewLayerContentAddressing(t *testing.T) {
+	a, err := NewLayer(100, []string{"x", "y"}, "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same content in any package order → same digest.
+	b, err := NewLayer(100, []string{"y", "x"}, "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != b.ID {
+		t.Fatalf("digests differ for identical content: %s vs %s", a.ID, b.ID)
+	}
+	// Any field change → different digest.
+	c, _ := NewLayer(101, []string{"x", "y"}, "n")
+	d, _ := NewLayer(100, []string{"x"}, "n")
+	e, _ := NewLayer(100, []string{"x", "y"}, "other")
+	for _, other := range []Layer{c, d, e} {
+		if other.ID == a.ID {
+			t.Fatalf("digest collision: %+v vs %+v", a, other)
+		}
+	}
+	if _, err := NewLayer(0, nil, ""); !errors.Is(err, ErrBadLayer) {
+		t.Fatalf("zero-size layer: %v", err)
+	}
+}
+
+func TestParseRef(t *testing.T) {
+	cases := []struct {
+		in        string
+		name, tag string
+		wantErr   bool
+	}{
+		{"web:v1", "web", "v1", false},
+		{"web", "web", "latest", false},
+		{"", "", "", true},
+		{":v1", "", "", true},
+		{"web:", "", "", true},
+	}
+	for _, c := range cases {
+		name, tag, err := ParseRef(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseRef(%q) err = %v", c.in, err)
+			continue
+		}
+		if err == nil && (name != c.name || tag != c.tag) {
+			t.Errorf("ParseRef(%q) = %s:%s, want %s:%s", c.in, name, tag, c.name, c.tag)
+		}
+	}
+}
+
+func TestPublishGetDelete(t *testing.T) {
+	s := NewStore()
+	base := RaspbianBase()
+	img := Image{Name: "web", Tag: "v1", Layers: []Layer{base}}
+	if err := s.Publish(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(img); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate publish = %v", err)
+	}
+	got, err := s.Get("web:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ref() != "web:v1" || got.SizeBytes() != base.SizeBytes {
+		t.Fatalf("got %s size %d", got.Ref(), got.SizeBytes())
+	}
+	if _, err := s.Get("nope:v1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing image = %v", err)
+	}
+	if err := s.Delete("web:v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("web:v1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.Publish(Image{Name: "", Tag: "v1", Layers: []Layer{RaspbianBase()}}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := s.Publish(Image{Name: "x", Tag: "v1"}); err == nil {
+		t.Fatal("layerless image accepted")
+	}
+	if err := s.Publish(Image{Name: "x", Tag: "v1", Layers: []Layer{{ID: "", SizeBytes: 5}}}); err == nil {
+		t.Fatal("digestless layer accepted")
+	}
+}
+
+func TestStockImages(t *testing.T) {
+	s := StockImages()
+	refs := s.List()
+	want := []string{"database:latest", "hadoop:latest", "raspbian:latest", "webserver:latest"}
+	if len(refs) != len(want) {
+		t.Fatalf("List = %v", refs)
+	}
+	for i := range want {
+		if refs[i] != want[i] {
+			t.Fatalf("List = %v, want %v", refs, want)
+		}
+	}
+	web, err := s.Get("webserver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(web.Layers) != 2 {
+		t.Fatalf("webserver layers = %d", len(web.Layers))
+	}
+	pkgs := strings.Join(web.Packages(), ",")
+	if !strings.Contains(pkgs, "lighttpd") || !strings.Contains(pkgs, "raspbian-core") {
+		t.Fatalf("webserver packages = %s", pkgs)
+	}
+}
+
+func TestUniqueBytesDeduplicatesSharedBase(t *testing.T) {
+	s := StockImages()
+	base := RaspbianBase().SizeBytes
+	web, _ := s.Get("webserver")
+	db, _ := s.Get("database")
+	sum := web.SizeBytes() + db.SizeBytes()
+	uniq, err := s.UniqueBytes("webserver", "database")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sum - base; uniq != want {
+		t.Fatalf("UniqueBytes = %d, want %d (base %d shared once)", uniq, want, base)
+	}
+	// Same reference twice: counted once.
+	uniq2, err := s.UniqueBytes("webserver", "webserver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniq2 != web.SizeBytes() {
+		t.Fatalf("self-dedup = %d, want %d", uniq2, web.SizeBytes())
+	}
+	if _, err := s.UniqueBytes("nope"); err == nil {
+		t.Fatal("UniqueBytes accepted missing ref")
+	}
+}
+
+func TestPatch(t *testing.T) {
+	s := StockImages()
+	fix, err := NewLayer(2*hw.MiB, []string{"openssl"}, "CVE fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched, err := s.Patch("webserver:latest", "patched", fix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patched.Layers) != 3 {
+		t.Fatalf("patched layers = %d", len(patched.Layers))
+	}
+	orig, _ := s.Get("webserver:latest")
+	if patched.SizeBytes() != orig.SizeBytes()+fix.SizeBytes {
+		t.Fatal("patch size wrong")
+	}
+	// Patched image shares all original layers: marginal cost is the fix.
+	uniq, err := s.UniqueBytes("webserver:latest", "webserver:patched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniq != orig.SizeBytes()+fix.SizeBytes {
+		t.Fatalf("dedup after patch = %d", uniq)
+	}
+	if _, err := s.Patch("nope", "x", fix); errors.Is(err, nil) {
+		t.Fatal("patch of missing image accepted")
+	}
+	if _, err := s.Patch("webserver:latest", "bad", Layer{}); !errors.Is(err, ErrBadLayer) {
+		t.Fatalf("bad patch layer = %v", err)
+	}
+}
+
+func TestUpgradeReplacesBaseKeepsApps(t *testing.T) {
+	s := StockImages()
+	newBase, err := NewLayer(220*hw.MiB, []string{"raspbian-core", "busybox", "openssh"}, "raspbian jessie rootfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := s.Upgrade("webserver:latest", "jessie", newBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Layers[0].ID != newBase.ID {
+		t.Fatal("base not replaced")
+	}
+	if len(up.Layers) != 2 || up.Layers[1].Packages[0] != "lighttpd" {
+		t.Fatal("app layer lost in upgrade")
+	}
+	if _, err := s.Upgrade("nope", "x", newBase); err == nil {
+		t.Fatal("upgrade of missing image accepted")
+	}
+}
+
+func TestSpawn(t *testing.T) {
+	s := StockImages()
+	spawned, err := s.Spawn("webserver:latest", "tenant42-web", "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := s.Get("webserver:latest")
+	if spawned.ID() != orig.ID() {
+		t.Fatal("spawned image should share the exact layer stack")
+	}
+	// Zero marginal storage cost.
+	uniq, err := s.UniqueBytes("webserver:latest", "tenant42-web:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniq != orig.SizeBytes() {
+		t.Fatalf("spawn dedup = %d, want %d", uniq, orig.SizeBytes())
+	}
+	if _, err := s.Spawn("nope", "x", "y"); err == nil {
+		t.Fatal("spawn of missing image accepted")
+	}
+}
+
+func TestImageID(t *testing.T) {
+	s := StockImages()
+	web, _ := s.Get("webserver")
+	db, _ := s.Get("database")
+	if web.ID() == db.ID() {
+		t.Fatal("different images share an ID")
+	}
+}
+
+// Property: UniqueBytes of any subset never exceeds the sum of image
+// sizes and is at least the largest member.
+func TestPropertyUniqueBytesBounds(t *testing.T) {
+	s := StockImages()
+	all := s.List()
+	f := func(mask uint8) bool {
+		var refs []string
+		var sum, maxSize int64
+		for i, ref := range all {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			refs = append(refs, ref)
+			img, err := s.Get(ref)
+			if err != nil {
+				return false
+			}
+			sum += img.SizeBytes()
+			if img.SizeBytes() > maxSize {
+				maxSize = img.SizeBytes()
+			}
+		}
+		if len(refs) == 0 {
+			return true
+		}
+		uniq, err := s.UniqueBytes(refs...)
+		if err != nil {
+			return false
+		}
+		return uniq <= sum && uniq >= maxSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUniqueBytes(b *testing.B) {
+	s := StockImages()
+	refs := s.List()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.UniqueBytes(refs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,458 @@
+package lxc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/image"
+	"repro/internal/oslinux"
+	"repro/internal/sim"
+)
+
+func newSuite(t testing.TB) (*sim.Engine, *Suite) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	k, err := oslinux.NewKernel(e, hw.PiModelB(), "pi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, NewSuite(e, k, image.StockImages())
+}
+
+// startRunning creates and fully boots a container.
+func startRunning(t *testing.T, e *sim.Engine, s *Suite, spec Spec) *Container {
+	t.Helper()
+	c, err := s.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(spec.Name, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != StateRunning {
+		t.Fatalf("container %s state = %v after boot", spec.Name, c.State())
+	}
+	return c
+}
+
+func TestCreateStartLifecycle(t *testing.T) {
+	e, s := newSuite(t)
+	c, err := s.Create(Spec{Name: "web1", Image: "webserver"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != StateStopped {
+		t.Fatalf("created state = %v", c.State())
+	}
+	if c.Spec.Net != NetBridged {
+		t.Fatalf("default net = %v, want bridged", c.Spec.Net)
+	}
+	running := false
+	if err := s.Start("web1", func() { running = true }); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != StateStarting {
+		t.Fatalf("state right after Start = %v, want STARTING", c.State())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !running || c.State() != StateRunning {
+		t.Fatalf("boot did not complete: %v / %v", running, c.State())
+	}
+	// Boot takes the SD read of 20MiB at 20MiB/s = 1s.
+	if got := e.Now().Seconds(); got < 0.99 || got > 1.01 {
+		t.Fatalf("boot finished at %vs, want ~1s", got)
+	}
+}
+
+func TestIdleRSSMatchesPaper(t *testing.T) {
+	e, s := newSuite(t)
+	startRunning(t, e, s, Spec{Name: "c1", Image: "raspbian"})
+	mem, err := s.MemUsedBytes("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem != 30*hw.MiB {
+		t.Fatalf("idle container RSS = %d, paper says 30MB", mem)
+	}
+}
+
+func TestThreeContainersComfortably(t *testing.T) {
+	// The paper: "Currently, we are able to comfortably support three
+	// containers concurrently on a Raspberry Pi."
+	e, s := newSuite(t)
+	for name, img := range map[string]string{"web": "webserver", "db": "database", "hd": "hadoop"} {
+		startRunning(t, e, s, Spec{Name: name, Image: img})
+	}
+	if s.RunningCount() != ComfortableContainersPerPi {
+		t.Fatalf("running = %d, want %d", s.RunningCount(), ComfortableContainersPerPi)
+	}
+	// 48MiB OS + 3×30MiB idle = 138MiB of 256MiB: comfortable.
+	if used := s.Kernel().MemUsed(); used != 138*hw.MiB {
+		t.Fatalf("node mem used = %d, want 138MiB", used)
+	}
+}
+
+func TestDuplicateAndMissing(t *testing.T) {
+	_, s := newSuite(t)
+	if _, err := s.Create(Spec{Name: "", Image: "raspbian"}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("empty name = %v", err)
+	}
+	if _, err := s.Create(Spec{Name: "x", Image: "no-such-image"}); err == nil {
+		t.Fatal("unknown image accepted")
+	}
+	if _, err := s.Create(Spec{Name: "x", Image: "raspbian"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create(Spec{Name: "x", Image: "raspbian"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate = %v", err)
+	}
+	if err := s.Start("nope", nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("start missing = %v", err)
+	}
+}
+
+func TestLayerSharingOnSDCard(t *testing.T) {
+	_, s := newSuite(t)
+	if _, err := s.Create(Spec{Name: "a", Image: "webserver"}); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := s.SDUsedBytes()
+	// base 200 + web 30 + writable 16.
+	if want := int64(246 * hw.MiB); afterFirst != want {
+		t.Fatalf("SD after first = %d, want %d", afterFirst, want)
+	}
+	if _, err := s.Create(Spec{Name: "b", Image: "database"}); err != nil {
+		t.Fatal(err)
+	}
+	// database shares the 200MiB base: adds db 60 + writable 16.
+	if want := afterFirst + 76*hw.MiB; s.SDUsedBytes() != want {
+		t.Fatalf("SD after second = %d, want %d", s.SDUsedBytes(), want)
+	}
+	// Destroy b: only its delta comes back.
+	if err := s.Destroy("b"); err != nil {
+		t.Fatal(err)
+	}
+	if s.SDUsedBytes() != afterFirst {
+		t.Fatalf("SD after destroy = %d, want %d", s.SDUsedBytes(), afterFirst)
+	}
+	if err := s.Destroy("a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.SDUsedBytes() != 0 {
+		t.Fatalf("SD not empty after destroying all: %d", s.SDUsedBytes())
+	}
+}
+
+func TestDiskFull(t *testing.T) {
+	e := sim.NewEngine(1)
+	board := hw.PiModelB()
+	board.Storage.CapacityBytes = 300 * hw.MiB
+	k, err := oslinux.NewKernel(e, board, "pi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSuite(e, k, image.StockImages())
+	if _, err := s.Create(Spec{Name: "a", Image: "webserver"}); err != nil {
+		t.Fatal(err) // 246MiB fits
+	}
+	if _, err := s.Create(Spec{Name: "b", Image: "hadoop"}); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("expected disk full, got %v", err)
+	}
+}
+
+func TestFreezeUnfreeze(t *testing.T) {
+	e, s := newSuite(t)
+	startRunning(t, e, s, Spec{Name: "c", Image: "raspbian"})
+	if err := s.Freeze("c"); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := s.Get("c")
+	if c.State() != StateFrozen {
+		t.Fatalf("state = %v", c.State())
+	}
+	if err := s.Freeze("c"); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double freeze = %v", err)
+	}
+	if _, err := s.Exec("c", oslinux.TaskSpec{WorkMI: 10}); !errors.Is(err, ErrBadState) {
+		t.Fatalf("exec while frozen = %v", err)
+	}
+	if err := s.Unfreeze("c"); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != StateRunning {
+		t.Fatalf("state after unfreeze = %v", c.State())
+	}
+	if err := s.Unfreeze("c"); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double unfreeze = %v", err)
+	}
+}
+
+func TestStopFreesMemoryAndAllowsRestart(t *testing.T) {
+	e, s := newSuite(t)
+	startRunning(t, e, s, Spec{Name: "c", Image: "raspbian"})
+	if err := s.AllocAppMem("c", 50*hw.MiB); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Kernel().MemUsed()
+	if err := s.Stop("c"); err != nil {
+		t.Fatal(err)
+	}
+	freed := before - s.Kernel().MemUsed()
+	if freed != 80*hw.MiB {
+		t.Fatalf("stop freed %d, want 80MiB (30 idle + 50 app)", freed)
+	}
+	if err := s.Stop("c"); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double stop = %v", err)
+	}
+	// Restart works.
+	if err := s.Start("c", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := s.Get("c")
+	if c.State() != StateRunning {
+		t.Fatalf("restart state = %v", c.State())
+	}
+}
+
+func TestStopDuringBootAborts(t *testing.T) {
+	e, s := newSuite(t)
+	if _, err := s.Create(Spec{Name: "c", Image: "raspbian"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("c", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := s.Get("c")
+	if c.State() != StateStopped {
+		t.Fatalf("state = %v, want STOPPED (boot aborted)", c.State())
+	}
+	if s.RunningCount() != 0 {
+		t.Fatal("aborted boot counted as running")
+	}
+}
+
+func TestStopFrozenContainer(t *testing.T) {
+	e, s := newSuite(t)
+	startRunning(t, e, s, Spec{Name: "c", Image: "raspbian"})
+	if err := s.Freeze("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop("c"); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := s.Get("c")
+	if c.State() != StateStopped {
+		t.Fatalf("state = %v", c.State())
+	}
+}
+
+func TestDestroyRequiresStopped(t *testing.T) {
+	e, s := newSuite(t)
+	startRunning(t, e, s, Spec{Name: "c", Image: "raspbian"})
+	if err := s.Destroy("c"); !errors.Is(err, ErrBadState) {
+		t.Fatalf("destroy running = %v", err)
+	}
+	if err := s.Stop("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Destroy("c"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 0 {
+		t.Fatal("container survived destroy")
+	}
+}
+
+func TestExecAndMemory(t *testing.T) {
+	e, s := newSuite(t)
+	startRunning(t, e, s, Spec{Name: "c", Image: "raspbian"})
+	done := false
+	if _, err := s.Exec("c", oslinux.TaskSpec{WorkMI: 100, OnDone: func() { done = true }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("exec task did not run")
+	}
+	if err := s.AllocAppMem("c", 10*hw.MiB); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := s.Get("c")
+	if c.AppMemBytes() != 10*hw.MiB {
+		t.Fatalf("app mem = %d", c.AppMemBytes())
+	}
+	if err := s.FreeAppMem("c", 20*hw.MiB); err == nil {
+		t.Fatal("over-free accepted")
+	}
+	if err := s.FreeAppMem("c", 10*hw.MiB); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemLimitEnforced(t *testing.T) {
+	e, s := newSuite(t)
+	startRunning(t, e, s, Spec{Name: "c", Image: "raspbian", MemLimitBytes: 40 * hw.MiB})
+	// 30MiB idle + 20 > 40 limit.
+	if err := s.AllocAppMem("c", 20*hw.MiB); !errors.Is(err, oslinux.ErrCgroupMemLimit) {
+		t.Fatalf("over-limit alloc = %v", err)
+	}
+	if err := s.AllocAppMem("c", 10*hw.MiB); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetLimits(t *testing.T) {
+	e, s := newSuite(t)
+	startRunning(t, e, s, Spec{Name: "c", Image: "raspbian"})
+	if err := s.SetLimits("c", 64*hw.MiB, 512, 100); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.InfoOf("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shares != 512 || info.Quota != 100 {
+		t.Fatalf("info = %+v", info)
+	}
+	// Exec respects the new quota.
+	task, err := s.Exec("c", oslinux.TaskSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(task.Rate()); got > 100.0+1e-6 {
+		t.Fatalf("task rate %v exceeds 100 MIPS quota", got)
+	}
+}
+
+func TestListAndInfo(t *testing.T) {
+	e, s := newSuite(t)
+	startRunning(t, e, s, Spec{Name: "b", Image: "raspbian"})
+	if _, err := s.Create(Spec{Name: "a", Image: "webserver", Net: NetNAT}); err != nil {
+		t.Fatal(err)
+	}
+	got := s.List()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("List = %v", got)
+	}
+	info, err := s.InfoOf("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != "STOPPED" || info.Net != "nat" || info.Image != "webserver" {
+		t.Fatalf("info = %+v", info)
+	}
+	if _, err := s.InfoOf("zzz"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("InfoOf missing = %v", err)
+	}
+	if s.RunningCount() != 1 {
+		t.Fatalf("RunningCount = %d", s.RunningCount())
+	}
+	_ = e
+}
+
+func TestStateStrings(t *testing.T) {
+	if StateStopped.String() != "STOPPED" || StateRunning.String() != "RUNNING" ||
+		StateFrozen.String() != "FROZEN" || StateStarting.String() != "STARTING" {
+		t.Error("state strings wrong")
+	}
+	if NetBridged.String() != "bridged" || NetNAT.String() != "nat" {
+		t.Error("net mode strings wrong")
+	}
+}
+
+func BenchmarkCreateDestroy(b *testing.B) {
+	_, s := newSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Create(Spec{Name: "c", Image: "raspbian"}); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Destroy("c"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: any sequence of lifecycle operations keeps the accounting
+// consistent — SD usage non-negative and zero when empty, node memory
+// never below the OS reservation, state machine never corrupted.
+func TestPropertyLifecycleAccounting(t *testing.T) {
+	f := func(ops []uint8) bool {
+		e := sim.NewEngine(17)
+		k, err := oslinux.NewKernel(e, hw.PiModelB(), "pi")
+		if err != nil {
+			return false
+		}
+		s := NewSuite(e, k, image.StockImages())
+		names := []string{"a", "b", "c", "d"}
+		images := []string{"raspbian", "webserver", "database"}
+		for i, op := range ops {
+			name := names[int(op)%len(names)]
+			switch (int(op) / 4) % 6 {
+			case 0:
+				_, _ = s.Create(Spec{Name: name, Image: images[i%len(images)]})
+			case 1:
+				_ = s.Start(name, nil)
+				_ = e.Run()
+			case 2:
+				_ = s.Stop(name)
+			case 3:
+				_ = s.Freeze(name)
+			case 4:
+				_ = s.Unfreeze(name)
+			case 5:
+				_ = s.Destroy(name)
+			}
+			if s.SDUsedBytes() < 0 {
+				return false
+			}
+			if k.MemUsed() < oslinux.DefaultOSReservedBytes {
+				return false
+			}
+			if s.RunningCount() > s.Count() {
+				return false
+			}
+		}
+		// Tear everything down: accounting returns to baseline.
+		for _, name := range s.List() {
+			c, err := s.Get(name)
+			if err != nil {
+				return false
+			}
+			if c.State() != StateStopped {
+				if c.State() == StateFrozen {
+					if err := s.Unfreeze(name); err != nil {
+						return false
+					}
+				}
+				if err := s.Stop(name); err != nil {
+					return false
+				}
+			}
+			if err := s.Destroy(name); err != nil {
+				return false
+			}
+		}
+		return s.SDUsedBytes() == 0 && k.MemUsed() == oslinux.DefaultOSReservedBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

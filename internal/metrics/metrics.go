@@ -1,0 +1,343 @@
+// Package metrics provides the lightweight instrumentation primitives used
+// across the PiCloud: counters, gauges, time series sampled on the virtual
+// clock, and histograms with percentile queries. The pimaster monitoring
+// endpoints and every experiment harness read from these.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready to
+// use. Counter is safe for concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Add increments the counter by delta. Negative deltas panic: counters
+// only go up.
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		panic("metrics: negative delta on Counter")
+	}
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a value that can go up and down. The zero value is ready to
+// use and reads 0. Gauge is safe for concurrent use.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Sample is one (virtual time, value) observation.
+type Sample struct {
+	At    sim.Time
+	Value float64
+}
+
+// TimeSeries records samples against the virtual clock. The zero value is
+// ready to use.
+type TimeSeries struct {
+	mu      sync.Mutex
+	samples []Sample
+}
+
+// Record appends an observation.
+func (ts *TimeSeries) Record(at sim.Time, v float64) {
+	ts.mu.Lock()
+	ts.samples = append(ts.samples, Sample{At: at, Value: v})
+	ts.mu.Unlock()
+}
+
+// Samples returns a copy of all observations in record order.
+func (ts *TimeSeries) Samples() []Sample {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]Sample, len(ts.samples))
+	copy(out, ts.samples)
+	return out
+}
+
+// Len returns the number of observations.
+func (ts *TimeSeries) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.samples)
+}
+
+// Last returns the most recent observation, or false when empty.
+func (ts *TimeSeries) Last() (Sample, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if len(ts.samples) == 0 {
+		return Sample{}, false
+	}
+	return ts.samples[len(ts.samples)-1], true
+}
+
+// Mean returns the arithmetic mean of all values, or 0 when empty.
+func (ts *TimeSeries) Mean() float64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if len(ts.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range ts.samples {
+		sum += s.Value
+	}
+	return sum / float64(len(ts.samples))
+}
+
+// Max returns the maximum value, or 0 when empty.
+func (ts *TimeSeries) Max() float64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	max := 0.0
+	for i, s := range ts.samples {
+		if i == 0 || s.Value > max {
+			max = s.Value
+		}
+	}
+	return max
+}
+
+// TimeWeightedMean integrates the series as a piecewise-constant signal
+// from the first sample to end and divides by the span. It returns 0 for
+// fewer than one sample or a zero span.
+func (ts *TimeSeries) TimeWeightedMean(end sim.Time) float64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if len(ts.samples) == 0 {
+		return 0
+	}
+	start := ts.samples[0].At
+	span := end.Sub(start).Seconds()
+	if span <= 0 {
+		return ts.samples[0].Value
+	}
+	total := 0.0
+	for i, s := range ts.samples {
+		segEnd := end
+		if i+1 < len(ts.samples) {
+			segEnd = ts.samples[i+1].At
+		}
+		if segEnd > end {
+			segEnd = end
+		}
+		dt := segEnd.Sub(s.At).Seconds()
+		if dt > 0 {
+			total += s.Value * dt
+		}
+	}
+	return total / span
+}
+
+// Histogram accumulates observations for percentile queries. The zero
+// value is ready to use. It stores raw samples; for the scales this
+// repository uses (≤ millions of observations) that is simple and exact.
+type Histogram struct {
+	mu     sync.Mutex
+	vals   []float64
+	sorted bool
+	sum    float64
+}
+
+// Observe records a value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.vals = append(h.vals, v)
+	h.sorted = false
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.vals)
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.vals) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.vals))
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) using nearest-rank on
+// the sorted samples, or 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.vals)
+	if n == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.vals)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.vals[0]
+	}
+	if q >= 1 {
+		return h.vals[n-1]
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return h.vals[idx]
+}
+
+// Min returns the smallest observation, or 0 when empty.
+func (h *Histogram) Min() float64 { return h.Quantile(0) }
+
+// Max returns the largest observation, or 0 when empty.
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// Registry is a named collection of metrics, used by each node daemon and
+// pimaster to expose instrumentation over the REST API. The zero value is
+// not usable; construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	series   map[string]*TimeSeries
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		series:   make(map[string]*TimeSeries),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Series returns the time series with the given name, creating it on
+// first use.
+func (r *Registry) Series(name string) *TimeSeries {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		s = &TimeSeries{}
+		r.series[name] = s
+	}
+	return s
+}
+
+// Histogram returns the histogram with the given name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a flat name→value view of counters and gauges plus
+// histogram summaries, for JSON export from the REST daemons.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+3*len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[fmt.Sprintf("%s_count", name)] = float64(h.Count())
+		out[fmt.Sprintf("%s_mean", name)] = h.Mean()
+		out[fmt.Sprintf("%s_p99", name)] = h.Quantile(0.99)
+	}
+	return out
+}

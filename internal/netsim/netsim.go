@@ -1,0 +1,602 @@
+// Package netsim is the flow-level network simulator underneath the
+// PiCloud fabric. Links have capacity and latency; concurrent flows on a
+// link share bandwidth by progressive-filling max-min fairness (with
+// optional per-flow rate caps for application-limited traffic). The
+// simulator reproduces the contention phenomena — shared ToR uplinks,
+// cross-rack hotspots — that the paper's Section III research directions
+// are about, without modelling individual packets.
+//
+// Paths are supplied by the routing layer (the OpenFlow/SDN packages);
+// netsim only simulates what happens on the chosen path. Re-pointing a
+// live flow onto a new path (SetPath) models the paper's IP-less routing,
+// where established transport connections survive a VM migration.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// NodeID names a network-attached device (host NIC or switch).
+type NodeID string
+
+// NodeKind distinguishes end hosts from fabric switches.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindHost NodeKind = iota + 1
+	KindSwitch
+)
+
+// String returns "host" or "switch".
+func (k NodeKind) String() string {
+	switch k {
+	case KindHost:
+		return "host"
+	case KindSwitch:
+		return "switch"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Node is a network-attached device.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+}
+
+// Link is one direction of a cable: a fixed-capacity, fixed-latency pipe.
+type Link struct {
+	From     NodeID
+	To       NodeID
+	Capacity float64 // bits per second
+	Latency  time.Duration
+	up       bool
+	flows    map[*Flow]struct{}
+	// BitsCarried accumulates the total traffic volume for utilisation
+	// reporting and the congestion experiments.
+	bitsCarried float64
+}
+
+// Up reports whether the link is in service.
+func (l *Link) Up() bool { return l.up }
+
+// FlowCount returns the number of flows currently routed over the link.
+func (l *Link) FlowCount() int { return len(l.flows) }
+
+// BitsCarried returns the cumulative traffic that has crossed the link.
+func (l *Link) BitsCarried() float64 { return l.bitsCarried }
+
+// Utilisation returns the instantaneous fraction of capacity in use.
+func (l *Link) Utilisation() float64 {
+	if l.Capacity <= 0 {
+		return 0
+	}
+	total := 0.0
+	for f := range l.flows {
+		total += f.rate
+	}
+	return total / l.Capacity
+}
+
+// EndReason explains why a flow stopped.
+type EndReason int
+
+// Flow end reasons.
+const (
+	EndCompleted EndReason = iota + 1 // finite flow transferred all bits
+	EndCanceled                       // caller cancelled it
+	EndLinkDown                       // a link on its path failed
+)
+
+// String names the reason.
+func (r EndReason) String() string {
+	switch r {
+	case EndCompleted:
+		return "completed"
+	case EndCanceled:
+		return "canceled"
+	case EndLinkDown:
+		return "link-down"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
+// FlowSpec describes a transfer to start.
+type FlowSpec struct {
+	Src, Dst NodeID
+	// Path is the hop sequence from Src to Dst inclusive.
+	Path []NodeID
+	// SizeBits is the transfer volume; zero or negative means an
+	// unbounded stream that runs until cancelled.
+	SizeBits float64
+	// RateCapBps optionally caps the flow below its fair share
+	// (application-limited traffic). Zero means no cap.
+	RateCapBps float64
+	// OnEnd is invoked when the flow stops for any reason.
+	OnEnd func(*Flow, EndReason)
+	// Label optionally tags the flow for the experiments.
+	Label string
+}
+
+// Flow is a live transfer.
+type Flow struct {
+	ID        int64
+	Spec      FlowSpec
+	net       *Network
+	path      []*Link
+	rate      float64 // current allocation, bps
+	remaining float64 // bits left (finite flows)
+	bitsDone  float64
+	started   sim.Time
+	lastCalc  sim.Time
+	ended     bool
+	endAt     sim.Time
+	endReason EndReason
+	complete  *sim.Event
+}
+
+// Rate returns the current max-min allocation in bits per second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// BitsTransferred returns the bits moved so far (advanced to current
+// virtual time on every allocation change).
+func (f *Flow) BitsTransferred() float64 { return f.bitsDone }
+
+// Remaining returns the bits left for a finite flow (0 for unbounded).
+func (f *Flow) Remaining() float64 {
+	if f.Spec.SizeBits <= 0 {
+		return 0
+	}
+	return f.remaining
+}
+
+// Ended reports whether the flow has stopped, and why.
+func (f *Flow) Ended() (bool, EndReason) { return f.ended, f.endReason }
+
+// Duration returns how long the flow ran (to now if still running).
+func (f *Flow) Duration() time.Duration {
+	end := f.net.engine.Now()
+	if f.ended {
+		end = f.endAt
+	}
+	return end.Sub(f.started)
+}
+
+// PathLatency returns the one-way propagation latency along the current
+// path.
+func (f *Flow) PathLatency() time.Duration {
+	var total time.Duration
+	for _, l := range f.path {
+		total += l.Latency
+	}
+	return total
+}
+
+// Network is the flow simulator. It is single-threaded on the simulation
+// engine; callers integrating with real goroutines must serialise access
+// externally (the cloud facade does).
+type Network struct {
+	engine *sim.Engine
+	nodes  map[NodeID]*Node
+	links  map[linkKey]*Link
+	flows  map[int64]*Flow
+	nextID int64
+}
+
+type linkKey struct{ from, to NodeID }
+
+// Errors returned by Network operations.
+var (
+	ErrNodeExists   = errors.New("netsim: node already exists")
+	ErrNoSuchNode   = errors.New("netsim: no such node")
+	ErrLinkExists   = errors.New("netsim: link already exists")
+	ErrNoSuchLink   = errors.New("netsim: no such link")
+	ErrBadPath      = errors.New("netsim: invalid path")
+	ErrFlowEnded    = errors.New("netsim: flow already ended")
+	ErrLinkDownPath = errors.New("netsim: path traverses a failed link")
+)
+
+// New returns an empty network on the given engine.
+func New(engine *sim.Engine) *Network {
+	return &Network{
+		engine: engine,
+		nodes:  make(map[NodeID]*Node),
+		links:  make(map[linkKey]*Link),
+		flows:  make(map[int64]*Flow),
+	}
+}
+
+// AddNode registers a device.
+func (n *Network) AddNode(id NodeID, kind NodeKind) error {
+	if _, dup := n.nodes[id]; dup {
+		return fmt.Errorf("%w: %s", ErrNodeExists, id)
+	}
+	n.nodes[id] = &Node{ID: id, Kind: kind}
+	return nil
+}
+
+// Node returns the named device, or nil.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
+
+// NodeCount returns the number of registered devices.
+func (n *Network) NodeCount() int { return len(n.nodes) }
+
+// AddDuplexLink wires a full-duplex cable between a and b: two directed
+// links, each with the given capacity and latency.
+func (n *Network) AddDuplexLink(a, b NodeID, capacityBps float64, latency time.Duration) error {
+	if _, ok := n.nodes[a]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, a)
+	}
+	if _, ok := n.nodes[b]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, b)
+	}
+	if capacityBps <= 0 {
+		return fmt.Errorf("netsim: non-positive capacity on link %s-%s", a, b)
+	}
+	for _, k := range []linkKey{{a, b}, {b, a}} {
+		if _, dup := n.links[k]; dup {
+			return fmt.Errorf("%w: %s->%s", ErrLinkExists, k.from, k.to)
+		}
+	}
+	n.links[linkKey{a, b}] = &Link{From: a, To: b, Capacity: capacityBps, Latency: latency, up: true, flows: make(map[*Flow]struct{})}
+	n.links[linkKey{b, a}] = &Link{From: b, To: a, Capacity: capacityBps, Latency: latency, up: true, flows: make(map[*Flow]struct{})}
+	return nil
+}
+
+// RemoveDuplexLink deletes the cable between a and b in both directions,
+// ending any flows that traversed it ("re-cabling" the testbed). It is an
+// error if no such cable exists.
+func (n *Network) RemoveDuplexLink(a, b NodeID) error {
+	ka, kb := linkKey{a, b}, linkKey{b, a}
+	if _, ok := n.links[ka]; !ok {
+		return fmt.Errorf("%w: %s->%s", ErrNoSuchLink, a, b)
+	}
+	for _, k := range []linkKey{ka, kb} {
+		l := n.links[k]
+		for f := range l.flows {
+			n.endFlow(f, EndLinkDown)
+		}
+		delete(n.links, k)
+	}
+	n.reallocate()
+	return nil
+}
+
+// Link returns the directed link from a to b, or nil.
+func (n *Network) Link(a, b NodeID) *Link { return n.links[linkKey{a, b}] }
+
+// Links returns all directed links (shared structs; treat as read-only).
+func (n *Network) Links() []*Link {
+	out := make([]*Link, 0, len(n.links))
+	for _, l := range n.links {
+		out = append(out, l)
+	}
+	return out
+}
+
+// Neighbors returns the IDs reachable over one up link from id.
+func (n *Network) Neighbors(id NodeID) []NodeID {
+	var out []NodeID
+	for k, l := range n.links {
+		if k.from == id && l.up {
+			out = append(out, k.to)
+		}
+	}
+	return out
+}
+
+// SetLinkUp raises or fails the duplex cable between a and b. Failing a
+// link ends every flow that traverses either direction with EndLinkDown —
+// the "link down" failure-injection hook.
+func (n *Network) SetLinkUp(a, b NodeID, up bool) error {
+	ka, kb := linkKey{a, b}, linkKey{b, a}
+	la, lb := n.links[ka], n.links[kb]
+	if la == nil || lb == nil {
+		return fmt.Errorf("%w: %s-%s", ErrNoSuchLink, a, b)
+	}
+	n.advanceAll()
+	la.up, lb.up = up, up
+	if !up {
+		for _, l := range []*Link{la, lb} {
+			for f := range l.flows {
+				n.endFlow(f, EndLinkDown)
+			}
+		}
+	}
+	n.reallocate()
+	return nil
+}
+
+// StartFlow admits a transfer along spec.Path. The path must start at
+// spec.Src, end at spec.Dst, traverse existing up links, and not repeat
+// hops.
+func (n *Network) StartFlow(spec FlowSpec) (*Flow, error) {
+	links, err := n.resolvePath(spec.Path)
+	if err != nil {
+		return nil, err
+	}
+	if len(spec.Path) > 0 {
+		if spec.Path[0] != spec.Src || spec.Path[len(spec.Path)-1] != spec.Dst {
+			return nil, fmt.Errorf("%w: path endpoints %s..%s do not match src/dst %s..%s",
+				ErrBadPath, spec.Path[0], spec.Path[len(spec.Path)-1], spec.Src, spec.Dst)
+		}
+	}
+	n.advanceAll()
+	n.nextID++
+	f := &Flow{
+		ID:        n.nextID,
+		Spec:      spec,
+		net:       n,
+		path:      links,
+		remaining: spec.SizeBits,
+		started:   n.engine.Now(),
+		lastCalc:  n.engine.Now(),
+	}
+	for _, l := range links {
+		l.flows[f] = struct{}{}
+	}
+	n.flows[f.ID] = f
+	n.reallocate()
+	return f, nil
+}
+
+// resolvePath maps a hop sequence to directed links, validating it.
+func (n *Network) resolvePath(path []NodeID) ([]*Link, error) {
+	if len(path) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 hops, got %d", ErrBadPath, len(path))
+	}
+	seen := make(map[NodeID]struct{}, len(path))
+	links := make([]*Link, 0, len(path)-1)
+	for i, hop := range path {
+		if _, ok := n.nodes[hop]; !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoSuchNode, hop)
+		}
+		if _, dup := seen[hop]; dup {
+			return nil, fmt.Errorf("%w: hop %s repeats", ErrBadPath, hop)
+		}
+		seen[hop] = struct{}{}
+		if i == 0 {
+			continue
+		}
+		l := n.links[linkKey{path[i-1], hop}]
+		if l == nil {
+			return nil, fmt.Errorf("%w: %s->%s", ErrNoSuchLink, path[i-1], hop)
+		}
+		if !l.up {
+			return nil, fmt.Errorf("%w: %s->%s", ErrLinkDownPath, path[i-1], hop)
+		}
+		links = append(links, l)
+	}
+	return links, nil
+}
+
+// SetPath re-points a live flow onto a new path without resetting its
+// transfer state — the IP-less (label-routed) migration model, where the
+// transport connection survives because forwarding follows the label,
+// not the address.
+func (n *Network) SetPath(f *Flow, path []NodeID) error {
+	if f.ended {
+		return ErrFlowEnded
+	}
+	links, err := n.resolvePath(path)
+	if err != nil {
+		return err
+	}
+	n.advanceAll()
+	for _, l := range f.path {
+		delete(l.flows, f)
+	}
+	f.path = links
+	f.Spec.Path = append([]NodeID(nil), path...)
+	for _, l := range links {
+		l.flows[f] = struct{}{}
+	}
+	n.reallocate()
+	return nil
+}
+
+// CancelFlow stops a flow before completion.
+func (n *Network) CancelFlow(f *Flow) error {
+	if f.ended {
+		return ErrFlowEnded
+	}
+	n.advanceAll()
+	n.endFlow(f, EndCanceled)
+	n.reallocate()
+	return nil
+}
+
+// ActiveFlows returns the number of live flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// endFlow finalises a flow and fires its callback. Callers must follow
+// with reallocate().
+func (n *Network) endFlow(f *Flow, reason EndReason) {
+	if f.ended {
+		return
+	}
+	f.ended = true
+	f.endReason = reason
+	f.endAt = n.engine.Now()
+	f.rate = 0
+	if f.complete != nil {
+		f.complete.Cancel()
+		f.complete = nil
+	}
+	for _, l := range f.path {
+		delete(l.flows, f)
+	}
+	delete(n.flows, f.ID)
+	if f.Spec.OnEnd != nil {
+		f.Spec.OnEnd(f, reason)
+	}
+}
+
+// advanceAll credits every live flow with the bits moved since the last
+// allocation change.
+func (n *Network) advanceAll() {
+	now := n.engine.Now()
+	for _, f := range n.flows {
+		dt := now.Sub(f.lastCalc).Seconds()
+		if dt > 0 && f.rate > 0 {
+			moved := f.rate * dt
+			if f.Spec.SizeBits > 0 && moved > f.remaining {
+				moved = f.remaining
+			}
+			f.bitsDone += moved
+			if f.Spec.SizeBits > 0 {
+				f.remaining -= moved
+			}
+			for _, l := range f.path {
+				l.bitsCarried += moved
+			}
+		}
+		f.lastCalc = now
+	}
+}
+
+// reallocate recomputes the max-min fair allocation for all live flows
+// (progressive filling with per-flow caps) and reschedules completion
+// events.
+func (n *Network) reallocate() {
+	active := make(map[*Flow]struct{}, len(n.flows))
+	for _, f := range n.flows {
+		f.rate = 0
+		onDownLink := false
+		for _, l := range f.path {
+			if !l.up {
+				onDownLink = true
+				break
+			}
+		}
+		if !onDownLink {
+			active[f] = struct{}{}
+		}
+	}
+	remaining := make(map[*Link]float64)
+	linkActive := make(map[*Link]int)
+	for _, l := range n.links {
+		if !l.up {
+			continue
+		}
+		remaining[l] = l.Capacity
+		count := 0
+		for f := range l.flows {
+			if _, ok := active[f]; ok {
+				count++
+			}
+		}
+		linkActive[l] = count
+	}
+	for len(active) > 0 {
+		inc := math.Inf(1)
+		for l, count := range linkActive {
+			if count > 0 {
+				if share := remaining[l] / float64(count); share < inc {
+					inc = share
+				}
+			}
+		}
+		for f := range active {
+			if f.Spec.RateCapBps > 0 {
+				if room := f.Spec.RateCapBps - f.rate; room < inc {
+					inc = room
+				}
+			}
+		}
+		if math.IsInf(inc, 1) {
+			// Active flows with no links and no caps cannot occur
+			// (paths have ≥1 link), but guard against livelock.
+			break
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		for f := range active {
+			f.rate += inc
+		}
+		for l, count := range linkActive {
+			remaining[l] -= inc * float64(count)
+		}
+		// Freeze flows at saturated links or at their cap.
+		for f := range active {
+			frozen := false
+			if f.Spec.RateCapBps > 0 && f.rate >= f.Spec.RateCapBps-1e-9 {
+				frozen = true
+			}
+			if !frozen {
+				for _, l := range f.path {
+					if remaining[l] <= 1e-9 {
+						frozen = true
+						break
+					}
+				}
+			}
+			if frozen {
+				delete(active, f)
+				for _, l := range f.path {
+					if _, ok := linkActive[l]; ok {
+						linkActive[l]--
+					}
+				}
+			}
+		}
+	}
+	n.rescheduleCompletions()
+}
+
+// rescheduleCompletions re-arms the completion event of every finite flow
+// based on its fresh rate.
+func (n *Network) rescheduleCompletions() {
+	for _, f := range n.flows {
+		if f.complete != nil {
+			f.complete.Cancel()
+			f.complete = nil
+		}
+		if f.Spec.SizeBits <= 0 || f.rate <= 0 {
+			continue
+		}
+		seconds := f.remaining / f.rate
+		d := time.Duration(seconds * float64(time.Second))
+		f := f
+		f.complete = n.engine.Schedule(d, func() {
+			n.advanceAll()
+			// Guard against float drift: clamp and finish.
+			f.remaining = 0
+			n.endFlow(f, EndCompleted)
+			n.reallocate()
+		})
+	}
+}
+
+// TransferOnce is a convenience: start a finite flow and return its
+// eventual stats through the OnEnd callback already set in spec.
+func (n *Network) TransferOnce(spec FlowSpec) (*Flow, error) {
+	if spec.SizeBits <= 0 {
+		return nil, fmt.Errorf("netsim: TransferOnce needs a positive size")
+	}
+	return n.StartFlow(spec)
+}
+
+// MaxLinkUtilisation returns the highest instantaneous utilisation across
+// all up links — the congestion metric used by experiment R4.
+func (n *Network) MaxLinkUtilisation() float64 {
+	max := 0.0
+	for _, l := range n.links {
+		if !l.up {
+			continue
+		}
+		if u := l.Utilisation(); u > max {
+			max = u
+		}
+	}
+	return max
+}

@@ -1,0 +1,486 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+const mbps = 1e6
+
+// line builds a -- s -- b: two hosts behind one switch, 100 Mb/s links.
+func line(t *testing.T, e *sim.Engine) *Network {
+	t.Helper()
+	n := New(e)
+	for _, id := range []NodeID{"a", "b"} {
+		if err := n.AddNode(id, KindHost); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.AddNode("s", KindSwitch); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddDuplexLink("a", "s", 100*mbps, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddDuplexLink("s", "b", 100*mbps, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSingleFlowUsesFullCapacity(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := line(t, e)
+	var done bool
+	var dur time.Duration
+	f, err := n.StartFlow(FlowSpec{
+		Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"},
+		SizeBits: 100 * mbps, // 1 second at line rate
+		OnEnd: func(f *Flow, r EndReason) {
+			done = r == EndCompleted
+			dur = f.Duration()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Rate(); math.Abs(got-100*mbps) > 1 {
+		t.Fatalf("single flow rate = %v, want 100Mbps", got)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("flow did not complete")
+	}
+	if math.Abs(dur.Seconds()-1.0) > 1e-6 {
+		t.Fatalf("duration = %v, want 1s", dur)
+	}
+	if got := f.BitsTransferred(); math.Abs(got-100*mbps) > 1 {
+		t.Fatalf("bits transferred = %v", got)
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := line(t, e)
+	f1, err := n.StartFlow(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"}, SizeBits: 200 * mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := n.StartFlow(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"}, SizeBits: 200 * mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f1.Rate()-50*mbps) > 1 || math.Abs(f2.Rate()-50*mbps) > 1 {
+		t.Fatalf("rates = %v, %v; want 50Mbps each", f1.Rate(), f2.Rate())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both finish together: 400Mb over a 100Mb/s bottleneck = 4s.
+	if got := e.Now().Seconds(); math.Abs(got-4.0) > 1e-6 {
+		t.Fatalf("finish time = %vs, want 4s", got)
+	}
+}
+
+func TestRateCapRespected(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := line(t, e)
+	capped, err := n.StartFlow(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"}, RateCapBps: 10 * mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := n.StartFlow(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(capped.Rate()-10*mbps) > 1 {
+		t.Fatalf("capped rate = %v, want 10Mbps", capped.Rate())
+	}
+	// Max-min gives the leftover to the unconstrained flow.
+	if math.Abs(open.Rate()-90*mbps) > 1 {
+		t.Fatalf("open rate = %v, want 90Mbps", open.Rate())
+	}
+}
+
+func TestFlowCompletionFreesBandwidth(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := line(t, e)
+	short, err := n.StartFlow(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"}, SizeBits: 50 * mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := n.StartFlow(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"}, SizeBits: 150 * mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = short
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// short: 50Mb at 50Mbps = 1s. Then long has 100Mb left at 100Mbps =
+	// 1s more. Total 2s.
+	if got := e.Now().Seconds(); math.Abs(got-2.0) > 1e-6 {
+		t.Fatalf("finish = %vs, want 2s", got)
+	}
+	ended, reason := long.Ended()
+	if !ended || reason != EndCompleted {
+		t.Fatalf("long flow state = %v, %v", ended, reason)
+	}
+}
+
+func TestUnboundedStreamRunsUntilCancelled(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := line(t, e)
+	var endedReason EndReason
+	f, err := n.StartFlow(FlowSpec{
+		Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"},
+		OnEnd: func(_ *Flow, r EndReason) { endedReason = r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunFor(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ended, _ := f.Ended(); ended {
+		t.Fatal("unbounded flow ended on its own")
+	}
+	if err := n.CancelFlow(f); err != nil {
+		t.Fatal(err)
+	}
+	if endedReason != EndCanceled {
+		t.Fatalf("reason = %v, want canceled", endedReason)
+	}
+	if got := f.BitsTransferred(); math.Abs(got-300*mbps) > 1 {
+		t.Fatalf("bits = %v, want 300Mb", got)
+	}
+	if err := n.CancelFlow(f); err != ErrFlowEnded {
+		t.Fatalf("double cancel = %v, want ErrFlowEnded", err)
+	}
+}
+
+func TestLinkFailureEndsFlows(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := line(t, e)
+	var reason EndReason
+	_, err := n.StartFlow(FlowSpec{
+		Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"},
+		SizeBits: 1000 * mbps,
+		OnEnd:    func(_ *Flow, r EndReason) { reason = r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetLinkUp("s", "b", false); err != nil {
+		t.Fatal(err)
+	}
+	if reason != EndLinkDown {
+		t.Fatalf("reason = %v, want link-down", reason)
+	}
+	// New flows over the failed link are rejected.
+	_, err = n.StartFlow(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"}})
+	if err == nil {
+		t.Fatal("flow admitted over failed link")
+	}
+	// Raise it again; flows admitted once more.
+	if err := n.SetLinkUp("s", "b", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.StartFlow(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetPathKeepsTransferState(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e)
+	for _, id := range []NodeID{"a", "b"} {
+		if err := n.AddNode(id, KindHost); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []NodeID{"s1", "s2"} {
+		if err := n.AddNode(id, KindSwitch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pair := range [][2]NodeID{{"a", "s1"}, {"s1", "b"}, {"a", "s2"}, {"s2", "b"}} {
+		if err := n.AddDuplexLink(pair[0], pair[1], 100*mbps, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := n.StartFlow(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s1", "b"}, SizeBits: 200 * mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Re-route mid-transfer onto s2 (label routing survives migration).
+	if err := n.SetPath(f, []NodeID{"a", "s2", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.BitsTransferred(); math.Abs(got-100*mbps) > 1 {
+		t.Fatalf("bits after 1s = %v, want 100Mb", got)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Now().Seconds(); math.Abs(got-2.0) > 1e-6 {
+		t.Fatalf("finish = %vs, want 2s (state preserved across re-route)", got)
+	}
+	if n.Link("a", "s1").FlowCount() != 0 {
+		t.Fatal("old path still carries the flow")
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := line(t, e)
+	cases := []struct {
+		name string
+		spec FlowSpec
+	}{
+		{"too short", FlowSpec{Src: "a", Dst: "a", Path: []NodeID{"a"}}},
+		{"unknown hop", FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "zzz", "b"}}},
+		{"no such link", FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "b"}}},
+		{"repeat hop", FlowSpec{Src: "a", Dst: "a", Path: []NodeID{"a", "s", "a"}}},
+		{"endpoint mismatch", FlowSpec{Src: "b", Dst: "a", Path: []NodeID{"a", "s", "b"}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := n.StartFlow(c.spec); err == nil {
+				t.Fatalf("StartFlow accepted %s", c.name)
+			}
+		})
+	}
+}
+
+func TestTopologyEditing(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e)
+	if err := n.AddNode("a", KindHost); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode("a", KindHost); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if err := n.AddDuplexLink("a", "nope", mbps, 0); err == nil {
+		t.Fatal("link to unknown node accepted")
+	}
+	if err := n.AddNode("b", KindSwitch); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddDuplexLink("a", "b", 0, 0); err == nil {
+		t.Fatal("zero-capacity link accepted")
+	}
+	if err := n.AddDuplexLink("a", "b", mbps, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddDuplexLink("b", "a", mbps, 0); err == nil {
+		t.Fatal("duplicate link accepted")
+	}
+	if got := len(n.Neighbors("a")); got != 1 {
+		t.Fatalf("Neighbors = %d, want 1", got)
+	}
+	if err := n.RemoveDuplexLink("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RemoveDuplexLink("a", "b"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if n.Link("a", "b") != nil {
+		t.Fatal("link survived removal")
+	}
+}
+
+func TestLinkUtilisationAndCounters(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := line(t, e)
+	if _, err := n.StartFlow(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"}, RateCapBps: 40 * mbps}); err != nil {
+		t.Fatal(err)
+	}
+	l := n.Link("a", "s")
+	if got := l.Utilisation(); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("utilisation = %v, want 0.4", got)
+	}
+	if got := n.MaxLinkUtilisation(); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("max utilisation = %v, want 0.4", got)
+	}
+	if err := e.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Force accounting via a reallocation.
+	n.advanceAll()
+	if got := l.BitsCarried(); math.Abs(got-40*mbps) > 1 {
+		t.Fatalf("bits carried = %v, want 40Mb", got)
+	}
+}
+
+func TestTransferOnceRejectsUnbounded(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := line(t, e)
+	if _, err := n.TransferOnce(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"}}); err == nil {
+		t.Fatal("TransferOnce accepted zero size")
+	}
+}
+
+// Property: max-min allocation never oversubscribes any link and gives
+// every flow a non-negative rate; with equal flows on one bottleneck the
+// allocation is equal.
+func TestPropertyMaxMinSafety(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		e := sim.NewEngine(3)
+		n := line(t, e)
+		for _, s := range sizes {
+			spec := FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"}, SizeBits: float64(s+1) * mbps}
+			if _, err := n.StartFlow(spec); err != nil {
+				return false
+			}
+		}
+		total := 0.0
+		for _, fl := range n.flows {
+			if fl.rate < -1e-9 {
+				return false
+			}
+			total += fl.rate
+		}
+		if total > 100*mbps+1e-3 {
+			return false
+		}
+		// Equal unconstrained flows over the same path: equal shares.
+		if len(sizes) > 0 {
+			want := 100 * mbps / float64(len(sizes))
+			for _, fl := range n.flows {
+				if math.Abs(fl.rate-want) > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total bits conserved — a finite flow ends having moved
+// exactly its size.
+func TestPropertyConservation(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		e := sim.NewEngine(5)
+		n := line(t, e)
+		moved := make(map[int64]float64)
+		want := make(map[int64]float64)
+		for _, s := range raw {
+			size := float64(s%50+1) * mbps
+			fl, err := n.StartFlow(FlowSpec{
+				Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"},
+				SizeBits: size,
+				OnEnd:    func(f *Flow, _ EndReason) { moved[f.ID] = f.BitsTransferred() },
+			})
+			if err != nil {
+				return false
+			}
+			want[fl.ID] = size
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for id, w := range want {
+			if math.Abs(moved[id]-w) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathLatency(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := line(t, e)
+	f, err := n.StartFlow(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.PathLatency(); got != 2*time.Millisecond {
+		t.Fatalf("PathLatency = %v, want 2ms", got)
+	}
+}
+
+func BenchmarkReallocate100Flows(b *testing.B) {
+	e := sim.NewEngine(1)
+	n := New(e)
+	_ = n.AddNode("a", KindHost)
+	_ = n.AddNode("b", KindHost)
+	_ = n.AddNode("s", KindSwitch)
+	_ = n.AddDuplexLink("a", "s", 100*mbps, 0)
+	_ = n.AddDuplexLink("s", "b", 100*mbps, 0)
+	for i := 0; i < 100; i++ {
+		if _, err := n.StartFlow(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.reallocate()
+	}
+}
+
+func TestHeterogeneousBottleneck(t *testing.T) {
+	// a --100Mb-- s1 --50Mb-- s2 --100Mb-- b: the 50Mb middle hop is the
+	// bottleneck, so a single flow gets exactly 50Mb/s.
+	e := sim.NewEngine(1)
+	n := New(e)
+	for _, id := range []NodeID{"a", "b"} {
+		if err := n.AddNode(id, KindHost); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []NodeID{"s1", "s2"} {
+		if err := n.AddNode(id, KindSwitch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.AddDuplexLink("a", "s1", 100*mbps, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddDuplexLink("s1", "s2", 50*mbps, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddDuplexLink("s2", "b", 100*mbps, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := n.StartFlow(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s1", "s2", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Rate()-50*mbps) > 1 {
+		t.Fatalf("rate = %v, want 50Mbps (middle bottleneck)", f.Rate())
+	}
+	// A second flow a→s2-side only shares the middle link: 25/25 split
+	// there, but a flow on the uncontended a–s1 link alone still sees
+	// headroom. Add a→b again: both 25Mb/s.
+	f2, err := n.StartFlow(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s1", "s2", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Rate()-25*mbps) > 1 || math.Abs(f2.Rate()-25*mbps) > 1 {
+		t.Fatalf("rates = %v/%v, want 25Mbps each", f.Rate(), f2.Rate())
+	}
+}

@@ -1,0 +1,298 @@
+// Package openflow models the programmable switches at the PiCloud
+// aggregation layer (and, in this reproduction, at every tier): priority-
+// ordered flow tables with match/action rules, idle and hard timeouts,
+// per-rule counters, and a packet-in path to the controller on table
+// miss. This is the contract the paper highlights — "the topology fully
+// programmable and compatible with the leading-edge SDN research" — at
+// flow granularity rather than per-packet.
+package openflow
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Label is an IP-less forwarding tag (Section III's "IP-less routing").
+// Zero means unlabelled.
+type Label uint32
+
+// PacketInfo summarises the first packet of a flow for table lookup.
+type PacketInfo struct {
+	Src     netsim.NodeID // source host
+	Dst     netsim.NodeID // destination host
+	Label   Label
+	Proto   string // "tcp", "udp"; empty matches any
+	DstPort uint16 // 0 matches any
+}
+
+// Match is a wildcard-capable rule predicate. Zero-valued fields match
+// anything.
+type Match struct {
+	Src     netsim.NodeID
+	Dst     netsim.NodeID
+	Label   Label
+	Proto   string
+	DstPort uint16
+}
+
+// Matches reports whether the packet satisfies the predicate.
+func (m Match) Matches(p PacketInfo) bool {
+	if m.Src != "" && m.Src != p.Src {
+		return false
+	}
+	if m.Dst != "" && m.Dst != p.Dst {
+		return false
+	}
+	if m.Label != 0 && m.Label != p.Label {
+		return false
+	}
+	if m.Proto != "" && m.Proto != p.Proto {
+		return false
+	}
+	if m.DstPort != 0 && m.DstPort != p.DstPort {
+		return false
+	}
+	return true
+}
+
+// ActionType says what a matching rule does with the flow.
+type ActionType int
+
+// Rule actions.
+const (
+	ActionOutput       ActionType = iota + 1 // forward towards NextHop
+	ActionDrop                               // discard
+	ActionToController                       // punt to the controller
+)
+
+// String names the action.
+func (a ActionType) String() string {
+	switch a {
+	case ActionOutput:
+		return "output"
+	case ActionDrop:
+		return "drop"
+	case ActionToController:
+		return "controller"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Action is the consequence of a rule hit.
+type Action struct {
+	Type ActionType
+	// NextHop is the neighbour to forward to (ActionOutput only).
+	NextHop netsim.NodeID
+}
+
+// Rule is one flow-table entry.
+type Rule struct {
+	Priority    int
+	Match       Match
+	Action      Action
+	IdleTimeout time.Duration // evicted after this long without a hit; 0 = never
+	HardTimeout time.Duration // evicted this long after install; 0 = never
+
+	// Cookie tags the rule for bulk removal (e.g. all rules of one
+	// label, torn down on migration).
+	Cookie uint64
+
+	installedAt sim.Time
+	lastHit     sim.Time
+	hits        uint64
+	hardEv      *sim.Event
+	idleEv      *sim.Event
+	sw          *Switch
+}
+
+// Hits returns how many flow admissions matched this rule.
+func (r *Rule) Hits() uint64 { return r.hits }
+
+// InstalledAt returns the rule's install time.
+func (r *Rule) InstalledAt() sim.Time { return r.installedAt }
+
+// Verdict is the outcome of a switch lookup.
+type Verdict int
+
+// Lookup outcomes.
+const (
+	VerdictForward Verdict = iota + 1
+	VerdictDrop
+	VerdictMiss // no rule matched: packet-in to the controller
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictForward:
+		return "forward"
+	case VerdictDrop:
+		return "drop"
+	case VerdictMiss:
+		return "miss"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Errors.
+var (
+	ErrNoSuchRule = errors.New("openflow: no such rule")
+	ErrBadRule    = errors.New("openflow: invalid rule")
+)
+
+// Switch is one OpenFlow-capable device. It is driven entirely on the
+// simulation engine thread.
+type Switch struct {
+	ID     netsim.NodeID
+	engine *sim.Engine
+	rules  []*Rule
+	// counters
+	lookups   uint64
+	misses    uint64
+	evictions uint64
+}
+
+// NewSwitch returns an empty-table switch.
+func NewSwitch(id netsim.NodeID, engine *sim.Engine) *Switch {
+	return &Switch{ID: id, engine: engine}
+}
+
+// Install adds a rule to the table. Rules are kept priority-sorted
+// (highest first); among equal priorities, earlier installs win.
+func (s *Switch) Install(r *Rule) error {
+	if r == nil {
+		return fmt.Errorf("%w: nil", ErrBadRule)
+	}
+	if r.Action.Type == ActionOutput && r.Action.NextHop == "" {
+		return fmt.Errorf("%w: output action without next hop", ErrBadRule)
+	}
+	r.sw = s
+	r.installedAt = s.engine.Now()
+	r.lastHit = r.installedAt
+	s.rules = append(s.rules, r)
+	sort.SliceStable(s.rules, func(i, j int) bool {
+		if s.rules[i].Priority != s.rules[j].Priority {
+			return s.rules[i].Priority > s.rules[j].Priority
+		}
+		return s.rules[i].installedAt < s.rules[j].installedAt
+	})
+	if r.HardTimeout > 0 {
+		rr := r
+		r.hardEv = s.engine.Schedule(r.HardTimeout, func() { s.evict(rr) })
+	}
+	if r.IdleTimeout > 0 {
+		s.armIdle(r)
+	}
+	return nil
+}
+
+// armIdle schedules the idle-expiry check at lastHit+IdleTimeout,
+// re-arming if the rule was hit in the meantime.
+func (s *Switch) armIdle(r *Rule) {
+	due := r.lastHit.Add(r.IdleTimeout)
+	r.idleEv = s.engine.ScheduleAt(due, func() {
+		if s.indexOf(r) < 0 {
+			return
+		}
+		if s.engine.Now().Sub(r.lastHit) >= r.IdleTimeout {
+			s.evict(r)
+			return
+		}
+		s.armIdle(r)
+	})
+}
+
+// evict removes a rule due to timeout.
+func (s *Switch) evict(r *Rule) {
+	if s.remove(r) {
+		s.evictions++
+	}
+}
+
+// Remove deletes a rule explicitly (flow-mod delete).
+func (s *Switch) Remove(r *Rule) error {
+	if !s.remove(r) {
+		return ErrNoSuchRule
+	}
+	return nil
+}
+
+// RemoveByCookie deletes every rule carrying the cookie and returns how
+// many were removed.
+func (s *Switch) RemoveByCookie(cookie uint64) int {
+	removed := 0
+	for _, r := range append([]*Rule(nil), s.rules...) {
+		if r.Cookie == cookie && s.remove(r) {
+			removed++
+		}
+	}
+	return removed
+}
+
+func (s *Switch) indexOf(r *Rule) int {
+	for i, have := range s.rules {
+		if have == r {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *Switch) remove(r *Rule) bool {
+	i := s.indexOf(r)
+	if i < 0 {
+		return false
+	}
+	s.rules = append(s.rules[:i], s.rules[i+1:]...)
+	if r.hardEv != nil {
+		r.hardEv.Cancel()
+	}
+	if r.idleEv != nil {
+		r.idleEv.Cancel()
+	}
+	return true
+}
+
+// Lookup consults the table for the packet, updating counters. On a hit
+// it returns the rule's action.
+func (s *Switch) Lookup(p PacketInfo) (Action, Verdict) {
+	s.lookups++
+	for _, r := range s.rules {
+		if r.Match.Matches(p) {
+			r.hits++
+			r.lastHit = s.engine.Now()
+			switch r.Action.Type {
+			case ActionDrop:
+				return r.Action, VerdictDrop
+			case ActionToController:
+				s.misses++
+				return r.Action, VerdictMiss
+			default:
+				return r.Action, VerdictForward
+			}
+		}
+	}
+	s.misses++
+	return Action{Type: ActionToController}, VerdictMiss
+}
+
+// Rules returns a copy of the table in priority order.
+func (s *Switch) Rules() []*Rule {
+	return append([]*Rule(nil), s.rules...)
+}
+
+// Stats reports the switch counters: total lookups, misses (packet-ins)
+// and timeout evictions.
+func (s *Switch) Stats() (lookups, misses, evictions uint64) {
+	return s.lookups, s.misses, s.evictions
+}
+
+// TableSize returns the number of installed rules.
+func (s *Switch) TableSize() int { return len(s.rules) }

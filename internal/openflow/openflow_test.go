@@ -1,0 +1,270 @@
+package openflow
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func pkt(src, dst string) PacketInfo {
+	return PacketInfo{Src: netsim.NodeID("h-" + src), Dst: netsim.NodeID("h-" + dst), Proto: "tcp", DstPort: 80}
+}
+
+func TestMatchWildcards(t *testing.T) {
+	p := PacketInfo{Src: "a", Dst: "b", Label: 7, Proto: "tcp", DstPort: 80}
+	cases := []struct {
+		name string
+		m    Match
+		want bool
+	}{
+		{"empty matches all", Match{}, true},
+		{"src", Match{Src: "a"}, true},
+		{"src mismatch", Match{Src: "x"}, false},
+		{"dst", Match{Dst: "b"}, true},
+		{"dst mismatch", Match{Dst: "x"}, false},
+		{"label", Match{Label: 7}, true},
+		{"label mismatch", Match{Label: 8}, false},
+		{"proto", Match{Proto: "tcp"}, true},
+		{"proto mismatch", Match{Proto: "udp"}, false},
+		{"port", Match{DstPort: 80}, true},
+		{"port mismatch", Match{DstPort: 443}, false},
+		{"full", Match{Src: "a", Dst: "b", Label: 7, Proto: "tcp", DstPort: 80}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.m.Matches(p); got != c.want {
+				t.Fatalf("Matches = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestLookupMissIsPacketIn(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSwitch("sw", e)
+	act, v := s.Lookup(pkt("a", "b"))
+	if v != VerdictMiss || act.Type != ActionToController {
+		t.Fatalf("empty table lookup = %v/%v, want miss/controller", v, act.Type)
+	}
+	lookups, misses, _ := s.Stats()
+	if lookups != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 1/1", lookups, misses)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSwitch("sw", e)
+	low := &Rule{Priority: 1, Match: Match{}, Action: Action{Type: ActionOutput, NextHop: "low"}}
+	high := &Rule{Priority: 10, Match: Match{Dst: "h-b"}, Action: Action{Type: ActionOutput, NextHop: "high"}}
+	if err := s.Install(low); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Install(high); err != nil {
+		t.Fatal(err)
+	}
+	act, v := s.Lookup(pkt("a", "b"))
+	if v != VerdictForward || act.NextHop != "high" {
+		t.Fatalf("got %v via %s, want forward via high", v, act.NextHop)
+	}
+	// A packet not matching the specific rule falls to the low-priority one.
+	act, _ = s.Lookup(pkt("a", "z"))
+	if act.NextHop != "low" {
+		t.Fatalf("fallback next hop = %s, want low", act.NextHop)
+	}
+	if high.Hits() != 1 || low.Hits() != 1 {
+		t.Fatalf("hits = %d/%d", high.Hits(), low.Hits())
+	}
+}
+
+func TestEqualPriorityFIFO(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSwitch("sw", e)
+	first := &Rule{Priority: 5, Action: Action{Type: ActionOutput, NextHop: "first"}}
+	if err := s.Install(first); err != nil {
+		t.Fatal(err)
+	}
+	e.Schedule(time.Second, func() {})
+	e.Step()
+	second := &Rule{Priority: 5, Action: Action{Type: ActionOutput, NextHop: "second"}}
+	if err := s.Install(second); err != nil {
+		t.Fatal(err)
+	}
+	act, _ := s.Lookup(pkt("a", "b"))
+	if act.NextHop != "first" {
+		t.Fatalf("equal priority should prefer earlier install, got %s", act.NextHop)
+	}
+}
+
+func TestDropAction(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSwitch("sw", e)
+	if err := s.Install(&Rule{Priority: 1, Match: Match{Src: "h-bad"}, Action: Action{Type: ActionDrop}}); err != nil {
+		t.Fatal(err)
+	}
+	_, v := s.Lookup(pkt("bad", "b"))
+	if v != VerdictDrop {
+		t.Fatalf("verdict = %v, want drop", v)
+	}
+}
+
+func TestInstallValidation(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSwitch("sw", e)
+	if err := s.Install(nil); err == nil {
+		t.Fatal("nil rule accepted")
+	}
+	if err := s.Install(&Rule{Action: Action{Type: ActionOutput}}); err == nil {
+		t.Fatal("output rule without next hop accepted")
+	}
+}
+
+func TestHardTimeout(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSwitch("sw", e)
+	r := &Rule{Priority: 1, Action: Action{Type: ActionOutput, NextHop: "n"}, HardTimeout: 10 * time.Second}
+	if err := s.Install(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunFor(9 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.TableSize() != 1 {
+		t.Fatal("rule evicted early")
+	}
+	if err := e.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.TableSize() != 0 {
+		t.Fatal("hard timeout did not evict")
+	}
+	_, _, evictions := s.Stats()
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+}
+
+func TestIdleTimeoutRefreshedByHits(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSwitch("sw", e)
+	r := &Rule{Priority: 1, Action: Action{Type: ActionOutput, NextHop: "n"}, IdleTimeout: 5 * time.Second}
+	if err := s.Install(r); err != nil {
+		t.Fatal(err)
+	}
+	// Hit the rule every 3 seconds; it must survive well past 5s.
+	tick := e.NewTicker(3*time.Second, func(sim.Time) { s.Lookup(pkt("a", "b")) })
+	if err := e.RunFor(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.TableSize() != 1 {
+		t.Fatal("idle timeout evicted a busy rule")
+	}
+	tick.Stop()
+	// Now idle: evicted within the next 5+ seconds.
+	if err := e.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.TableSize() != 0 {
+		t.Fatal("idle rule not evicted")
+	}
+}
+
+func TestRemoveAndRemoveByCookie(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSwitch("sw", e)
+	a := &Rule{Priority: 1, Action: Action{Type: ActionOutput, NextHop: "n"}, Cookie: 42}
+	b := &Rule{Priority: 2, Action: Action{Type: ActionOutput, NextHop: "n"}, Cookie: 42}
+	c := &Rule{Priority: 3, Action: Action{Type: ActionOutput, NextHop: "n"}, Cookie: 7}
+	for _, r := range []*Rule{a, b, c} {
+		if err := s.Install(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Remove(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(c); err != ErrNoSuchRule {
+		t.Fatalf("double remove = %v", err)
+	}
+	if got := s.RemoveByCookie(42); got != 2 {
+		t.Fatalf("RemoveByCookie = %d, want 2", got)
+	}
+	if s.TableSize() != 0 {
+		t.Fatalf("table size = %d, want 0", s.TableSize())
+	}
+}
+
+func TestRemovedRuleTimeoutHarmless(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSwitch("sw", e)
+	r := &Rule{Priority: 1, Action: Action{Type: ActionOutput, NextHop: "n"}, IdleTimeout: time.Second, HardTimeout: 2 * time.Second}
+	if err := s.Install(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_, _, evictions := s.Stats()
+	if evictions != 0 {
+		t.Fatalf("evictions = %d for a removed rule", evictions)
+	}
+}
+
+// Property: a rule with an empty match catches every packet, so a table
+// holding one always returns its action regardless of the packet.
+func TestPropertyCatchAll(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSwitch("sw", e)
+	if err := s.Install(&Rule{Priority: 0, Action: Action{Type: ActionOutput, NextHop: "hop"}}); err != nil {
+		t.Fatal(err)
+	}
+	f := func(src, dst string, label uint32, port uint16) bool {
+		act, v := s.Lookup(PacketInfo{
+			Src: netsim.NodeID("h-" + netsimID(src)), Dst: netsim.NodeID("h-" + netsimID(dst)),
+			Label: Label(label), DstPort: port,
+		})
+		return v == VerdictForward && act.NextHop == "hop"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func netsimID(s string) string {
+	if len(s) > 8 {
+		return s[:8]
+	}
+	return s
+}
+
+func TestEnumStrings(t *testing.T) {
+	if ActionOutput.String() != "output" || ActionDrop.String() != "drop" || ActionToController.String() != "controller" {
+		t.Error("action strings wrong")
+	}
+	if VerdictForward.String() != "forward" || VerdictDrop.String() != "drop" || VerdictMiss.String() != "miss" {
+		t.Error("verdict strings wrong")
+	}
+}
+
+func BenchmarkLookup64Rules(b *testing.B) {
+	e := sim.NewEngine(1)
+	s := NewSwitch("sw", e)
+	for i := 0; i < 64; i++ {
+		_ = s.Install(&Rule{
+			Priority: i,
+			Match:    Match{Label: Label(i + 1)},
+			Action:   Action{Type: ActionOutput, NextHop: "n"},
+		})
+	}
+	p := PacketInfo{Label: 32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Lookup(p)
+	}
+}

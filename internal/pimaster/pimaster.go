@@ -1,0 +1,755 @@
+// Package pimaster implements the PiCloud head node: the inventory of
+// node daemons, placement-driven VM spawning, the DHCP and DNS services,
+// image hosting, the migration driver and the outward-facing web control
+// panel of Fig. 4. Per the paper, "an outward-facing webserver on
+// pimaster provides a web-based control panel to users and
+// administrators ... [which] interacts with the local daemons, and
+// controls workloads running on the Pi devices using RESTful interfaces".
+//
+// Locking: pimaster's own registries are guarded by its internal mutex;
+// the simulated cloud is guarded by the cloud-wide mutex shared with the
+// node daemons and the engine driver. pimaster never holds its own mutex
+// while acquiring the cloud mutex, and talks to node daemons over real
+// HTTP (each daemon request locks the cloud itself).
+package pimaster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"repro/internal/dhcp"
+	"repro/internal/dns"
+	"repro/internal/energy"
+	"repro/internal/hw"
+	"repro/internal/image"
+	"repro/internal/lxc"
+	"repro/internal/migration"
+	"repro/internal/netsim"
+	"repro/internal/openflow"
+	"repro/internal/placement"
+	"repro/internal/restapi"
+	"repro/internal/sdn"
+	"repro/internal/sim"
+)
+
+// Errors.
+var (
+	ErrNoSuchNode = errors.New("pimaster: no such node")
+	ErrNoSuchVM   = errors.New("pimaster: no such vm")
+	ErrVMExists   = errors.New("pimaster: vm already exists")
+)
+
+// NodeRef is one managed node.
+type NodeRef struct {
+	Name   string
+	Host   netsim.NodeID
+	Rack   int
+	Client *restapi.Client
+	// Suite and Meter are direct handles used for migration and power
+	// accounting; all simulated-state access goes through the cloud
+	// mutex.
+	Suite *lxc.Suite
+	Meter *energy.Meter
+}
+
+// VMRecord tracks a spawned VM cloud-wide.
+type VMRecord struct {
+	Name  string         `json:"name"`
+	Node  string         `json:"node"`
+	Image string         `json:"image"`
+	IP    string         `json:"ip"`
+	FQDN  string         `json:"fqdn"`
+	Label openflow.Label `json:"label"`
+	MAC   string         `json:"mac"`
+	// CPUDemandMIPS is the demand declared at spawn time, reserved
+	// against the node in the placement view.
+	CPUDemandMIPS int64 `json:"cpu_demand_mips,omitempty"`
+}
+
+// SpawnVMRequest is the POST /vms body.
+type SpawnVMRequest struct {
+	Name          string   `json:"name"`
+	Image         string   `json:"image"`
+	MemLimitBytes int64    `json:"mem_limit_bytes,omitempty"`
+	CPUShares     int      `json:"cpu_shares,omitempty"`
+	CPUQuotaMIPS  int64    `json:"cpu_quota_mips,omitempty"`
+	CPUDemandMIPS int64    `json:"cpu_demand_mips,omitempty"`
+	Peers         []string `json:"peers,omitempty"`
+	// Placer overrides the master's default for this request.
+	Placer string `json:"placer,omitempty"`
+}
+
+// MigrateVMRequest is the POST /vms/{name}/migrate body.
+type MigrateVMRequest struct {
+	TargetNode string `json:"target_node"`
+	// Routing is "label" (default; IP-less, flows survive) or "ip".
+	Routing string `json:"routing,omitempty"`
+}
+
+// Config assembles a master.
+type Config struct {
+	Engine  *sim.Engine
+	CloudMu *sync.Mutex
+	Ctrl    *sdn.Controller
+	Images  *image.Store
+	Meter   *energy.CloudMeter
+	// Placer is the default placement algorithm (best-fit if nil).
+	Placer placement.Placer
+	Policy placement.Policy
+	// Migrations drives live migration; optional.
+	Migrations *migration.Manager
+	// LeaseDuration for the DHCP service (default 12h).
+	LeaseDuration sim.Duration
+}
+
+// Master is the head node.
+type Master struct {
+	mu sync.Mutex // guards vms, macSeq, placer swaps
+
+	engine  *sim.Engine
+	cloudMu *sync.Mutex
+	ctrl    *sdn.Controller
+	images  *image.Store
+	meter   *energy.CloudMeter
+	mig     *migration.Manager
+
+	dhcp *dhcp.Server
+	dns  *dns.Server
+
+	nodes  []*NodeRef
+	byName map[string]*NodeRef
+
+	placer placement.Placer
+	policy placement.Policy
+
+	vms    map[string]*VMRecord
+	macSeq int
+	// placerOverrides caches named placers requested per spawn, so
+	// stateful algorithms (round-robin) keep their cursor across calls.
+	placerOverrides map[string]placement.Placer
+}
+
+// New builds a master with its DHCP and DNS services initialised.
+func New(cfg Config) (*Master, error) {
+	if cfg.Engine == nil || cfg.CloudMu == nil || cfg.Ctrl == nil {
+		return nil, fmt.Errorf("pimaster: engine, cloud mutex and controller are required")
+	}
+	if cfg.Images == nil {
+		cfg.Images = image.StockImages()
+	}
+	if cfg.Placer == nil {
+		cfg.Placer = placement.BestFit{}
+	}
+	m := &Master{
+		engine:          cfg.Engine,
+		cloudMu:         cfg.CloudMu,
+		ctrl:            cfg.Ctrl,
+		images:          cfg.Images,
+		meter:           cfg.Meter,
+		mig:             cfg.Migrations,
+		dhcp:            dhcp.NewServer(cfg.Engine, cfg.LeaseDuration),
+		dns:             dns.NewServer(),
+		byName:          make(map[string]*NodeRef),
+		placer:          cfg.Placer,
+		policy:          cfg.Policy,
+		vms:             make(map[string]*VMRecord),
+		placerOverrides: make(map[string]placement.Placer),
+	}
+	if err := m.dns.AddZone(dns.DefaultZone); err != nil {
+		return nil, err
+	}
+	if err := m.dns.AddZone("in-addr.arpa."); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DNS exposes the naming service.
+func (m *Master) DNS() *dns.Server { return m.dns }
+
+// DHCP exposes the address service.
+func (m *Master) DHCP() *dhcp.Server { return m.dhcp }
+
+// Images exposes the image registry.
+func (m *Master) Images() *image.Store { return m.images }
+
+// SetPlacer swaps the default placement algorithm at runtime.
+func (m *Master) SetPlacer(p placement.Placer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.placer = p
+}
+
+// RegisterNode adds a node: a DHCP pool/lease for its rack, DNS records,
+// and the REST client. Racks get pool "rack<N>" with subnet 10.<N>.0.0/24.
+func (m *Master) RegisterNode(ref *NodeRef, idxInRack int) error {
+	if ref == nil || ref.Name == "" || ref.Client == nil {
+		return fmt.Errorf("pimaster: incomplete node ref")
+	}
+	if _, dup := m.byName[ref.Name]; dup {
+		return fmt.Errorf("pimaster: node %s already registered", ref.Name)
+	}
+	pool := fmt.Sprintf("rack%d", ref.Rack)
+	cidr := fmt.Sprintf("10.%d.0.0/24", ref.Rack)
+	if err := m.dhcp.AddPool(pool, cidr); err != nil && !errors.Is(err, dhcp.ErrPoolExists) {
+		return err
+	}
+	// Nodes get static reservations (the administrator's IP policy):
+	// 10.<rack>.0.<2+idx>, immune to lease expiry.
+	addr := netip.AddrFrom4([4]byte{10, byte(ref.Rack), 0, byte(2 + idxInRack)})
+	lease, err := m.dhcp.Reserve(pool, dhcp.NodeMAC(ref.Rack, idxInRack), addr)
+	if err != nil {
+		return err
+	}
+	fqdn := dns.NodeFQDN(ref.Rack, idxInRack)
+	if err := m.dns.RegisterHost(fqdn, lease.Addr); err != nil {
+		return err
+	}
+	m.nodes = append(m.nodes, ref)
+	m.byName[ref.Name] = ref
+	return nil
+}
+
+// Nodes returns the registered nodes in order.
+func (m *Master) Nodes() []*NodeRef { return append([]*NodeRef(nil), m.nodes...) }
+
+// Node resolves a node by name.
+func (m *Master) Node(name string) (*NodeRef, error) {
+	ref, ok := m.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchNode, name)
+	}
+	return ref, nil
+}
+
+// buildView polls every node daemon's status over REST and assembles the
+// placement view.
+func (m *Master) buildView() (*placement.View, error) {
+	v := &placement.View{
+		Locate: make(map[string]netsim.NodeID),
+		Rack:   make(map[netsim.NodeID]int),
+	}
+	for _, ref := range m.nodes {
+		st, err := ref.Client.Status()
+		if err != nil {
+			return nil, fmt.Errorf("pimaster: polling %s: %w", ref.Name, err)
+		}
+		v.Nodes = append(v.Nodes, placement.NodeView{
+			ID:            ref.Host,
+			Rack:          ref.Rack,
+			CPU:           hw.MIPS(st.CPUMIPS),
+			CPUUsed:       hw.MIPS(st.CPUUtil * st.CPUMIPS),
+			MemTotal:      st.MemTotal,
+			MemUsed:       st.MemUsed,
+			Containers:    st.Containers,
+			MaxContainers: st.MaxComfort,
+			PoweredOn:     st.PoweredOn,
+		})
+		v.Rack[ref.Host] = ref.Rack
+	}
+	m.mu.Lock()
+	reserved := make(map[string]hw.MIPS)
+	for name, rec := range m.vms {
+		if ref, ok := m.byName[rec.Node]; ok {
+			v.Locate[name] = ref.Host
+		}
+		reserved[rec.Node] += hw.MIPS(rec.CPUDemandMIPS)
+	}
+	m.mu.Unlock()
+	// Placement sees the larger of measured utilisation and declared
+	// reservations, so idle-but-reserved capacity is not double-booked.
+	for i := range v.Nodes {
+		name := ""
+		for _, ref := range m.nodes {
+			if ref.Host == v.Nodes[i].ID {
+				name = ref.Name
+				break
+			}
+		}
+		if res := reserved[name]; res > v.Nodes[i].CPUUsed {
+			v.Nodes[i].CPUUsed = res
+		}
+	}
+	return v, nil
+}
+
+// SpawnVM places and boots a VM cloud-wide: placement, DHCP lease, DNS
+// registration, SDN label, then the node daemon's REST spawn.
+func (m *Master) SpawnVM(req SpawnVMRequest) (*VMRecord, error) {
+	if req.Name == "" || req.Image == "" {
+		return nil, fmt.Errorf("pimaster: spawn needs name and image")
+	}
+	m.mu.Lock()
+	if _, dup := m.vms[req.Name]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrVMExists, req.Name)
+	}
+	placer := m.placer
+	if req.Placer != "" {
+		cached, ok := m.placerOverrides[req.Placer]
+		if !ok {
+			var err error
+			cached, err = placement.ByName(req.Placer)
+			if err != nil {
+				m.mu.Unlock()
+				return nil, err
+			}
+			m.placerOverrides[req.Placer] = cached
+		}
+		placer = cached
+	}
+	m.mu.Unlock()
+	view, err := m.buildView()
+	if err != nil {
+		return nil, err
+	}
+	memNeed := req.MemLimitBytes
+	if memNeed == 0 {
+		memNeed = lxc.IdleRSSBytes
+	}
+	host, err := placer.Place(placement.Request{
+		Name:          req.Name,
+		CPUDemandMIPS: hw.MIPS(req.CPUDemandMIPS),
+		MemBytes:      memNeed,
+		Peers:         req.Peers,
+	}, view, m.policy)
+	if err != nil {
+		return nil, err
+	}
+	ref := m.refByHost(host)
+	if ref == nil {
+		return nil, fmt.Errorf("%w: host %s", ErrNoSuchNode, host)
+	}
+	// Address and name the VM.
+	m.mu.Lock()
+	m.macSeq++
+	mac := dhcp.ContainerMAC(m.macSeq)
+	m.mu.Unlock()
+	lease, err := m.dhcp.Request(fmt.Sprintf("rack%d", ref.Rack), mac)
+	if err != nil {
+		return nil, fmt.Errorf("pimaster: leasing address: %w", err)
+	}
+	rack, idx := splitNodeName(ref)
+	fqdn := dns.ContainerFQDN(req.Name, rack, idx)
+	if err := m.dns.RegisterHost(fqdn, lease.Addr); err != nil {
+		_ = m.dhcp.Release(mac)
+		return nil, err
+	}
+	unregisterDNS := func() {
+		m.dns.RemoveName(fqdn)
+		m.dns.RemoveName(dns.ReverseName(lease.Addr))
+	}
+	m.cloudMu.Lock()
+	label := m.ctrl.AssignLabel(req.Name, ref.Host)
+	m.cloudMu.Unlock()
+	// Boot through the node's REST daemon.
+	if _, err := ref.Client.Spawn(restapi.SpawnRequest{
+		Name:          req.Name,
+		Image:         req.Image,
+		MemLimitBytes: req.MemLimitBytes,
+		CPUShares:     req.CPUShares,
+		CPUQuotaMIPS:  req.CPUQuotaMIPS,
+	}); err != nil {
+		unregisterDNS()
+		_ = m.dhcp.Release(mac)
+		return nil, err
+	}
+	rec := &VMRecord{
+		Name:          req.Name,
+		Node:          ref.Name,
+		Image:         req.Image,
+		IP:            lease.Addr.String(),
+		FQDN:          fqdn,
+		Label:         label,
+		MAC:           string(mac),
+		CPUDemandMIPS: req.CPUDemandMIPS,
+	}
+	m.mu.Lock()
+	m.vms[req.Name] = rec
+	m.mu.Unlock()
+	return rec, nil
+}
+
+func (m *Master) refByHost(host netsim.NodeID) *NodeRef {
+	for _, ref := range m.nodes {
+		if ref.Host == host {
+			return ref
+		}
+	}
+	return nil
+}
+
+// splitNodeName recovers (rack, index) for naming; nodes are registered
+// in rack order so index is position within the rack.
+func splitNodeName(ref *NodeRef) (rack, idx int) {
+	var r, i int
+	if _, err := fmt.Sscanf(ref.Name, "pi-r%02d-n%02d", &r, &i); err == nil {
+		return r, i
+	}
+	return ref.Rack, 0
+}
+
+// DestroyVM tears a VM down everywhere: node daemon, DNS, DHCP, registry.
+func (m *Master) DestroyVM(name string) error {
+	m.mu.Lock()
+	rec, ok := m.vms[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchVM, name)
+	}
+	ref, err := m.Node(rec.Node)
+	if err != nil {
+		return err
+	}
+	if err := ref.Client.Delete(name); err != nil {
+		return err
+	}
+	m.dns.RemoveName(rec.FQDN)
+	if addr, perr := netip.ParseAddr(rec.IP); perr == nil {
+		m.dns.RemoveName(dns.ReverseName(addr))
+	}
+	_ = m.dhcp.Release(dhcp.MAC(rec.MAC))
+	m.mu.Lock()
+	delete(m.vms, name)
+	m.mu.Unlock()
+	return nil
+}
+
+// VM returns a VM record.
+func (m *Master) VM(name string) (*VMRecord, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.vms[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchVM, name)
+	}
+	cp := *rec
+	return &cp, nil
+}
+
+// VMs lists records sorted by name.
+func (m *Master) VMs() []VMRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]VMRecord, 0, len(m.vms))
+	for _, rec := range m.vms {
+		out = append(out, *rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MigrateVM live-migrates a VM to the named node. The migration proceeds
+// on the simulation clock; onDone (optional) observes the report.
+func (m *Master) MigrateVM(name string, req MigrateVMRequest, onDone func(migration.Report)) error {
+	if m.mig == nil {
+		return fmt.Errorf("pimaster: migration manager not configured")
+	}
+	m.mu.Lock()
+	rec, ok := m.vms[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchVM, name)
+	}
+	srcRef, err := m.Node(rec.Node)
+	if err != nil {
+		return err
+	}
+	dstRef, err := m.Node(req.TargetNode)
+	if err != nil {
+		return err
+	}
+	mode := migration.RoutingLabel
+	if req.Routing == "ip" {
+		mode = migration.RoutingIP
+	}
+	m.cloudMu.Lock()
+	defer m.cloudMu.Unlock()
+	return m.mig.Migrate(migration.Request{
+		Container: name,
+		SrcHost:   srcRef.Host,
+		DstHost:   dstRef.Host,
+		SrcSuite:  srcRef.Suite,
+		DstSuite:  dstRef.Suite,
+		Routing:   mode,
+		Label:     rec.Label,
+		OnDone: func(rep migration.Report) {
+			if rep.Err == nil {
+				m.mu.Lock()
+				if cur, ok := m.vms[name]; ok {
+					cur.Node = dstRef.Name
+				}
+				m.mu.Unlock()
+			}
+			if onDone != nil {
+				onDone(rep)
+			}
+		},
+	})
+}
+
+// PowerSummary reports instantaneous cloud power draw.
+type PowerSummary struct {
+	TotalWatts float64 `json:"total_watts"`
+	// SocketOK reports whether a single UK trailing socket board could
+	// supply the whole cloud (Section III's power claim).
+	SocketOK     bool    `json:"single_socket_ok"`
+	SocketLimitW float64 `json:"socket_limit_watts"`
+	Nodes        int     `json:"nodes"`
+}
+
+// Power reads the cloud meter.
+func (m *Master) Power() PowerSummary {
+	total := 0.0
+	if m.meter != nil {
+		total = m.meter.TotalWatts()
+	}
+	sock := energy.UKTrailingSocket()
+	return PowerSummary{
+		TotalWatts:   total,
+		SocketOK:     sock.CanSupply(total),
+		SocketLimitW: sock.MaxWatts(),
+		Nodes:        len(m.nodes),
+	}
+}
+
+// --- HTTP API ---
+
+// Handler returns pimaster's HTTP handler (API + control panel).
+func (m *Master) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+restapi.APIPrefix+"/nodes", m.handleNodes)
+	mux.HandleFunc("GET "+restapi.APIPrefix+"/nodes/{name}", m.handleNode)
+	mux.HandleFunc("GET "+restapi.APIPrefix+"/vms", m.handleVMList)
+	mux.HandleFunc("POST "+restapi.APIPrefix+"/vms", m.handleVMSpawn)
+	mux.HandleFunc("GET "+restapi.APIPrefix+"/vms/{name}", m.handleVMGet)
+	mux.HandleFunc("DELETE "+restapi.APIPrefix+"/vms/{name}", m.handleVMDelete)
+	mux.HandleFunc("POST "+restapi.APIPrefix+"/vms/{name}/migrate", m.handleVMMigrate)
+	mux.HandleFunc("GET "+restapi.APIPrefix+"/leases", m.handleLeases)
+	mux.HandleFunc("GET "+restapi.APIPrefix+"/dns", m.handleDNS)
+	mux.HandleFunc("GET "+restapi.APIPrefix+"/images", m.handleImages)
+	mux.HandleFunc("POST "+restapi.APIPrefix+"/images/{name}/{tag}/{op}", m.handleImageOp)
+	mux.HandleFunc("GET "+restapi.APIPrefix+"/power", m.handlePower)
+	mux.HandleFunc("GET /panel", m.handlePanel)
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/panel", http.StatusFound)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (m *Master) writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNoSuchNode), errors.Is(err, ErrNoSuchVM):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrVMExists):
+		code = http.StatusConflict
+	case errors.Is(err, placement.ErrNoCapacity):
+		code = http.StatusConflict
+	}
+	writeJSON(w, code, restapi.ErrorDoc{Error: err.Error()})
+}
+
+func (m *Master) handleNodes(w http.ResponseWriter, _ *http.Request) {
+	out := make([]restapi.NodeStatus, 0, len(m.nodes))
+	for _, ref := range m.nodes {
+		st, err := ref.Client.Status()
+		if err != nil {
+			m.writeErr(w, err)
+			return
+		}
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (m *Master) handleNode(w http.ResponseWriter, r *http.Request) {
+	ref, err := m.Node(r.PathValue("name"))
+	if err != nil {
+		m.writeErr(w, err)
+		return
+	}
+	st, err := ref.Client.Status()
+	if err != nil {
+		m.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (m *Master) handleVMList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, m.VMs())
+}
+
+func (m *Master) handleVMSpawn(w http.ResponseWriter, r *http.Request) {
+	var req SpawnVMRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, restapi.ErrorDoc{Error: "bad json: " + err.Error()})
+		return
+	}
+	rec, err := m.SpawnVM(req)
+	if err != nil {
+		m.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+func (m *Master) handleVMGet(w http.ResponseWriter, r *http.Request) {
+	rec, err := m.VM(r.PathValue("name"))
+	if err != nil {
+		m.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (m *Master) handleVMDelete(w http.ResponseWriter, r *http.Request) {
+	if err := m.DestroyVM(r.PathValue("name")); err != nil {
+		m.writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (m *Master) handleVMMigrate(w http.ResponseWriter, r *http.Request) {
+	var req MigrateVMRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, restapi.ErrorDoc{Error: "bad json: " + err.Error()})
+		return
+	}
+	if err := m.MigrateVM(r.PathValue("name"), req, nil); err != nil {
+		m.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "migrating"})
+}
+
+// LeaseDoc is the JSON view of one DHCP lease.
+type LeaseDoc struct {
+	MAC    string `json:"mac"`
+	IP     string `json:"ip"`
+	Pool   string `json:"pool"`
+	Static bool   `json:"static"`
+}
+
+func (m *Master) handleLeases(w http.ResponseWriter, _ *http.Request) {
+	leases := m.dhcp.Leases()
+	out := make([]LeaseDoc, 0, len(leases))
+	for _, l := range leases {
+		out = append(out, LeaseDoc{MAC: string(l.MAC), IP: l.Addr.String(), Pool: l.Pool, Static: l.Static})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// DNSDoc is the JSON view of one DNS record.
+type DNSDoc struct {
+	Name  string `json:"name"`
+	Type  string `json:"type"`
+	Value string `json:"value"`
+}
+
+func (m *Master) handleDNS(w http.ResponseWriter, _ *http.Request) {
+	recs := m.dns.Dump()
+	out := make([]DNSDoc, 0, len(recs))
+	for _, rec := range recs {
+		out = append(out, DNSDoc{Name: rec.Name, Type: rec.Type.String(), Value: rec.Value})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (m *Master) handleImages(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, m.images.List())
+}
+
+func (m *Master) handlePower(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, m.Power())
+}
+
+// StartLeaseSweeper arms periodic DHCP housekeeping: expired dynamic
+// leases are reclaimed every period. Call under the cloud lock (it arms
+// a simulation ticker); returns a stop function. Opt-in because a
+// perpetual ticker keeps the event queue non-empty, which batch
+// experiments that drain the queue would never finish.
+func (m *Master) StartLeaseSweeper(period sim.Duration) func() {
+	if period <= 0 {
+		period = 15 * 60 * 1e9 // 15 minutes
+	}
+	ticker := m.engine.NewTicker(period, func(sim.Time) {
+		m.dhcp.SweepExpired()
+	})
+	return ticker.Stop
+}
+
+// ImageOpRequest is the POST /images/{name}/{tag}/{op} body: patch adds
+// a layer, upgrade replaces the base layer, spawn stamps a new name on
+// the same layers — the pimaster "image upgrading, patching, and
+// spawning" tools.
+type ImageOpRequest struct {
+	// NewTag names the resulting image's tag (patch/upgrade) and, with
+	// NewName, the spawned reference.
+	NewTag  string `json:"new_tag"`
+	NewName string `json:"new_name,omitempty"` // spawn only
+	// Layer describes the added/replacement layer (patch/upgrade).
+	LayerSizeBytes int64    `json:"layer_size_bytes,omitempty"`
+	LayerPackages  []string `json:"layer_packages,omitempty"`
+	LayerNote      string   `json:"layer_note,omitempty"`
+}
+
+// handleImageOp serves POST /api/v1/images/{name}/{tag}/{op}.
+func (m *Master) handleImageOp(w http.ResponseWriter, r *http.Request) {
+	name, tag, op := r.PathValue("name"), r.PathValue("tag"), r.PathValue("op")
+	var req ImageOpRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, restapi.ErrorDoc{Error: "bad json: " + err.Error()})
+		return
+	}
+	ref := name + ":" + tag
+	var (
+		out *image.Image
+		err error
+	)
+	switch op {
+	case "patch", "upgrade":
+		var layer image.Layer
+		layer, err = image.NewLayer(req.LayerSizeBytes, req.LayerPackages, req.LayerNote)
+		if err == nil && op == "patch" {
+			out, err = m.images.Patch(ref, req.NewTag, layer)
+		} else if err == nil {
+			out, err = m.images.Upgrade(ref, req.NewTag, layer)
+		}
+	case "spawn":
+		out, err = m.images.Spawn(ref, req.NewName, req.NewTag)
+	default:
+		writeJSON(w, http.StatusBadRequest, restapi.ErrorDoc{Error: fmt.Sprintf("unknown image op %q", op)})
+		return
+	}
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, image.ErrNotFound) {
+			code = http.StatusNotFound
+		}
+		if errors.Is(err, image.ErrExists) {
+			code = http.StatusConflict
+		}
+		writeJSON(w, code, restapi.ErrorDoc{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"ref":        out.Ref(),
+		"id":         out.ID(),
+		"size_bytes": out.SizeBytes(),
+		"layers":     len(out.Layers),
+	})
+}

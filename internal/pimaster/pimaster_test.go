@@ -1,0 +1,394 @@
+package pimaster_test
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/migration"
+	"repro/internal/pimaster"
+	"repro/internal/placement"
+)
+
+func newCloud(t *testing.T, cfg core.Config) *core.Cloud {
+	t.Helper()
+	c, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := pimaster.New(pimaster.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestRegisterNodeValidation(t *testing.T) {
+	c := newCloud(t, core.Config{Racks: 1, HostsPerRack: 1})
+	if err := c.Master.RegisterNode(nil, 0); err == nil {
+		t.Fatal("nil ref accepted")
+	}
+	if err := c.Master.RegisterNode(&pimaster.NodeRef{}, 0); err == nil {
+		t.Fatal("incomplete ref accepted")
+	}
+	// Duplicate registration of an existing node.
+	n := c.Nodes()[0]
+	err := c.Master.RegisterNode(&pimaster.NodeRef{Name: n.Name, Host: n.Host, Client: n.Client}, 0)
+	if err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+func TestSpawnValidation(t *testing.T) {
+	c := newCloud(t, core.Config{Racks: 1, HostsPerRack: 2})
+	cases := []struct {
+		name string
+		req  pimaster.SpawnVMRequest
+	}{
+		{"no name", pimaster.SpawnVMRequest{Image: "raspbian"}},
+		{"no image", pimaster.SpawnVMRequest{Name: "x"}},
+		{"bad image", pimaster.SpawnVMRequest{Name: "x", Image: "no-such"}},
+		{"bad placer", pimaster.SpawnVMRequest{Name: "x", Image: "raspbian", Placer: "magic"}},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			if _, err := c.Master.SpawnVM(cse.req); err == nil {
+				t.Fatalf("accepted %s", cse.name)
+			}
+		})
+	}
+	// A failed spawn must leak no lease or DNS record.
+	leases := len(c.Master.DHCP().Leases())
+	recs := c.Master.DNS().RecordCount()
+	if _, err := c.Master.SpawnVM(pimaster.SpawnVMRequest{Name: "x", Image: "no-such"}); err == nil {
+		t.Fatal("bad image accepted")
+	}
+	if got := len(c.Master.DHCP().Leases()); got != leases {
+		t.Fatalf("leases leaked: %d → %d", leases, got)
+	}
+	if got := c.Master.DNS().RecordCount(); got != recs {
+		t.Fatalf("dns leaked: %d → %d", recs, got)
+	}
+}
+
+func TestClusterFullReturnsNoCapacity(t *testing.T) {
+	c := newCloud(t, core.Config{Racks: 1, HostsPerRack: 1})
+	for i := 0; i < 3; i++ {
+		if _, err := c.Master.SpawnVM(pimaster.SpawnVMRequest{
+			Name: "vm" + string(rune('a'+i)), Image: "raspbian",
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Settle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := c.Master.SpawnVM(pimaster.SpawnVMRequest{Name: "vmz", Image: "raspbian"})
+	if !errors.Is(err, placement.ErrNoCapacity) {
+		t.Fatalf("4th VM on a 1-node cloud = %v, want ErrNoCapacity (3 comfortable per Pi)", err)
+	}
+}
+
+func TestPerRequestPlacerOverride(t *testing.T) {
+	c := newCloud(t, core.Config{Racks: 1, HostsPerRack: 3, Placer: placement.BestFit{}})
+	a, err := c.Master.SpawnVM(pimaster.SpawnVMRequest{Name: "a", Image: "raspbian"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	// Override to worst-fit: lands on an empty node despite best-fit
+	// default.
+	b, err := c.Master.SpawnVM(pimaster.SpawnVMRequest{Name: "b", Image: "raspbian", Placer: "worst-fit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Node == b.Node {
+		t.Fatalf("worst-fit override ignored: both on %s", a.Node)
+	}
+}
+
+func TestMigrateErrors(t *testing.T) {
+	c := newCloud(t, core.Config{Racks: 2, HostsPerRack: 1})
+	if err := c.Master.MigrateVM("ghost", pimaster.MigrateVMRequest{TargetNode: "x"}, nil); !errors.Is(err, pimaster.ErrNoSuchVM) {
+		t.Fatalf("migrate missing vm = %v", err)
+	}
+	if _, err := c.Master.SpawnVM(pimaster.SpawnVMRequest{Name: "v", Image: "raspbian"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Master.MigrateVM("v", pimaster.MigrateVMRequest{TargetNode: "ghost"}, nil); !errors.Is(err, pimaster.ErrNoSuchNode) {
+		t.Fatalf("migrate to missing node = %v", err)
+	}
+}
+
+func TestMigrateIPModeViaMaster(t *testing.T) {
+	c := newCloud(t, core.Config{Racks: 2, HostsPerRack: 1})
+	rec, err := c.Master.SpawnVM(pimaster.SpawnVMRequest{Name: "v", Image: "raspbian"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	var dstName string
+	for _, n := range c.Nodes() {
+		if n.Name != rec.Node {
+			dstName = n.Name
+		}
+	}
+	var rep migration.Report
+	if err := c.Master.MigrateVM("v", pimaster.MigrateVMRequest{TargetNode: dstName, Routing: "ip"}, func(r migration.Report) { rep = r }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Err != nil {
+		t.Fatalf("migration failed: %v", rep.Err)
+	}
+	if rep.Mode != migration.RoutingIP {
+		t.Fatalf("mode = %v, want ip-routed", rep.Mode)
+	}
+}
+
+func TestPowerSummary(t *testing.T) {
+	c := newCloud(t, core.Config{})
+	p := c.Master.Power()
+	if p.Nodes != 56 {
+		t.Fatalf("nodes = %d", p.Nodes)
+	}
+	if !p.SocketOK {
+		t.Fatal("idle PiCloud must fit one socket strip")
+	}
+	if p.TotalWatts <= 0 || p.TotalWatts > p.SocketLimitW {
+		t.Fatalf("draw = %v (limit %v)", p.TotalWatts, p.SocketLimitW)
+	}
+}
+
+func TestNodeFQDNRegistered(t *testing.T) {
+	c := newCloud(t, core.Config{Racks: 2, HostsPerRack: 2})
+	// All four nodes have A records under the PiCloud zone.
+	for _, n := range c.Nodes() {
+		fqdn := n.Name + ".picloud.dcs.gla.ac.uk."
+		addrs, err := c.Master.DNS().LookupA(fqdn)
+		if err != nil {
+			t.Fatalf("node %s not in DNS: %v", n.Name, err)
+		}
+		if !strings.HasPrefix(addrs[0].String(), "10.") {
+			t.Fatalf("node addr = %v", addrs)
+		}
+	}
+}
+
+func TestLeaseSweeper(t *testing.T) {
+	c := newCloud(t, core.Config{Racks: 1, HostsPerRack: 2})
+	c.Mu.Lock()
+	stop := c.Master.StartLeaseSweeper(time.Minute)
+	c.Mu.Unlock()
+	// A dynamic container lease that expires (default 12h) gets swept.
+	lease, err := c.Master.DHCP().Request("rack0", "02:1c:00:00:00:99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunFor(13 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Master.DHCP().LeaseOf(lease.MAC); ok {
+		t.Fatal("expired lease survived the sweeper")
+	}
+	// Node leases are static: they survive.
+	if len(c.Master.DHCP().Leases()) != 2 {
+		t.Fatalf("leases = %d, want the 2 static node leases", len(c.Master.DHCP().Leases()))
+	}
+	c.Mu.Lock()
+	stop()
+	c.Mu.Unlock()
+}
+
+// TestHTTPHandlers drives every pimaster endpoint over the wire,
+// including the error paths.
+func TestHTTPHandlers(t *testing.T) {
+	c := newCloud(t, core.Config{Racks: 2, HostsPerRack: 2})
+	base := c.ServeMaster()
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	post := func(path, body string) (int, string) {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(out)
+	}
+
+	// Node endpoints.
+	if code, body := get("/api/v1/nodes/pi-r00-n00"); code != 200 || !strings.Contains(body, "raspberry-pi-model-b") {
+		t.Fatalf("node get = %d %s", code, body)
+	}
+	if code, _ := get("/api/v1/nodes/ghost"); code != 404 {
+		t.Fatalf("missing node = %d", code)
+	}
+
+	// VM lifecycle over HTTP.
+	if code, body := post("/api/v1/vms", `{"name":"h1","image":"webserver"}`); code != 202 {
+		t.Fatalf("spawn = %d %s", code, body)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := post("/api/v1/vms", `{"name":"h1","image":"webserver"}`); code != 409 {
+		t.Fatalf("duplicate spawn = %d", code)
+	}
+	if code, _ := post("/api/v1/vms", `{bad json`); code != 400 {
+		t.Fatalf("bad json = %d", code)
+	}
+	if code, body := get("/api/v1/vms/h1"); code != 200 || !strings.Contains(body, "h1") {
+		t.Fatalf("vm get = %d %s", code, body)
+	}
+	if code, _ := get("/api/v1/vms/ghost"); code != 404 {
+		t.Fatalf("missing vm = %d", code)
+	}
+
+	// Migrate over HTTP.
+	rec, err := c.Master.VM("h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target string
+	for _, n := range c.Nodes() {
+		if n.Name != rec.Node {
+			target = n.Name
+			break
+		}
+	}
+	if code, body := post("/api/v1/vms/h1/migrate", `{"target_node":"`+target+`"}`); code != 202 {
+		t.Fatalf("migrate = %d %s", code, body)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := post("/api/v1/vms/h1/migrate", `{nope`); code != 400 {
+		t.Fatalf("bad migrate json = %d", code)
+	}
+	if code, _ := post("/api/v1/vms/ghost/migrate", `{"target_node":"x"}`); code != 404 {
+		t.Fatalf("migrate missing vm = %d", code)
+	}
+
+	// Service endpoints.
+	if code, body := get("/api/v1/leases"); code != 200 || !strings.Contains(body, "b8:27:eb") {
+		t.Fatalf("leases = %d %s", code, body)
+	}
+	if code, body := get("/api/v1/dns"); code != 200 || !strings.Contains(body, "picloud.dcs.gla.ac.uk") {
+		t.Fatalf("dns = %d %.120s", code, body)
+	}
+	if code, body := get("/api/v1/images"); code != 200 || !strings.Contains(body, "webserver:latest") {
+		t.Fatalf("images = %d %s", code, body)
+	}
+	if code, body := get("/api/v1/power"); code != 200 || !strings.Contains(body, "total_watts") {
+		t.Fatalf("power = %d %s", code, body)
+	}
+
+	// DELETE via HTTP.
+	req, err := http.NewRequest(http.MethodDelete, base+"/api/v1/vms/h1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 204 {
+		t.Fatalf("delete = %d", resp.StatusCode)
+	}
+}
+
+func TestSetPlacerSwitchesDefault(t *testing.T) {
+	c := newCloud(t, core.Config{Racks: 1, HostsPerRack: 3})
+	a, err := c.Master.SpawnVM(pimaster.SpawnVMRequest{Name: "a", Image: "raspbian"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	c.Master.SetPlacer(placement.WorstFit{})
+	b, err := c.Master.SpawnVM(pimaster.SpawnVMRequest{Name: "b", Image: "raspbian"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Node == b.Node {
+		t.Fatal("SetPlacer(WorstFit) had no effect")
+	}
+}
+
+func TestImageOpsOverHTTP(t *testing.T) {
+	c := newCloud(t, core.Config{Racks: 1, HostsPerRack: 1})
+	base := c.ServeMaster()
+	post := func(path, body string) (int, string) {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(out)
+	}
+	// Patch: add a CVE-fix layer.
+	code, body := post("/api/v1/images/webserver/latest/patch",
+		`{"new_tag":"patched","layer_size_bytes":2097152,"layer_packages":["openssl"],"layer_note":"CVE fix"}`)
+	if code != 201 || !strings.Contains(body, "webserver:patched") {
+		t.Fatalf("patch = %d %s", code, body)
+	}
+	// Upgrade: replace the base.
+	code, body = post("/api/v1/images/webserver/latest/upgrade",
+		`{"new_tag":"jessie","layer_size_bytes":230686720,"layer_packages":["raspbian-core"],"layer_note":"jessie base"}`)
+	if code != 201 || !strings.Contains(body, "webserver:jessie") {
+		t.Fatalf("upgrade = %d %s", code, body)
+	}
+	// Spawn: stamp a tenant image.
+	code, body = post("/api/v1/images/webserver/latest/spawn",
+		`{"new_name":"tenant1-web","new_tag":"v1"}`)
+	if code != 201 || !strings.Contains(body, "tenant1-web:v1") {
+		t.Fatalf("spawn = %d %s", code, body)
+	}
+	// The spawned image is now deployable through the normal path.
+	if _, err := c.Master.SpawnVM(pimaster.SpawnVMRequest{Name: "t1", Image: "tenant1-web:v1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	// Error paths.
+	if code, _ := post("/api/v1/images/ghost/latest/patch", `{"new_tag":"x","layer_size_bytes":1}`); code != 404 {
+		t.Fatalf("patch missing image = %d", code)
+	}
+	if code, _ := post("/api/v1/images/webserver/latest/frob", `{}`); code != 400 {
+		t.Fatalf("unknown op = %d", code)
+	}
+	if code, _ := post("/api/v1/images/webserver/latest/patch", `{bad`); code != 400 {
+		t.Fatalf("bad json = %d", code)
+	}
+	if code, _ := post("/api/v1/images/webserver/latest/spawn", `{"new_name":"tenant1-web","new_tag":"v1"}`); code != 409 {
+		t.Fatalf("duplicate spawn = %d", code)
+	}
+}

@@ -1,0 +1,334 @@
+package placement
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/netsim"
+)
+
+// cluster builds a 4-rack × 3-node empty Pi view.
+func cluster() *View {
+	v := &View{Locate: make(map[string]netsim.NodeID), Rack: make(map[netsim.NodeID]int)}
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 3; i++ {
+			id := netsim.NodeID(rune('a'+r)) + netsim.NodeID(rune('0'+i))
+			v.Nodes = append(v.Nodes, NodeView{
+				ID:            id,
+				Rack:          r,
+				CPU:           875,
+				MemTotal:      256 * hw.MiB,
+				MemUsed:       48 * hw.MiB,
+				MaxContainers: 3,
+				PoweredOn:     true,
+			})
+			v.Rack[id] = r
+		}
+	}
+	return v
+}
+
+func req(name string, cpu hw.MIPS, mem int64, peers ...string) Request {
+	return Request{Name: name, CPUDemandMIPS: cpu, MemBytes: mem, Peers: peers}
+}
+
+// apply commits a placement to the view, as pimaster would.
+func apply(v *View, r Request, node netsim.NodeID) {
+	n := v.NodeByID(node)
+	n.CPUUsed += r.CPUDemandMIPS
+	n.MemUsed += r.MemBytes
+	n.Containers++
+	v.Locate[r.Name] = node
+}
+
+func TestFits(t *testing.T) {
+	n := NodeView{CPU: 875, MemTotal: 256 * hw.MiB, MaxContainers: 3, PoweredOn: true}
+	cases := []struct {
+		name string
+		r    Request
+		n    NodeView
+		p    Policy
+		want bool
+	}{
+		{"fits", req("a", 100, 30*hw.MiB), n, Policy{}, true},
+		{"powered off", req("a", 100, 30*hw.MiB), NodeView{CPU: 875, MemTotal: 256 * hw.MiB, PoweredOn: false}, Policy{}, false},
+		{"mem over", req("a", 100, 300*hw.MiB), n, Policy{}, false},
+		{"cpu over", req("a", 1000, 30*hw.MiB), n, Policy{}, false},
+		{"cpu over but overcommitted", req("a", 1000, 30*hw.MiB), n, Policy{CPUOvercommit: 2}, true},
+		{"container cap", req("a", 1, 1), NodeView{CPU: 875, MemTotal: 256 * hw.MiB, MaxContainers: 3, Containers: 3, PoweredOn: true}, Policy{}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Fits(c.r, c.n, c.p); got != c.want {
+				t.Fatalf("Fits = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	v := cluster()
+	rr := &RoundRobin{}
+	seen := make(map[netsim.NodeID]bool)
+	for i := 0; i < len(v.Nodes); i++ {
+		id, err := rr.Place(req("c", 10, 30*hw.MiB), v, Policy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("round-robin revisited %s before full cycle", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestFirstFitPacksInOrder(t *testing.T) {
+	v := cluster()
+	for i := 0; i < 3; i++ {
+		r := req("c", 10, 30*hw.MiB)
+		id, err := FirstFit{}.Place(r, v, Policy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != v.Nodes[0].ID {
+			t.Fatalf("first-fit chose %s, want first node", id)
+		}
+		apply(v, r, id)
+	}
+	// First node at container cap: next goes to second node.
+	id, err := FirstFit{}.Place(req("c4", 10, 30*hw.MiB), v, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != v.Nodes[1].ID {
+		t.Fatalf("got %s, want second node", id)
+	}
+}
+
+func TestBestFitPacksTightest(t *testing.T) {
+	v := cluster()
+	// Preload node[1] with some usage.
+	apply(v, req("warm", 200, 60*hw.MiB), v.Nodes[1].ID)
+	id, err := BestFit{}.Place(req("c", 10, 30*hw.MiB), v, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != v.Nodes[1].ID {
+		t.Fatalf("best-fit chose %s, want the warm node", id)
+	}
+}
+
+func TestWorstFitSpreads(t *testing.T) {
+	v := cluster()
+	apply(v, req("warm", 200, 60*hw.MiB), v.Nodes[0].ID)
+	id, err := WorstFit{}.Place(req("c", 10, 30*hw.MiB), v, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == v.Nodes[0].ID {
+		t.Fatal("worst-fit chose the warm node")
+	}
+}
+
+func TestNetworkAwareColocatesWithPeers(t *testing.T) {
+	v := cluster()
+	// Place two peers in rack 2.
+	apply(v, req("p1", 50, 30*hw.MiB), v.Nodes[6].ID)
+	apply(v, req("p2", 50, 30*hw.MiB), v.Nodes[7].ID)
+	// And one in rack 0.
+	apply(v, req("p3", 50, 30*hw.MiB), v.Nodes[0].ID)
+	id, err := NetworkAware{}.Place(req("c", 10, 30*hw.MiB, "p1", "p2", "p3"), v, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Rack[id] != 2 {
+		t.Fatalf("network-aware chose rack %d, want 2 (majority of peers)", v.Rack[id])
+	}
+}
+
+func TestNetworkAwareFallsBackWhenRackFull(t *testing.T) {
+	v := cluster()
+	// Fill rack 2 to its container caps.
+	for n := 6; n <= 8; n++ {
+		for i := 0; i < 3; i++ {
+			apply(v, req("x", 1, hw.MiB), v.Nodes[n].ID)
+		}
+	}
+	apply(v, req("p1", 1, hw.MiB), v.Nodes[0].ID)
+	v.Locate["p1"] = v.Nodes[6].ID // pretend p1 lives in full rack 2
+	id, err := NetworkAware{}.Place(req("c", 10, 30*hw.MiB, "p1"), v, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Rack[id] == 2 {
+		t.Fatal("placed in a full rack")
+	}
+}
+
+func TestNetworkAwareNoPeersActsLikeBestFit(t *testing.T) {
+	v := cluster()
+	apply(v, req("warm", 200, 60*hw.MiB), v.Nodes[5].ID)
+	id, err := NetworkAware{}.Place(req("c", 10, 30*hw.MiB), v, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != v.Nodes[5].ID {
+		t.Fatalf("no-peer placement chose %s, want best-fit's pick", id)
+	}
+}
+
+func TestNoCapacityError(t *testing.T) {
+	v := cluster()
+	huge := req("huge", 10, 10*hw.GiB)
+	for _, pl := range []Placer{&RoundRobin{}, FirstFit{}, BestFit{}, WorstFit{}, NetworkAware{}} {
+		if _, err := pl.Place(huge, v, Policy{}); !errors.Is(err, ErrNoCapacity) {
+			t.Errorf("%s: err = %v, want ErrNoCapacity", pl.Name(), err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"round-robin", "first-fit", "best-fit", "worst-fit", "network-aware"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown placer accepted")
+	}
+}
+
+func TestPlanConsolidationDrainsLightNodes(t *testing.T) {
+	v := cluster()
+	// One container on each of two nodes in different racks; the rest
+	// empty. The planner should drain one donor onto the other host.
+	c1 := ContainerLoad{Name: "a", Node: v.Nodes[0].ID, CPUDemandMIPS: 100, MemBytes: 60 * hw.MiB}
+	c2 := ContainerLoad{Name: "b", Node: v.Nodes[6].ID, CPUDemandMIPS: 100, MemBytes: 70 * hw.MiB}
+	apply(v, req(c1.Name, c1.CPUDemandMIPS, c1.MemBytes), c1.Node)
+	apply(v, req(c2.Name, c2.CPUDemandMIPS, c2.MemBytes), c2.Node)
+
+	plan := PlanConsolidation(v, []ContainerLoad{c1, c2}, Policy{})
+	if len(plan) != 1 {
+		t.Fatalf("plan = %+v, want exactly 1 move", plan)
+	}
+	m := plan[0]
+	if m.From == m.To {
+		t.Fatal("no-op move")
+	}
+	// The lighter node (a's host) is drained onto b's host.
+	if m.Container != "a" || m.To != c2.Node {
+		t.Fatalf("move = %+v, want a → %s", m, c2.Node)
+	}
+}
+
+func TestPlanConsolidationRespectsCapacity(t *testing.T) {
+	v := cluster()
+	// Two containers that cannot share any node (memory).
+	c1 := ContainerLoad{Name: "a", Node: v.Nodes[0].ID, MemBytes: 120 * hw.MiB}
+	c2 := ContainerLoad{Name: "b", Node: v.Nodes[3].ID, MemBytes: 120 * hw.MiB}
+	apply(v, req(c1.Name, 0, c1.MemBytes), c1.Node)
+	apply(v, req(c2.Name, 0, c2.MemBytes), c2.Node)
+	plan := PlanConsolidation(v, []ContainerLoad{c1, c2}, Policy{})
+	if len(plan) != 0 {
+		t.Fatalf("plan = %+v, want none (no feasible consolidation)", plan)
+	}
+}
+
+func TestPlanConsolidationEmptyCluster(t *testing.T) {
+	v := cluster()
+	if plan := PlanConsolidation(v, nil, Policy{}); len(plan) != 0 {
+		t.Fatalf("plan on empty cluster = %+v", plan)
+	}
+}
+
+// Property: every placement returned by every stock placer satisfies
+// Fits, and committed placements never exceed node memory.
+func TestPropertyPlacementsAlwaysFit(t *testing.T) {
+	placers := []Placer{&RoundRobin{}, FirstFit{}, BestFit{}, WorstFit{}, NetworkAware{}}
+	f := func(sizes []uint8, placerIdx uint8) bool {
+		v := cluster()
+		pl := placers[int(placerIdx)%len(placers)]
+		for i, s := range sizes {
+			if i > 30 {
+				break
+			}
+			r := req(string(rune('a'+i%26)), hw.MIPS(s), int64(s%60+10)*hw.MiB)
+			id, err := pl.Place(r, v, Policy{})
+			if err != nil {
+				continue // cluster full is fine
+			}
+			n := v.NodeByID(id)
+			if !Fits(r, *n, Policy{}) {
+				return false
+			}
+			apply(v, r, id)
+			if n.MemUsed > n.MemTotal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: consolidation plans never move a container to its own node
+// and never target a drained donor.
+func TestPropertyConsolidationSane(t *testing.T) {
+	f := func(layout []uint8) bool {
+		v := cluster()
+		var cs []ContainerLoad
+		for i, b := range layout {
+			if i >= 9 {
+				break
+			}
+			node := v.Nodes[int(b)%len(v.Nodes)]
+			c := ContainerLoad{
+				Name:     string(rune('a' + i)),
+				Node:     node.ID,
+				MemBytes: int64(b%50+10) * hw.MiB,
+			}
+			if !Fits(req(c.Name, 0, c.MemBytes), *v.NodeByID(node.ID), Policy{}) {
+				continue
+			}
+			apply(v, req(c.Name, 0, c.MemBytes), node.ID)
+			cs = append(cs, c)
+		}
+		drained := make(map[netsim.NodeID]bool)
+		for _, m := range PlanConsolidation(v, cs, Policy{}) {
+			if m.From == m.To {
+				return false
+			}
+			if drained[m.To] {
+				return false
+			}
+			drained[m.From] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBestFit56Nodes(b *testing.B) {
+	v := &View{Locate: map[string]netsim.NodeID{}, Rack: map[netsim.NodeID]int{}}
+	for i := 0; i < 56; i++ {
+		id := netsim.NodeID(rune('a'+i/14)) + netsim.NodeID(rune('0'+i%14))
+		v.Nodes = append(v.Nodes, NodeView{ID: id, Rack: i / 14, CPU: 875, MemTotal: 256 * hw.MiB, MaxContainers: 3, PoweredOn: true})
+	}
+	r := req("c", 10, 30*hw.MiB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (BestFit{}).Place(r, v, Policy{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package restapi
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/hw"
+	"repro/internal/image"
+	"repro/internal/lxc"
+	"repro/internal/oslinux"
+	"repro/internal/sim"
+)
+
+// rig is one node daemon behind a real HTTP test server.
+type rig struct {
+	mu     sync.Mutex
+	engine *sim.Engine
+	suite  *lxc.Suite
+	meter  *energy.Meter
+	daemon *Daemon
+	server *httptest.Server
+	client *Client
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{engine: sim.NewEngine(1)}
+	k, err := oslinux.NewKernel(r.engine, hw.PiModelB(), "pi-r00-n00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.suite = lxc.NewSuite(r.engine, k, image.StockImages())
+	r.meter = energy.NewMeter(hw.PiModelB().Power, 0)
+	r.meter.PowerOn(0)
+	k.OnUtilChange(func(at sim.Time, u float64) { r.meter.SetUtilisation(at, u) })
+	r.daemon = New(&r.mu, r.engine, "pi-r00-n00", 0, "pi-r00-n00", r.suite, r.meter)
+	r.server = httptest.NewServer(r.daemon.Handler())
+	t.Cleanup(r.server.Close)
+	r.client = NewClient(r.server.URL, r.server.Client())
+	return r
+}
+
+// settle advances the simulation until quiet (boots finish).
+func (r *rig) settle(t *testing.T) {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	r := newRig(t)
+	st, err := r.client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Node != "pi-r00-n00" {
+		t.Fatalf("node = %s", st.Node)
+	}
+	if st.Model != "raspberry-pi-model-b" || st.Arch != "armv6" {
+		t.Fatalf("model/arch = %s/%s", st.Model, st.Arch)
+	}
+	if st.MemTotal != 256*hw.MiB {
+		t.Fatalf("mem total = %d", st.MemTotal)
+	}
+	if st.MaxComfort != 3 {
+		t.Fatalf("max comfortable = %d, paper says 3", st.MaxComfort)
+	}
+	if !st.PoweredOn || st.PowerWatts <= 0 {
+		t.Fatalf("power = %v/%v", st.PoweredOn, st.PowerWatts)
+	}
+	if st.APIRequests == 0 {
+		t.Fatal("request counter not ticking")
+	}
+}
+
+func TestSpawnLifecycleOverHTTP(t *testing.T) {
+	r := newRig(t)
+	doc, err := r.client.Spawn(SpawnRequest{Name: "web1", Image: "webserver"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.State != "STARTING" {
+		t.Fatalf("spawn state = %s, want STARTING (202 semantics)", doc.State)
+	}
+	r.settle(t)
+	doc, err = r.client.Container("web1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.State != "RUNNING" {
+		t.Fatalf("state = %s", doc.State)
+	}
+	if doc.MemBytes != 30*hw.MiB {
+		t.Fatalf("mem = %d, want 30MiB idle RSS", doc.MemBytes)
+	}
+	list, err := r.client.Containers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "web1" {
+		t.Fatalf("list = %+v", list)
+	}
+	if err := r.client.Delete("web1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.client.Container("web1"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("after delete: %v", err)
+	}
+}
+
+func TestSpawnValidation(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.client.Spawn(SpawnRequest{Name: "x", Image: "no-such-image"}); err == nil {
+		t.Fatal("unknown image accepted")
+	}
+	if _, err := r.client.Spawn(SpawnRequest{Name: "", Image: "raspbian"}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := r.client.Spawn(SpawnRequest{Name: "x", Image: "raspbian", Net: "tunnel"}); err == nil {
+		t.Fatal("bad net mode accepted")
+	}
+	// Duplicate: 409.
+	if _, err := r.client.Spawn(SpawnRequest{Name: "dup", Image: "raspbian"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.client.Spawn(SpawnRequest{Name: "dup", Image: "raspbian"}); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("duplicate spawn = %v", err)
+	}
+}
+
+func TestActions(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.client.Spawn(SpawnRequest{Name: "c", Image: "raspbian"}); err != nil {
+		t.Fatal(err)
+	}
+	r.settle(t)
+	doc, err := r.client.Action("c", "freeze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.State != "FROZEN" {
+		t.Fatalf("state = %s", doc.State)
+	}
+	if _, err := r.client.Action("c", "unfreeze"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.client.Action("c", "stop"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.client.Action("c", "start"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.client.Action("c", "reboot"); err == nil {
+		t.Fatal("unknown action accepted")
+	}
+	// Bad state transitions map to 409.
+	if _, err := r.client.Action("c", "unfreeze"); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("bad transition = %v", err)
+	}
+}
+
+func TestLimitsEndpoint(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.client.Spawn(SpawnRequest{Name: "c", Image: "raspbian"}); err != nil {
+		t.Fatal(err)
+	}
+	r.settle(t)
+	doc, err := r.client.SetLimits("c", LimitsRequest{MemLimitBytes: 64 * hw.MiB, CPUShares: 512, CPUQuotaMIPS: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Shares != 512 || doc.Quota != 200 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if _, err := r.client.SetLimits("ghost", LimitsRequest{}); err == nil {
+		t.Fatal("limits on missing container accepted")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.client.Spawn(SpawnRequest{Name: "c", Image: "raspbian"}); err != nil {
+		t.Fatal(err)
+	}
+	r.settle(t)
+	m, err := r.client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["spawns"] != 1 {
+		t.Fatalf("spawns = %v", m["spawns"])
+	}
+	if _, ok := m["power_watts"]; !ok {
+		t.Fatal("power_watts missing")
+	}
+	if _, ok := m["mem_used_bytes"]; !ok {
+		t.Fatal("mem_used_bytes missing")
+	}
+}
+
+func TestDeleteRunningContainerStopsFirst(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.client.Spawn(SpawnRequest{Name: "c", Image: "raspbian"}); err != nil {
+		t.Fatal(err)
+	}
+	r.settle(t)
+	if err := r.client.Delete("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.Delete("c"); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestSpawnRollsBackOnStartFailure(t *testing.T) {
+	r := newRig(t)
+	// Exhaust node memory so Start's idle-RSS allocation fails.
+	k := r.suite.Kernel()
+	r.mu.Lock()
+	if _, err := k.CreateCGroup("hog", oslinux.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Alloc("hog", k.MemAvailable()); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Unlock()
+	if _, err := r.client.Spawn(SpawnRequest{Name: "c", Image: "raspbian"}); err == nil {
+		t.Fatal("spawn should fail without memory")
+	}
+	// The failed spawn must not leave a half-created container.
+	if _, err := r.client.Container("c"); err == nil {
+		t.Fatal("rollback missing: container exists")
+	}
+}
+
+func TestStatusReflectsLoadAndPower(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.client.Spawn(SpawnRequest{Name: "c", Image: "raspbian"}); err != nil {
+		t.Fatal(err)
+	}
+	r.settle(t)
+	r.mu.Lock()
+	if _, err := r.suite.Exec("c", oslinux.TaskSpec{WorkMI: 10000}); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Unlock()
+	st, err := r.client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CPUUtil < 0.99 {
+		t.Fatalf("cpu util = %v, want ~1 under load", st.CPUUtil)
+	}
+	if st.PowerWatts < 3.4 {
+		t.Fatalf("power = %v W, want near 3.5 peak", st.PowerWatts)
+	}
+	if st.Running != 1 || st.Containers != 1 {
+		t.Fatalf("containers = %d/%d", st.Running, st.Containers)
+	}
+}
+
+func BenchmarkStatusEndpoint(b *testing.B) {
+	r := &rig{engine: sim.NewEngine(1)}
+	k, err := oslinux.NewKernel(r.engine, hw.PiModelB(), "pi")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.suite = lxc.NewSuite(r.engine, k, image.StockImages())
+	r.daemon = New(&r.mu, r.engine, "pi", 0, "pi", r.suite, nil)
+	r.server = httptest.NewServer(r.daemon.Handler())
+	defer r.server.Close()
+	r.client = NewClient(r.server.URL, r.server.Client())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.client.Status(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMonitoringSeries(t *testing.T) {
+	r := newRig(t)
+	r.mu.Lock()
+	stop := r.daemon.StartSampling(time.Second)
+	r.mu.Unlock()
+	if _, err := r.client.Spawn(SpawnRequest{Name: "c", Image: "raspbian"}); err != nil {
+		t.Fatal(err)
+	}
+	// Let the container boot (bounded run: the sampling ticker keeps the
+	// event queue permanently non-empty, so settle() would never return),
+	// then burn CPU and sample for a while.
+	r.mu.Lock()
+	if err := r.engine.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.suite.Exec("c", oslinux.TaskSpec{WorkMI: 8750}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.engine.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Unlock()
+	series, err := r.client.Series()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SeriesSummary{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	cpu := byName["cpu_util"]
+	if cpu.Samples < 5 {
+		t.Fatalf("cpu samples = %d", cpu.Samples)
+	}
+	if cpu.Max < 0.99 {
+		t.Fatalf("cpu max = %v, want ~1 under load", cpu.Max)
+	}
+	if byName["power_watts"].Max < 3.4 {
+		t.Fatalf("power max = %v", byName["power_watts"].Max)
+	}
+	// Stop sampling: no further growth.
+	r.mu.Lock()
+	stop()
+	if err := r.engine.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Unlock()
+	after, err := r.client.Series()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range after {
+		if s.Name == "cpu_util" && s.Samples > cpu.Samples+6 {
+			t.Fatalf("sampling continued after stop: %d → %d", cpu.Samples, s.Samples)
+		}
+	}
+}

@@ -1,0 +1,449 @@
+// Package sdn is the logically centralised control plane of the PiCloud:
+// it keeps the global network view, computes paths under pluggable
+// routing policies (shortest-path, ECMP, congestion-aware), reacts to
+// packet-in events from the OpenFlow switches by installing rules, and
+// manages the IP-less forwarding labels that let transport connections
+// survive VM migration (Section III's "IP-less routing ... to support
+// more flexible and efficient migration").
+package sdn
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/openflow"
+	"repro/internal/sim"
+)
+
+// Policy selects how the controller routes a new flow.
+type Policy int
+
+// Routing policies.
+const (
+	// PolicyShortestPath picks the deterministic first minimum-hop path.
+	PolicyShortestPath Policy = iota + 1
+	// PolicyECMP hashes the flow key over equal-cost minimum-hop paths.
+	PolicyECMP
+	// PolicyCongestionAware weighs links by instantaneous utilisation,
+	// steering new flows around hotspots.
+	PolicyCongestionAware
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyShortestPath:
+		return "shortest-path"
+	case PolicyECMP:
+		return "ecmp"
+	case PolicyCongestionAware:
+		return "congestion-aware"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Errors.
+var (
+	ErrNoPath        = errors.New("sdn: no path")
+	ErrDropped       = errors.New("sdn: flow dropped by policy rule")
+	ErrUnknownSwitch = errors.New("sdn: switch not registered")
+	ErrUnknownLabel  = errors.New("sdn: unknown label")
+	ErrForwardLoop   = errors.New("sdn: forwarding loop detected")
+)
+
+// Config tunes the controller.
+type Config struct {
+	// RuleIdleTimeout is applied to reactively installed rules; expired
+	// rules trigger a fresh packet-in (and fresh routing) next time.
+	RuleIdleTimeout time.Duration
+	// RuleHardTimeout bounds total rule lifetime. Zero disables.
+	RuleHardTimeout time.Duration
+	// CongestionExponent sharpens the penalty in congestion-aware
+	// weights: weight = 1 + (8·util)^exp. Defaults to 2.
+	CongestionExponent float64
+}
+
+// DefaultConfig mirrors common reactive-OpenFlow deployments.
+func DefaultConfig() Config {
+	return Config{
+		RuleIdleTimeout:    30 * time.Second,
+		RuleHardTimeout:    0,
+		CongestionExponent: 2,
+	}
+}
+
+// Controller is the SDN brain. Single-threaded on the simulation engine.
+type Controller struct {
+	engine   *sim.Engine
+	net      *netsim.Network
+	cfg      Config
+	switches map[netsim.NodeID]*openflow.Switch
+
+	labels    map[openflow.Label]netsim.NodeID // label → current host
+	labelName map[string]openflow.Label        // endpoint name → label
+	nextLabel openflow.Label
+
+	packetIns      uint64
+	rulesInstalled uint64
+}
+
+// NewController returns a controller over the given network. Switches
+// must be registered before flows are admitted.
+func NewController(engine *sim.Engine, net *netsim.Network, cfg Config) *Controller {
+	if cfg.CongestionExponent == 0 {
+		cfg.CongestionExponent = 2
+	}
+	return &Controller{
+		engine:    engine,
+		net:       net,
+		cfg:       cfg,
+		switches:  make(map[netsim.NodeID]*openflow.Switch),
+		labels:    make(map[openflow.Label]netsim.NodeID),
+		labelName: make(map[string]openflow.Label),
+	}
+}
+
+// RegisterSwitch places a switch under this controller's management.
+func (c *Controller) RegisterSwitch(sw *openflow.Switch) {
+	c.switches[sw.ID] = sw
+}
+
+// Switch returns a managed switch, or nil.
+func (c *Controller) Switch(id netsim.NodeID) *openflow.Switch { return c.switches[id] }
+
+// PacketIns returns how many table misses reached the controller.
+func (c *Controller) PacketIns() uint64 { return c.packetIns }
+
+// RulesInstalled returns how many rules the controller has pushed.
+func (c *Controller) RulesInstalled() uint64 { return c.rulesInstalled }
+
+// AssignLabel allocates (or returns the existing) forwarding label for a
+// named endpoint currently hosted on host.
+func (c *Controller) AssignLabel(name string, host netsim.NodeID) openflow.Label {
+	if l, ok := c.labelName[name]; ok {
+		c.labels[l] = host
+		return l
+	}
+	c.nextLabel++
+	l := c.nextLabel
+	c.labelName[name] = l
+	c.labels[l] = host
+	return l
+}
+
+// HostOfLabel resolves a label to its current host.
+func (c *Controller) HostOfLabel(l openflow.Label) (netsim.NodeID, bool) {
+	h, ok := c.labels[l]
+	return h, ok
+}
+
+// LabelOf returns the label previously assigned to name.
+func (c *Controller) LabelOf(name string) (openflow.Label, bool) {
+	l, ok := c.labelName[name]
+	return l, ok
+}
+
+// MoveLabel re-binds a label to a new host (VM migration) and flushes the
+// label's rules from every switch so the next packet triggers fresh
+// routing to the new location. Live flows are re-pointed by the caller
+// (the migration manager) using PathFor against the updated binding.
+func (c *Controller) MoveLabel(l openflow.Label, newHost netsim.NodeID) error {
+	if _, ok := c.labels[l]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownLabel, l)
+	}
+	c.labels[l] = newHost
+	cookie := labelCookie(l)
+	for _, sw := range c.switches {
+		sw.RemoveByCookie(cookie)
+	}
+	return nil
+}
+
+func labelCookie(l openflow.Label) uint64 { return 1<<32 | uint64(l) }
+
+func pairCookie(src, dst netsim.NodeID) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(src))
+	h.Write([]byte{0})
+	h.Write([]byte(dst))
+	return h.Sum64() &^ (1 << 32)
+}
+
+// flowKey derives the deterministic ECMP hash for a packet.
+func flowKey(p openflow.PacketInfo) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(p.Src))
+	h.Write([]byte{0})
+	h.Write([]byte(p.Dst))
+	h.Write([]byte{byte(p.Label >> 24), byte(p.Label >> 16), byte(p.Label >> 8), byte(p.Label)})
+	h.Write([]byte(p.Proto))
+	h.Write([]byte{byte(p.DstPort >> 8), byte(p.DstPort)})
+	return h.Sum64()
+}
+
+// weightFunc scores a directed link; lower is cheaper.
+type weightFunc func(l *netsim.Link) float64
+
+func weightHops(*netsim.Link) float64 { return 1 }
+
+func (c *Controller) weightCongestion(l *netsim.Link) float64 {
+	return 1 + math.Pow(8*l.Utilisation(), c.cfg.CongestionExponent)
+}
+
+// PathFor computes a path from src to dst hosts under the policy, without
+// touching any flow table. key disambiguates ECMP choices.
+func (c *Controller) PathFor(src, dst netsim.NodeID, policy Policy, key uint64) ([]netsim.NodeID, error) {
+	var w weightFunc
+	switch policy {
+	case PolicyCongestionAware:
+		w = c.weightCongestion
+	default:
+		w = weightHops
+	}
+	tiebreak := uint64(0)
+	if policy == PolicyECMP || policy == PolicyCongestionAware {
+		tiebreak = key
+	}
+	return c.dijkstra(src, dst, w, tiebreak)
+}
+
+// pqItem is a priority-queue element for Dijkstra.
+type pqItem struct {
+	node netsim.NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].node < q[j].node
+}
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+func (q pq) empty() bool   { return len(q) == 0 }
+
+// dijkstra computes a least-weight path keeping all equal-cost parents,
+// then materialises one path choosing among parents by tiebreak hash
+// (deterministic ECMP).
+func (c *Controller) dijkstra(src, dst netsim.NodeID, w weightFunc, tiebreak uint64) ([]netsim.NodeID, error) {
+	if c.net.Node(src) == nil || c.net.Node(dst) == nil {
+		return nil, fmt.Errorf("%w: %s -> %s (unknown node)", ErrNoPath, src, dst)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("%w: src equals dst %s", ErrNoPath, src)
+	}
+	const eps = 1e-12
+	dist := map[netsim.NodeID]float64{src: 0}
+	parents := make(map[netsim.NodeID][]netsim.NodeID)
+	done := make(map[netsim.NodeID]bool)
+	q := &pq{{node: src, dist: 0}}
+	for !q.empty() {
+		it := heap.Pop(q).(pqItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		if it.node == dst {
+			break
+		}
+		nbrs := c.net.Neighbors(it.node)
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		for _, nb := range nbrs {
+			if done[nb] {
+				continue
+			}
+			// Hosts other than src/dst never relay traffic.
+			if nb != dst && c.net.Node(nb).Kind == netsim.KindHost {
+				continue
+			}
+			l := c.net.Link(it.node, nb)
+			if l == nil || !l.Up() {
+				continue
+			}
+			nd := it.dist + w(l)
+			old, seen := dist[nb]
+			switch {
+			case !seen || nd < old-eps:
+				dist[nb] = nd
+				parents[nb] = []netsim.NodeID{it.node}
+				heap.Push(q, pqItem{node: nb, dist: nd})
+			case nd <= old+eps:
+				parents[nb] = append(parents[nb], it.node)
+			}
+		}
+	}
+	if !done[dst] {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrNoPath, src, dst)
+	}
+	// Walk back choosing parents by hash for ECMP spreading.
+	var rev []netsim.NodeID
+	cur := dst
+	for cur != src {
+		rev = append(rev, cur)
+		ps := parents[cur]
+		if len(ps) == 0 {
+			return nil, fmt.Errorf("%w: broken parent chain at %s", ErrNoPath, cur)
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		idx := 0
+		if tiebreak != 0 && len(ps) > 1 {
+			h := fnv.New64a()
+			h.Write([]byte(cur))
+			var b [8]byte
+			for i := 0; i < 8; i++ {
+				b[i] = byte(tiebreak >> (8 * i))
+			}
+			h.Write(b[:])
+			idx = int(h.Sum64() % uint64(len(ps)))
+		}
+		cur = ps[idx]
+		if len(rev) > len(dist)+1 {
+			return nil, ErrForwardLoop
+		}
+	}
+	rev = append(rev, src)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// Admit runs the OpenFlow pipeline for a new flow described by pkt: walk
+// the switch tables from the source's edge switch; on a miss, compute a
+// path under the policy and install rules along it (reactive control).
+// It returns the hop path for netsim and whether the controller was
+// consulted.
+func (c *Controller) Admit(pkt openflow.PacketInfo, policy Policy) (path []netsim.NodeID, viaController bool, err error) {
+	path, err = c.walkTables(pkt)
+	if err == nil {
+		return path, false, nil
+	}
+	if errors.Is(err, ErrDropped) {
+		return nil, false, err
+	}
+	// Table miss somewhere: packet-in.
+	c.packetIns++
+	dst := pkt.Dst
+	if pkt.Label != 0 {
+		if h, ok := c.labels[pkt.Label]; ok {
+			dst = h
+		}
+	}
+	full, rerr := c.PathFor(pkt.Src, dst, policy, flowKey(pkt))
+	if rerr != nil {
+		return nil, true, rerr
+	}
+	if ierr := c.installPath(pkt, full); ierr != nil {
+		return nil, true, ierr
+	}
+	// Re-walk so the tables, not the controller's answer, define the
+	// forwarding behaviour (catches rule bugs in tests).
+	path, err = c.walkTables(pkt)
+	if err != nil {
+		return nil, true, fmt.Errorf("sdn: tables inconsistent after install: %w", err)
+	}
+	return path, true, nil
+}
+
+// walkTables follows switch flow tables hop by hop from the source host.
+func (c *Controller) walkTables(pkt openflow.PacketInfo) ([]netsim.NodeID, error) {
+	src := pkt.Src
+	nbrs := c.net.Neighbors(src)
+	if len(nbrs) != 1 {
+		return nil, fmt.Errorf("sdn: host %s has %d uplinks, want 1", src, len(nbrs))
+	}
+	path := []netsim.NodeID{src, nbrs[0]}
+	visited := map[netsim.NodeID]bool{src: true, nbrs[0]: true}
+	cur := nbrs[0]
+	for {
+		sw, ok := c.switches[cur]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownSwitch, cur)
+		}
+		action, verdict := sw.Lookup(pkt)
+		switch verdict {
+		case openflow.VerdictDrop:
+			return nil, ErrDropped
+		case openflow.VerdictMiss:
+			return nil, fmt.Errorf("sdn: table miss at %s", cur)
+		}
+		next := action.NextHop
+		if visited[next] {
+			return nil, ErrForwardLoop
+		}
+		visited[next] = true
+		path = append(path, next)
+		if node := c.net.Node(next); node != nil && node.Kind == netsim.KindHost {
+			return path, nil
+		}
+		cur = next
+	}
+}
+
+// installPath pushes one rule per switch along the host-to-host path.
+// Label-carrying flows match on the label alone (IP-less forwarding);
+// address flows match the src/dst pair.
+func (c *Controller) installPath(pkt openflow.PacketInfo, path []netsim.NodeID) error {
+	if len(path) < 3 {
+		return fmt.Errorf("%w: path %v too short", ErrNoPath, path)
+	}
+	match := openflow.Match{Src: pkt.Src, Dst: pkt.Dst}
+	cookie := pairCookie(pkt.Src, pkt.Dst)
+	if pkt.Label != 0 {
+		match = openflow.Match{Label: pkt.Label}
+		cookie = labelCookie(pkt.Label)
+	}
+	for i := 1; i < len(path)-1; i++ {
+		sw, ok := c.switches[path[i]]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownSwitch, path[i])
+		}
+		rule := &openflow.Rule{
+			Priority:    100,
+			Match:       match,
+			Action:      openflow.Action{Type: openflow.ActionOutput, NextHop: path[i+1]},
+			IdleTimeout: c.cfg.RuleIdleTimeout,
+			HardTimeout: c.cfg.RuleHardTimeout,
+			Cookie:      cookie,
+		}
+		if err := sw.Install(rule); err != nil {
+			return err
+		}
+		c.rulesInstalled++
+	}
+	return nil
+}
+
+// FlushPair removes the reactive rules for a src/dst address pair (used
+// when IP-routed flows must be torn down after migration).
+func (c *Controller) FlushPair(src, dst netsim.NodeID) int {
+	cookie := pairCookie(src, dst)
+	removed := 0
+	for _, sw := range c.switches {
+		removed += sw.RemoveByCookie(cookie)
+	}
+	return removed
+}
+
+// InstallDrop blocks traffic matching m at one switch (administrative
+// policy; exercised by the management-plane tests).
+func (c *Controller) InstallDrop(swID netsim.NodeID, m openflow.Match, priority int) error {
+	sw, ok := c.switches[swID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSwitch, swID)
+	}
+	c.rulesInstalled++
+	return sw.Install(&openflow.Rule{Priority: priority, Match: m, Action: openflow.Action{Type: openflow.ActionDrop}})
+}

@@ -1,0 +1,286 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that drives every simulated subsystem of the PiCloud: virtual time, an
+// event heap, cancellable timers and a seeded random source.
+//
+// All simulated activity (CPU scheduling, network flows, migrations,
+// workload arrivals) is expressed as events on a single Engine so that a
+// whole-cloud run is a totally ordered, reproducible sequence. Wall-clock
+// time never enters simulation results.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured as an offset from the start of
+// the simulation. The zero Time is the simulation epoch.
+type Time time.Duration
+
+// Duration re-exports time.Duration for readability in APIs that take
+// virtual durations.
+type Duration = time.Duration
+
+// String formats the virtual time as a duration offset from the epoch.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Add returns the time shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the time as floating-point seconds since the epoch.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// ErrStopped is returned by Run variants when the engine was explicitly
+// stopped before the run condition was met.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index, -1 once removed
+	canceled bool
+	fn       func()
+}
+
+// At returns the virtual time the event fires (or would have fired).
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op. Cancel reports whether the
+// event was still pending.
+func (e *Event) Cancel() bool {
+	if e.canceled || e.index < 0 {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+// eventQueue is a min-heap of events ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator. The zero value is
+// not usable; construct with NewEngine. Engine is not safe for concurrent
+// use: external goroutines (e.g. HTTP handlers) must serialise access via
+// their own lock, which is how the management plane integrates.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine at the epoch using the given RNG seed.
+// The same seed always yields the same event interleaving.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. All stochastic
+// model decisions must draw from this source to preserve reproducibility.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled events not yet discarded.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run after delay d. A negative delay is treated as
+// zero (fires at the current time, after already-queued events at that
+// time). It returns an Event handle for cancellation.
+func (e *Engine) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt queues fn to run at absolute virtual time t. Times in the
+// past are clamped to the current time.
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil function")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Stop halts the current Run call after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the next pending event, advancing virtual time to it.
+// It reports whether an event was executed (false when the queue is
+// empty). Cancelled events are discarded without executing.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: event time %v before now %v", ev.at, e.now))
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called. It
+// returns ErrStopped if stopped early, nil otherwise.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for !e.stopped {
+		if !e.Step() {
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to
+// exactly t. Events scheduled beyond t remain queued. It returns
+// ErrStopped if Stop was called during the run.
+func (e *Engine) RunUntil(t Time) error {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.stopped {
+		return ErrStopped
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return nil
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (e *Engine) RunFor(d Duration) error { return e.RunUntil(e.now.Add(d)) }
+
+// peek returns the earliest non-cancelled event without removing it,
+// discarding cancelled events it encounters on top of the heap.
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// NextEventAt returns the time of the earliest pending event and true, or
+// the zero time and false when the queue is empty.
+func (e *Engine) NextEventAt() (Time, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+// Ticker invokes fn every period until cancelled. The first invocation
+// happens one period from now.
+type Ticker struct {
+	engine  *Engine
+	period  Duration
+	fn      func(Time)
+	ev      *Event
+	stopped bool
+}
+
+// NewTicker schedules fn to run every period of virtual time. period must
+// be positive.
+func (e *Engine) NewTicker(period Duration, fn func(Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.engine.Now())
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

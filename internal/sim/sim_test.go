@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtEpoch(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != Time(3*time.Second) {
+		t.Fatalf("Now() = %v, want 3s", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(-time.Second, func() { fired = true })
+	e.Step()
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	if !ev.Cancel() {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if ev.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(time.Second, func() {})
+	e.Step()
+	if ev.Cancel() {
+		t.Fatal("Cancel after fire returned true")
+	}
+}
+
+func TestRunUntilAdvancesClockExactly(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	e.Schedule(1*time.Second, func() { fired = append(fired, e.Now()) })
+	e.Schedule(5*time.Second, func() { fired = append(fired, e.Now()) })
+	if err := e.RunUntil(Time(3 * time.Second)); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(fired) != 1 || fired[0] != Time(time.Second) {
+		t.Fatalf("fired = %v, want [1s]", fired)
+	}
+	if e.Now() != Time(3*time.Second) {
+		t.Fatalf("Now() = %v, want 3s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	if err := e.RunFor(10 * time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("second event did not fire: %v", fired)
+	}
+	if e.Now() != Time(13*time.Second) {
+		t.Fatalf("Now() = %v, want 13s", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	if err := e.Run(); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	// Run resumes where it left off.
+	if err := e.Run(); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Schedule(time.Second, func() {
+		order = append(order, "a")
+		e.Schedule(time.Second, func() { order = append(order, "c") })
+	})
+	e.Schedule(1500*time.Millisecond, func() { order = append(order, "b") })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := "abc"
+	got := ""
+	for _, s := range order {
+		got += s
+	}
+	if got != want {
+		t.Fatalf("order = %q, want %q", got, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []float64 {
+		e := NewEngine(seed)
+		var out []float64
+		var step func()
+		step = func() {
+			out = append(out, e.Rand().Float64())
+			if len(out) < 50 {
+				e.Schedule(time.Duration(e.Rand().Intn(1000))*time.Millisecond, step)
+			}
+		}
+		e.Schedule(0, step)
+		if err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs with same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	tk := e.NewTicker(time.Second, func(now Time) { ticks = append(ticks, now) })
+	if err := e.RunUntil(Time(5500 * time.Millisecond)); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks, want 5: %v", len(ticks), ticks)
+	}
+	tk.Stop()
+	if err := e.RunFor(10 * time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if len(ticks) != 5 {
+		t.Fatalf("ticker fired after Stop: %v", ticks)
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tk *Ticker
+	tk = e.NewTicker(time.Second, func(Time) {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	if err := e.RunFor(10 * time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	e := NewEngine(1)
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("NextEventAt on empty queue returned ok")
+	}
+	ev := e.Schedule(2*time.Second, func() {})
+	e.Schedule(3*time.Second, func() {})
+	at, ok := e.NextEventAt()
+	if !ok || at != Time(2*time.Second) {
+		t.Fatalf("NextEventAt = %v,%v want 2s,true", at, ok)
+	}
+	ev.Cancel()
+	at, ok = e.NextEventAt()
+	if !ok || at != Time(3*time.Second) {
+		t.Fatalf("NextEventAt after cancel = %v,%v want 3s,true", at, ok)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(2 * time.Second)
+	if got := a.Add(3 * time.Second); got != Time(5*time.Second) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(Time(500 * time.Millisecond)); got != 1500*time.Millisecond {
+		t.Fatalf("Sub = %v", got)
+	}
+	if a.Seconds() != 2.0 {
+		t.Fatalf("Seconds = %v", a.Seconds())
+	}
+	if a.String() != "2s" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and the clock equals the max delay at the end.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delaysMS []uint16) bool {
+		e := NewEngine(7)
+		var fired []Time
+		var max Duration
+		for _, d := range delaysMS {
+			dd := time.Duration(d) * time.Millisecond
+			if dd > max {
+				max = dd
+			}
+			e.Schedule(dd, func() { fired = append(fired, e.Now()) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		if len(delaysMS) > 0 && e.Now() != Time(max) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(1)
+		for j := 0; j < 1000; j++ {
+			e.Schedule(time.Duration(j%97)*time.Millisecond, func() {})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// TraceEvent is one recorded transfer: who sent how much to whom, when.
+// The PiCloud's core pitch is that "as a development environment, it
+// permits reproduction of actual traffic patterns with realistic Cloud
+// applications" — a Recorder captures the pattern a workload produced,
+// and a Replayer reproduces it against any cloud/fabric/policy.
+type TraceEvent struct {
+	AtNanos int64  `json:"at_ns"` // virtual time offset from recorder start
+	Src     string `json:"src"`
+	Dst     string `json:"dst"`
+	Bytes   int64  `json:"bytes"`
+	Port    uint16 `json:"port"`
+}
+
+// Trace is an ordered list of transfers.
+type Trace struct {
+	Events []TraceEvent `json:"events"`
+}
+
+// Duration returns the span from the first to the last event.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return time.Duration(t.Events[len(t.Events)-1].AtNanos - t.Events[0].AtNanos)
+}
+
+// TotalBytes sums the transfer volumes.
+func (t *Trace) TotalBytes() int64 {
+	var total int64
+	for _, e := range t.Events {
+		total += e.Bytes
+	}
+	return total
+}
+
+// WriteTo serialises the trace as JSON lines (one event per line).
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events {
+		if err := enc.Encode(e); err != nil {
+			return n, fmt.Errorf("workload: encoding trace: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadTrace parses a JSON-lines trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	dec := json.NewDecoder(r)
+	for {
+		var e TraceEvent
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("workload: decoding trace: %w", err)
+		}
+		t.Events = append(t.Events, e)
+	}
+	sort.SliceStable(t.Events, func(i, j int) bool { return t.Events[i].AtNanos < t.Events[j].AtNanos })
+	return t, nil
+}
+
+// Recorder captures every Send issued through a Fabric. Attach with
+// NewRecordingFabric; the wrapped fabric keeps working normally.
+type Recorder struct {
+	trace Trace
+	base  sim.Time
+}
+
+// Trace returns a copy of what has been captured so far.
+func (r *Recorder) Trace() *Trace {
+	cp := &Trace{Events: append([]TraceEvent(nil), r.trace.Events...)}
+	return cp
+}
+
+// RecordingFabric wraps a Fabric, teeing every transfer into a Recorder.
+type RecordingFabric struct {
+	*Fabric
+	rec *Recorder
+}
+
+// NewRecordingFabric starts capturing at the current virtual time.
+func NewRecordingFabric(f *Fabric) (*RecordingFabric, *Recorder) {
+	rec := &Recorder{base: f.Engine.Now()}
+	return &RecordingFabric{Fabric: f, rec: rec}, rec
+}
+
+// Send records the transfer then delegates.
+func (rf *RecordingFabric) Send(src, dst netsim.NodeID, bytes int64, port uint16, onDone func(error)) error {
+	rf.rec.trace.Events = append(rf.rec.trace.Events, TraceEvent{
+		AtNanos: int64(rf.Engine.Now().Sub(rf.rec.base)),
+		Src:     string(src),
+		Dst:     string(dst),
+		Bytes:   bytes,
+		Port:    port,
+	})
+	return rf.Fabric.Send(src, dst, bytes, port, onDone)
+}
+
+// ReplayReport summarises a finished replay.
+type ReplayReport struct {
+	Events    int
+	Failed    int
+	Bytes     int64
+	Makespan  time.Duration // first event scheduled → last flow done
+	MeanFCTms float64
+}
+
+// Replay schedules every trace event at its recorded offset against the
+// fabric and invokes onDone with the report once all transfers finish.
+// Host names in the trace must exist in the target cloud (replaying a
+// 4×14 trace onto a 4×14 cloud of any fabric works by construction).
+func Replay(f *Fabric, t *Trace, onDone func(ReplayReport)) error {
+	if len(t.Events) == 0 {
+		return fmt.Errorf("workload: empty trace")
+	}
+	start := f.Engine.Now()
+	base := t.Events[0].AtNanos
+	remaining := len(t.Events)
+	rep := ReplayReport{Events: len(t.Events)}
+	var fctSum time.Duration
+	finishOne := func(began sim.Time, err error) {
+		if err != nil {
+			rep.Failed++
+		} else {
+			fctSum += f.Engine.Now().Sub(began)
+		}
+		remaining--
+		if remaining == 0 {
+			rep.Makespan = f.Engine.Now().Sub(start)
+			done := rep.Events - rep.Failed
+			if done > 0 {
+				rep.MeanFCTms = fctSum.Seconds() * 1000 / float64(done)
+			}
+			if onDone != nil {
+				onDone(rep)
+			}
+		}
+	}
+	for _, e := range t.Events {
+		e := e
+		rep.Bytes += e.Bytes
+		offset := time.Duration(e.AtNanos - base)
+		f.Engine.Schedule(offset, func() {
+			began := f.Engine.Now()
+			err := f.Send(netsim.NodeID(e.Src), netsim.NodeID(e.Dst), e.Bytes, e.Port, func(serr error) {
+				finishOne(began, serr)
+			})
+			if err != nil {
+				finishOne(began, err)
+			}
+		})
+	}
+	return nil
+}

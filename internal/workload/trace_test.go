@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/netsim"
+	"repro/internal/openflow"
+	"repro/internal/sdn"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestRecorderCapturesSends(t *testing.T) {
+	r := newRig(t)
+	rf, rec := NewRecordingFabric(r.fabric)
+	src, dst := r.topo.Racks[0][0], r.topo.Racks[1][0]
+	for i := 0; i < 3; i++ {
+		if err := rf.Send(src, dst, hw.MiB, 80, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.engine.RunFor(time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := rec.Trace()
+	if len(tr.Events) != 3 {
+		t.Fatalf("events = %d", len(tr.Events))
+	}
+	if tr.TotalBytes() != 3*hw.MiB {
+		t.Fatalf("bytes = %d", tr.TotalBytes())
+	}
+	// Offsets reflect virtual time: 0s, 1s, 2s.
+	if tr.Events[1].AtNanos != int64(time.Second) || tr.Events[2].AtNanos != int64(2*time.Second) {
+		t.Fatalf("offsets = %d, %d", tr.Events[1].AtNanos, tr.Events[2].AtNanos)
+	}
+	if tr.Duration() != 2*time.Second {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+}
+
+func TestTraceSerialisationRoundTrip(t *testing.T) {
+	tr := &Trace{Events: []TraceEvent{
+		{AtNanos: 0, Src: "a", Dst: "b", Bytes: 100, Port: 80},
+		{AtNanos: 5e8, Src: "b", Dst: "c", Bytes: 200, Port: 443},
+	}}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("lines = %d", got)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != 2 || back.Events[1].Dst != "c" || back.Events[1].Bytes != 200 {
+		t.Fatalf("round trip = %+v", back.Events)
+	}
+}
+
+func TestReadTraceSortsByTime(t *testing.T) {
+	in := strings.NewReader(
+		`{"at_ns":2000,"src":"a","dst":"b","bytes":1,"port":1}` + "\n" +
+			`{"at_ns":1000,"src":"a","dst":"b","bytes":1,"port":1}` + "\n")
+	tr, err := ReadTrace(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events[0].AtNanos != 1000 {
+		t.Fatal("trace not sorted")
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReplayReproducesPattern(t *testing.T) {
+	// Record a bursty pattern on one rig, replay it on a fresh rig, and
+	// check the same volume crosses the fabric with the same timing
+	// envelope.
+	r1 := newRig(t)
+	rf, rec := NewRecordingFabric(r1.fabric)
+	srcs := r1.topo.Racks[0]
+	dsts := r1.topo.Racks[1]
+	for i := 0; i < 10; i++ {
+		if err := rf.Send(srcs[i%4], dsts[(i+1)%4], int64(i+1)*256*hw.KiB, 9000, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := r1.engine.RunFor(500 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r1.engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Trace()
+
+	// Replay against a fresh cloud slice.
+	r2 := newRig(t)
+	var rep ReplayReport
+	done := false
+	if err := Replay(r2.fabric, tr, func(rr ReplayReport) { rep = rr; done = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("replay never finished")
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("failed = %d", rep.Failed)
+	}
+	if rep.Events != 10 || rep.Bytes != tr.TotalBytes() {
+		t.Fatalf("report = %+v", rep)
+	}
+	// The replay spans at least the recorded inter-arrival window.
+	if rep.Makespan < tr.Duration() {
+		t.Fatalf("makespan %v < trace duration %v", rep.Makespan, tr.Duration())
+	}
+	if rep.MeanFCTms <= 0 {
+		t.Fatal("no FCT recorded")
+	}
+	// The replayed traffic really crossed racks on the second rig.
+	if CrossRackBytes(r2.net, r2.topo.Edge) == 0 {
+		t.Fatal("replay produced no fabric traffic")
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	r := newRig(t)
+	if err := Replay(r.fabric, &Trace{}, nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestReplayAcrossFabrics(t *testing.T) {
+	// A trace captured on the multi-root tree replays byte-for-byte on a
+	// leaf-spine cloud with the same host names — the "re-cable and
+	// re-run the same workload" use case.
+	r1 := newRig(t)
+	rf, rec := NewRecordingFabric(r1.fabric)
+	for i := 0; i < 6; i++ {
+		if err := rf.Send(r1.topo.Racks[0][i%4], r1.topo.Racks[1][(i+2)%4], hw.MiB, 9000, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := r1.engine.RunFor(200 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r1.engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Trace()
+
+	e2 := newLeafSpineRig(t)
+	var rep ReplayReport
+	if err := Replay(e2.fabric, tr, func(rr ReplayReport) { rep = rr }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 || rep.Events != 6 {
+		t.Fatalf("cross-fabric replay = %+v", rep)
+	}
+}
+
+// newLeafSpineRig mirrors newRig on a leaf-spine fabric with the same
+// 2×4 host names.
+func newLeafSpineRig(t testing.TB) *rig {
+	t.Helper()
+	e := sim.NewEngine(7)
+	n := netsim.New(e)
+	topo, err := topology.BuildLeafSpine(n, topology.LeafSpineConfig{Leaves: 2, Spines: 2, HostsPerLeaf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := sdn.NewController(e, n, sdn.DefaultConfig())
+	for _, id := range topo.Switches() {
+		ctrl.RegisterSwitch(openflow.NewSwitch(id, e))
+	}
+	return &rig{
+		engine: e, net: n, topo: topo, ctrl: ctrl,
+		fabric: &Fabric{Engine: e, Net: n, Ctrl: ctrl, Policy: sdn.PolicyECMP},
+	}
+}
