@@ -1,0 +1,33 @@
+# CI and humans run the same commands: the ci.yml jobs call exactly
+# these targets' recipes.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke lint ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark pass with memory stats — the reproduction gate plus the
+# BenchmarkScenario* perf trajectory.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+# One iteration of everything; what CI runs on every push.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
+
+lint:
+	$(GO) vet ./...
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+
+ci: build lint test race bench-smoke

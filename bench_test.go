@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 // runExp executes one experiment per benchmark iteration and returns the
@@ -175,4 +176,93 @@ func BenchmarkMapReduceScaleOut(b *testing.B) {
 	}
 	b.ReportMetric(r.Metrics["workers_07_makespan_s"], "7w-s")
 	b.ReportMetric(r.Metrics["workers_56_makespan_s"], "56w-s")
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-engine benchmarks: one per canned scenario, tracking the perf
+// trajectory of fleet-scale runs from PR 1 onward. Each executes the full
+// scenario timeline once per iteration and reports simulated-seconds per
+// wall-second plus engine events/sec, so `-bench=Scenario -benchtime=1x`
+// doubles as the CI smoke gate for the scenario engine.
+
+// runScenario executes a canned scenario once per iteration and reports
+// its headline throughput metrics.
+func runScenario(b *testing.B, name string) *scenario.Report {
+	b.Helper()
+	var last *scenario.Report
+	for i := 0; i < b.N; i++ {
+		spec, err := scenario.Catalog(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := scenario.Execute(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+	}
+	b.ReportMetric(last.SimTime.Seconds()/last.WallTime.Seconds(), "sim-s/wall-s")
+	b.ReportMetric(float64(last.EventsFired)/last.WallTime.Seconds(), "events/s")
+	return last
+}
+
+// BenchmarkScenarioDiurnalDay runs the compressed day/night curve on the
+// published 4×14 testbed.
+func BenchmarkScenarioDiurnalDay(b *testing.B) {
+	r := runScenario(b, "diurnal-day")
+	if r.Metrics["diurnal_flows"] == 0 {
+		b.Fatal("diurnal curve generated no traffic")
+	}
+}
+
+// BenchmarkScenarioMigrationStorm mass-migrates under load.
+func BenchmarkScenarioMigrationStorm(b *testing.B) {
+	r := runScenario(b, "migration-storm")
+	if r.Metrics["migrations_done"] == 0 {
+		b.Fatal("storm completed no migrations")
+	}
+	b.ReportMetric(r.Metrics["migrations_done"], "migrations")
+}
+
+// BenchmarkScenarioRackBlackout powers a rack off and back on mid-run.
+func BenchmarkScenarioRackBlackout(b *testing.B) {
+	r := runScenario(b, "rack-blackout")
+	if r.Metrics["faults_injected"] == 0 {
+		b.Fatal("no blackout injected")
+	}
+}
+
+// BenchmarkScenarioNodeChurn cycles random nodes through crash/recover.
+func BenchmarkScenarioNodeChurn(b *testing.B) {
+	r := runScenario(b, "node-churn")
+	if r.Metrics["faults_injected"] == 0 {
+		b.Fatal("no churn happened")
+	}
+}
+
+// BenchmarkScenarioBrownoutFabric shapes every ToR uplink.
+func BenchmarkScenarioBrownoutFabric(b *testing.B) {
+	r := runScenario(b, "brownout-fabric")
+	if r.Metrics["faults_injected"] == 0 {
+		b.Fatal("no degradation applied")
+	}
+}
+
+// BenchmarkScenarioFlashCrowd spikes arrivals on a 200-node leaf-spine.
+func BenchmarkScenarioFlashCrowd(b *testing.B) {
+	r := runScenario(b, "flash-crowd")
+	if r.Nodes != 200 {
+		b.Fatalf("flash crowd ran on %d nodes, want 200", r.Nodes)
+	}
+}
+
+// BenchmarkScenarioMegafleet1000 is the scale-out gate: 1040 simulated
+// nodes with churn and a fabric brownout must complete inside the CI
+// bench-smoke job.
+func BenchmarkScenarioMegafleet1000(b *testing.B) {
+	r := runScenario(b, "megafleet-1000")
+	if r.Nodes < 1000 {
+		b.Fatalf("megafleet ran on %d nodes, want ≥ 1000", r.Nodes)
+	}
+	b.ReportMetric(float64(r.Nodes), "nodes")
 }

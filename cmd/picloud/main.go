@@ -5,8 +5,13 @@
 // Usage:
 //
 //	picloud -addr :8080 -speed 1.0
+//	picloud -scenario rack-blackout -speed 10
+//	picloud -scenarios
 //
 // Then browse http://localhost:8080/panel, or drive the API with pictl.
+// With -scenario, the named canned scenario's traffic and fault timeline
+// replay against the live cloud while the API serves, so the panel shows
+// a fleet under fire.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/placement"
+	"repro/internal/scenario"
 	"repro/internal/topology"
 )
 
@@ -30,15 +36,21 @@ func main() {
 	hostsPerRack := flag.Int("hosts-per-rack", topology.DefaultHostsPerRack, "Pis per rack")
 	fabric := flag.String("fabric", "multi-root-tree", "fabric: multi-root-tree, fat-tree, leaf-spine")
 	placer := flag.String("placer", "best-fit", "default placement algorithm")
+	scen := flag.String("scenario", "", "canned scenario to replay against the live cloud (see -scenarios)")
+	listScen := flag.Bool("scenarios", false, "list canned scenarios and exit")
 	flag.Parse()
 
-	if err := run(*addr, *speed, *racks, *hostsPerRack, *fabric, *placer); err != nil {
+	if *listScen {
+		fmt.Print("canned scenarios:\n" + scenario.Describe())
+		return
+	}
+	if err := run(*addr, *speed, *racks, *hostsPerRack, *fabric, *placer, *scen); err != nil {
 		fmt.Fprintln(os.Stderr, "picloud:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, speed float64, racks, hostsPerRack int, fabricName, placerName string) error {
+func run(addr string, speed float64, racks, hostsPerRack int, fabricName, placerName, scenarioName string) error {
 	var fabric topology.Fabric
 	switch fabricName {
 	case "multi-root-tree":
@@ -80,6 +92,21 @@ func run(addr string, speed float64, racks, hostsPerRack int, fabricName, placer
 	fmt.Printf("pimaster: http://localhost%s/panel\n", addr)
 
 	stop := make(chan struct{})
+
+	if scenarioName != "" {
+		spec, err := scenario.Catalog(scenarioName)
+		if err != nil {
+			return err
+		}
+		run, err := scenario.Install(cloud, spec)
+		if err != nil {
+			return err
+		}
+		run.OnEvent = func(ev scenario.TraceEvent) { fmt.Println("scenario:", ev) }
+		fmt.Printf("scenario %s installed: %s\n", spec.Name, spec.Description)
+		go run.DriveActions(speed, stop)
+	}
+
 	go cloud.DriveRealTime(speed, stop)
 
 	srv := &http.Server{Addr: addr, Handler: cloud.Master.Handler()}

@@ -47,9 +47,16 @@ type Config struct {
 	Fabric topology.Fabric
 	// FatTreeK applies when Fabric is FabricFatTree (default 8).
 	FatTreeK int
+	// AggSwitches is the number of multi-root aggregation roots (default
+	// 2); scale it up with the rack count to keep bisection bandwidth.
+	AggSwitches int
+	// SpineSwitches applies when Fabric is FabricLeafSpine (default 2).
+	SpineSwitches int
 	// UplinkBps overrides the switch-to-switch link capacity (default
 	// 1 Gb/s); lowering it models an oversubscribed fabric.
 	UplinkBps float64
+	// LinkLatency overrides the per-hop store-and-forward latency.
+	LinkLatency time.Duration
 	// Seed drives all stochastic behaviour.
 	Seed int64
 	// Placer is pimaster's default placement algorithm (best-fit if nil).
@@ -160,22 +167,34 @@ func New(cfg Config) (*Cloud, error) {
 			Hosts:       cfg.Racks * cfg.HostsPerRack,
 			HostLinkBps: float64(cfg.Board.NIC.BitsPerSecond),
 			UplinkBps:   cfg.UplinkBps,
+			Latency:     cfg.LinkLatency,
 		})
 	case topology.FabricLeafSpine:
+		spines := cfg.SpineSwitches
+		if spines == 0 {
+			spines = topology.DefaultSpineSwitches
+		}
 		topo, err = topology.BuildLeafSpine(net, topology.LeafSpineConfig{
 			Leaves:       cfg.Racks,
-			Spines:       topology.DefaultSpineSwitches,
+			Spines:       spines,
 			HostsPerLeaf: cfg.HostsPerRack,
 			HostLinkBps:  float64(cfg.Board.NIC.BitsPerSecond),
 			UplinkBps:    cfg.UplinkBps,
+			Latency:      cfg.LinkLatency,
 		})
 	default:
 		mrc := topology.DefaultMultiRoot()
 		mrc.Racks = cfg.Racks
 		mrc.HostsPerRack = cfg.HostsPerRack
 		mrc.HostLinkBps = float64(cfg.Board.NIC.BitsPerSecond)
+		if cfg.AggSwitches > 0 {
+			mrc.AggSwitches = cfg.AggSwitches
+		}
 		if cfg.UplinkBps > 0 {
 			mrc.UplinkBps = cfg.UplinkBps
+		}
+		if cfg.LinkLatency > 0 {
+			mrc.Latency = cfg.LinkLatency
 		}
 		topo, err = topology.BuildMultiRoot(net, mrc)
 	}
@@ -258,10 +277,12 @@ func New(cfg Config) (*Cloud, error) {
 	return c, nil
 }
 
-// indexInRack parses the nYY suffix of pi-rXX-nYY.
+// indexInRack parses the n<idx> suffix of pi-r<rack>-n<idx>. Plain %d so
+// 3+ digit racks and indices (scale-out fleets) parse instead of
+// truncating at two digits and colliding.
 func indexInRack(name string) int {
 	var r, i int
-	if _, err := fmt.Sscanf(name, "pi-r%02d-n%02d", &r, &i); err == nil {
+	if _, err := fmt.Sscanf(name, "pi-r%d-n%d", &r, &i); err == nil {
 		return i
 	}
 	return 0

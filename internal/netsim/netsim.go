@@ -52,16 +52,26 @@ type Node struct {
 }
 
 // Link is one direction of a cable: a fixed-capacity, fixed-latency pipe.
+// Capacity and Latency are the effective values after any Shaping; the
+// nominal cable parameters are retained so shaping can be cleared.
 type Link struct {
 	From     NodeID
 	To       NodeID
-	Capacity float64 // bits per second
+	Capacity float64 // bits per second (effective)
 	Latency  time.Duration
 	up       bool
+	net      *Network
 	flows    map[*Flow]struct{}
+	// Nominal (unshaped) cable parameters.
+	baseCapacity float64
+	baseLatency  time.Duration
+	shaped       bool
 	// BitsCarried accumulates the total traffic volume for utilisation
 	// reporting and the congestion experiments.
 	bitsCarried float64
+	// Allocation scratch, valid only inside reallocate.
+	remaining   float64
+	activeCount int
 }
 
 // Up reports whether the link is in service.
@@ -73,8 +83,14 @@ func (l *Link) FlowCount() int { return len(l.flows) }
 // BitsCarried returns the cumulative traffic that has crossed the link.
 func (l *Link) BitsCarried() float64 { return l.bitsCarried }
 
+// Shaped reports whether tc-style impairment is applied to the link.
+func (l *Link) Shaped() bool { return l.shaped }
+
 // Utilisation returns the instantaneous fraction of capacity in use.
 func (l *Link) Utilisation() float64 {
+	if l.net != nil {
+		l.net.flush()
+	}
 	if l.Capacity <= 0 {
 		return 0
 	}
@@ -140,11 +156,14 @@ type Flow struct {
 	ended     bool
 	endAt     sim.Time
 	endReason EndReason
-	complete  *sim.Event
+	complete  sim.Event
 }
 
 // Rate returns the current max-min allocation in bits per second.
-func (f *Flow) Rate() float64 { return f.rate }
+func (f *Flow) Rate() float64 {
+	f.net.flush()
+	return f.rate
+}
 
 // BitsTransferred returns the bits moved so far (advanced to current
 // virtual time on every allocation change).
@@ -183,12 +202,29 @@ func (f *Flow) PathLatency() time.Duration {
 // Network is the flow simulator. It is single-threaded on the simulation
 // engine; callers integrating with real goroutines must serialise access
 // externally (the cloud facade does).
+//
+// Rate recomputation is batched: mutations (flow start/end, link events,
+// shaping) mark the allocation dirty and a single max-min recomputation
+// runs once per virtual instant — either via a zero-delay engine event or
+// lazily when a rate-dependent query arrives. A burst of N mutations at
+// one instant therefore costs one progressive-filling pass instead of N,
+// which is what makes migration storms and 1000-node fleets feasible.
 type Network struct {
 	engine *sim.Engine
 	nodes  map[NodeID]*Node
 	links  map[linkKey]*Link
-	flows  map[int64]*Flow
-	nextID int64
+	// linkList iterates links in creation order (deterministic, no map
+	// ranging on the hot path). Removed links are filtered out in place.
+	linkList []*Link
+	// flowOrder iterates live flows in admission order; ended flows are
+	// compacted out lazily. Determinism of completion-event sequence
+	// numbers depends on this ordering.
+	flowOrder []*Flow
+	active    int
+	nextID    int64
+	dirty     bool
+	// scratch buffer reused across reallocate calls.
+	reallocScratch []*Flow
 }
 
 type linkKey struct{ from, to NodeID }
@@ -210,8 +246,28 @@ func New(engine *sim.Engine) *Network {
 		engine: engine,
 		nodes:  make(map[NodeID]*Node),
 		links:  make(map[linkKey]*Link),
-		flows:  make(map[int64]*Flow),
 	}
+}
+
+// markDirty defers rate recomputation to the end of the current virtual
+// instant. The zero-delay event fires before time can advance, so no flow
+// ever accrues bits at a stale rate.
+func (n *Network) markDirty() {
+	if n.dirty {
+		return
+	}
+	n.dirty = true
+	n.engine.Schedule(0, n.flush)
+}
+
+// flush recomputes allocations if a mutation is pending. Queries that
+// depend on rates call it so reads are always consistent even before the
+// engine runs the deferred event.
+func (n *Network) flush() {
+	if !n.dirty {
+		return
+	}
+	n.reallocate()
 }
 
 // AddNode registers a device.
@@ -246,8 +302,71 @@ func (n *Network) AddDuplexLink(a, b NodeID, capacityBps float64, latency time.D
 			return fmt.Errorf("%w: %s->%s", ErrLinkExists, k.from, k.to)
 		}
 	}
-	n.links[linkKey{a, b}] = &Link{From: a, To: b, Capacity: capacityBps, Latency: latency, up: true, flows: make(map[*Flow]struct{})}
-	n.links[linkKey{b, a}] = &Link{From: b, To: a, Capacity: capacityBps, Latency: latency, up: true, flows: make(map[*Flow]struct{})}
+	for _, k := range []linkKey{{a, b}, {b, a}} {
+		l := &Link{
+			From: k.from, To: k.to,
+			Capacity: capacityBps, Latency: latency,
+			baseCapacity: capacityBps, baseLatency: latency,
+			up: true, net: n, flows: make(map[*Flow]struct{}),
+		}
+		n.links[k] = l
+		n.linkList = append(n.linkList, l)
+	}
+	return nil
+}
+
+// Shaping models tc-style impairment of a duplex cable: a capacity
+// multiplier, additional one-way latency, and a packet-loss fraction that
+// degrades goodput (modelled as a further capacity reduction, the
+// steady-state effect of loss on congestion-controlled transfers).
+type Shaping struct {
+	// CapacityScale multiplies the nominal capacity; values ≤ 0 or ≥ 1
+	// leave capacity at nominal.
+	CapacityScale float64
+	// ExtraLatency is added to the nominal propagation latency.
+	ExtraLatency time.Duration
+	// Loss is the packet-loss fraction in [0, 1).
+	Loss float64
+}
+
+// ShapeLink applies shaping to both directions of the cable between a and
+// b, replacing any previous shaping. Live flows re-share immediately.
+func (n *Network) ShapeLink(a, b NodeID, s Shaping) error {
+	la, lb := n.links[linkKey{a, b}], n.links[linkKey{b, a}]
+	if la == nil || lb == nil {
+		return fmt.Errorf("%w: %s-%s", ErrNoSuchLink, a, b)
+	}
+	if s.Loss < 0 || s.Loss >= 1 {
+		return fmt.Errorf("netsim: loss %v outside [0,1)", s.Loss)
+	}
+	scale := s.CapacityScale
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	n.advanceAll()
+	for _, l := range []*Link{la, lb} {
+		l.Capacity = l.baseCapacity * scale * (1 - s.Loss)
+		l.Latency = l.baseLatency + s.ExtraLatency
+		l.shaped = true
+	}
+	n.markDirty()
+	return nil
+}
+
+// ClearShaping restores the nominal parameters of the cable between a and
+// b.
+func (n *Network) ClearShaping(a, b NodeID) error {
+	la, lb := n.links[linkKey{a, b}], n.links[linkKey{b, a}]
+	if la == nil || lb == nil {
+		return fmt.Errorf("%w: %s-%s", ErrNoSuchLink, a, b)
+	}
+	n.advanceAll()
+	for _, l := range []*Link{la, lb} {
+		l.Capacity = l.baseCapacity
+		l.Latency = l.baseLatency
+		l.shaped = false
+	}
+	n.markDirty()
 	return nil
 }
 
@@ -259,6 +378,7 @@ func (n *Network) RemoveDuplexLink(a, b NodeID) error {
 	if _, ok := n.links[ka]; !ok {
 		return fmt.Errorf("%w: %s->%s", ErrNoSuchLink, a, b)
 	}
+	n.advanceAll()
 	for _, k := range []linkKey{ka, kb} {
 		l := n.links[k]
 		for f := range l.flows {
@@ -266,7 +386,17 @@ func (n *Network) RemoveDuplexLink(a, b NodeID) error {
 		}
 		delete(n.links, k)
 	}
-	n.reallocate()
+	kept := n.linkList[:0]
+	for _, l := range n.linkList {
+		if n.links[linkKey{l.From, l.To}] == l {
+			kept = append(kept, l)
+		}
+	}
+	for i := len(kept); i < len(n.linkList); i++ {
+		n.linkList[i] = nil
+	}
+	n.linkList = kept
+	n.markDirty()
 	return nil
 }
 
@@ -311,7 +441,7 @@ func (n *Network) SetLinkUp(a, b NodeID, up bool) error {
 			}
 		}
 	}
-	n.reallocate()
+	n.markDirty()
 	return nil
 }
 
@@ -343,8 +473,9 @@ func (n *Network) StartFlow(spec FlowSpec) (*Flow, error) {
 	for _, l := range links {
 		l.flows[f] = struct{}{}
 	}
-	n.flows[f.ID] = f
-	n.reallocate()
+	n.flowOrder = append(n.flowOrder, f)
+	n.active++
+	n.markDirty()
 	return f, nil
 }
 
@@ -399,7 +530,7 @@ func (n *Network) SetPath(f *Flow, path []NodeID) error {
 	for _, l := range links {
 		l.flows[f] = struct{}{}
 	}
-	n.reallocate()
+	n.markDirty()
 	return nil
 }
 
@@ -410,15 +541,15 @@ func (n *Network) CancelFlow(f *Flow) error {
 	}
 	n.advanceAll()
 	n.endFlow(f, EndCanceled)
-	n.reallocate()
+	n.markDirty()
 	return nil
 }
 
 // ActiveFlows returns the number of live flows.
-func (n *Network) ActiveFlows() int { return len(n.flows) }
+func (n *Network) ActiveFlows() int { return n.active }
 
 // endFlow finalises a flow and fires its callback. Callers must follow
-// with reallocate().
+// with markDirty().
 func (n *Network) endFlow(f *Flow, reason EndReason) {
 	if f.ended {
 		return
@@ -427,24 +558,28 @@ func (n *Network) endFlow(f *Flow, reason EndReason) {
 	f.endReason = reason
 	f.endAt = n.engine.Now()
 	f.rate = 0
-	if f.complete != nil {
-		f.complete.Cancel()
-		f.complete = nil
-	}
+	f.complete.Cancel()
+	f.complete = sim.Event{}
 	for _, l := range f.path {
 		delete(l.flows, f)
 	}
-	delete(n.flows, f.ID)
+	n.active--
 	if f.Spec.OnEnd != nil {
 		f.Spec.OnEnd(f, reason)
 	}
 }
 
 // advanceAll credits every live flow with the bits moved since the last
-// allocation change.
+// allocation change, compacting ended flows out of the admission-order
+// list as it goes.
 func (n *Network) advanceAll() {
 	now := n.engine.Now()
-	for _, f := range n.flows {
+	live := n.flowOrder[:0]
+	for _, f := range n.flowOrder {
+		if f.ended {
+			continue
+		}
+		live = append(live, f)
 		dt := now.Sub(f.lastCalc).Seconds()
 		if dt > 0 && f.rate > 0 {
 			moved := f.rate * dt
@@ -461,14 +596,24 @@ func (n *Network) advanceAll() {
 		}
 		f.lastCalc = now
 	}
+	for i := len(live); i < len(n.flowOrder); i++ {
+		n.flowOrder[i] = nil
+	}
+	n.flowOrder = live
 }
 
 // reallocate recomputes the max-min fair allocation for all live flows
 // (progressive filling with per-flow caps) and reschedules completion
-// events.
+// events. It runs once per virtual instant no matter how many mutations
+// arrived, iterating slices in deterministic admission/wiring order with
+// zero per-call heap allocation.
 func (n *Network) reallocate() {
-	active := make(map[*Flow]struct{}, len(n.flows))
-	for _, f := range n.flows {
+	n.dirty = false
+	active := n.reallocScratch[:0]
+	for _, f := range n.flowOrder {
+		if f.ended {
+			continue
+		}
 		f.rate = 0
 		onDownLink := false
 		for _, l := range f.path {
@@ -478,34 +623,28 @@ func (n *Network) reallocate() {
 			}
 		}
 		if !onDownLink {
-			active[f] = struct{}{}
+			active = append(active, f)
 		}
 	}
-	remaining := make(map[*Link]float64)
-	linkActive := make(map[*Link]int)
-	for _, l := range n.links {
-		if !l.up {
-			continue
+	for _, l := range n.linkList {
+		l.remaining = l.Capacity
+		l.activeCount = 0
+	}
+	for _, f := range active {
+		for _, l := range f.path {
+			l.activeCount++
 		}
-		remaining[l] = l.Capacity
-		count := 0
-		for f := range l.flows {
-			if _, ok := active[f]; ok {
-				count++
-			}
-		}
-		linkActive[l] = count
 	}
 	for len(active) > 0 {
 		inc := math.Inf(1)
-		for l, count := range linkActive {
-			if count > 0 {
-				if share := remaining[l] / float64(count); share < inc {
+		for _, l := range n.linkList {
+			if l.up && l.activeCount > 0 {
+				if share := l.remaining / float64(l.activeCount); share < inc {
 					inc = share
 				}
 			}
 		}
-		for f := range active {
+		for _, f := range active {
 			if f.Spec.RateCapBps > 0 {
 				if room := f.Spec.RateCapBps - f.rate; room < inc {
 					inc = room
@@ -520,47 +659,57 @@ func (n *Network) reallocate() {
 		if inc < 0 {
 			inc = 0
 		}
-		for f := range active {
+		for _, f := range active {
 			f.rate += inc
 		}
-		for l, count := range linkActive {
-			remaining[l] -= inc * float64(count)
+		for _, l := range n.linkList {
+			if l.up {
+				l.remaining -= inc * float64(l.activeCount)
+			}
 		}
 		// Freeze flows at saturated links or at their cap.
-		for f := range active {
+		kept := active[:0]
+		for _, f := range active {
 			frozen := false
 			if f.Spec.RateCapBps > 0 && f.rate >= f.Spec.RateCapBps-1e-9 {
 				frozen = true
 			}
 			if !frozen {
 				for _, l := range f.path {
-					if remaining[l] <= 1e-9 {
+					if l.remaining <= 1e-9 {
 						frozen = true
 						break
 					}
 				}
 			}
 			if frozen {
-				delete(active, f)
 				for _, l := range f.path {
-					if _, ok := linkActive[l]; ok {
-						linkActive[l]--
-					}
+					l.activeCount--
 				}
+			} else {
+				kept = append(kept, f)
 			}
 		}
+		if len(kept) == len(active) {
+			// No flow froze despite a finite increment; avoid livelock.
+			break
+		}
+		active = kept
 	}
+	n.reallocScratch = active[:0]
 	n.rescheduleCompletions()
 }
 
 // rescheduleCompletions re-arms the completion event of every finite flow
-// based on its fresh rate.
+// based on its fresh rate, in admission order so the event sequence — and
+// with it whole-run determinism — is stable.
 func (n *Network) rescheduleCompletions() {
-	for _, f := range n.flows {
-		if f.complete != nil {
-			f.complete.Cancel()
-			f.complete = nil
+	for _, f := range n.flowOrder {
+		if f.ended {
+			continue
 		}
+		f.complete.Cancel()
+		f.complete = sim.Event{}
 		if f.Spec.SizeBits <= 0 || f.rate <= 0 {
 			continue
 		}
@@ -572,7 +721,7 @@ func (n *Network) rescheduleCompletions() {
 			// Guard against float drift: clamp and finish.
 			f.remaining = 0
 			n.endFlow(f, EndCompleted)
-			n.reallocate()
+			n.markDirty()
 		})
 	}
 }
@@ -589,6 +738,7 @@ func (n *Network) TransferOnce(spec FlowSpec) (*Flow, error) {
 // MaxLinkUtilisation returns the highest instantaneous utilisation across
 // all up links — the congestion metric used by experiment R4.
 func (n *Network) MaxLinkUtilisation() float64 {
+	n.flush()
 	max := 0.0
 	for _, l := range n.links {
 		if !l.up {

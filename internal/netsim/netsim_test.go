@@ -347,8 +347,9 @@ func TestPropertyMaxMinSafety(t *testing.T) {
 				return false
 			}
 		}
+		n.flush()
 		total := 0.0
-		for _, fl := range n.flows {
+		for _, fl := range n.flowOrder {
 			if fl.rate < -1e-9 {
 				return false
 			}
@@ -360,7 +361,7 @@ func TestPropertyMaxMinSafety(t *testing.T) {
 		// Equal unconstrained flows over the same path: equal shares.
 		if len(sizes) > 0 {
 			want := 100 * mbps / float64(len(sizes))
-			for _, fl := range n.flows {
+			for _, fl := range n.flowOrder {
 				if math.Abs(fl.rate-want) > 1 {
 					return false
 				}
@@ -482,5 +483,80 @@ func TestHeterogeneousBottleneck(t *testing.T) {
 	}
 	if math.Abs(f.Rate()-25*mbps) > 1 || math.Abs(f2.Rate()-25*mbps) > 1 {
 		t.Fatalf("rates = %v/%v, want 25Mbps each", f.Rate(), f2.Rate())
+	}
+}
+
+func TestShapeLink(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := line(t, e)
+	f, err := n.StartFlow(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Rate(); got != 100*mbps {
+		t.Fatalf("unshaped rate = %v, want 100 mbps", got)
+	}
+	base := f.PathLatency()
+	// Halve capacity, add latency, 10% loss: effective 100*0.5*0.9.
+	if err := n.ShapeLink("a", "s", Shaping{CapacityScale: 0.5, ExtraLatency: time.Millisecond, Loss: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Rate(), 100*mbps*0.5*0.9; math.Abs(got-want) > 1 {
+		t.Fatalf("shaped rate = %v, want %v", got, want)
+	}
+	if got := f.PathLatency(); got != base+time.Millisecond {
+		t.Fatalf("shaped latency = %v, want %v", got, base+time.Millisecond)
+	}
+	if !n.Link("a", "s").Shaped() {
+		t.Fatal("link not marked shaped")
+	}
+	if err := n.ClearShaping("a", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Rate(); got != 100*mbps {
+		t.Fatalf("cleared rate = %v, want 100 mbps", got)
+	}
+	if got := f.PathLatency(); got != base {
+		t.Fatalf("cleared latency = %v, want %v", got, base)
+	}
+	// Bad arguments are rejected.
+	if err := n.ShapeLink("a", "s", Shaping{Loss: 1.0}); err == nil {
+		t.Fatal("loss=1 accepted")
+	}
+	if err := n.ShapeLink("a", "zzz", Shaping{}); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+}
+
+// TestBatchedReallocation verifies a burst of same-instant admissions is
+// visible to queries immediately (flush-on-read) and settles to the fair
+// share after the deferred recompute.
+func TestBatchedReallocation(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := line(t, e)
+	var flows []*Flow
+	for i := 0; i < 4; i++ {
+		f, err := n.StartFlow(FlowSpec{Src: "a", Dst: "b", Path: []NodeID{"a", "s", "b"}, SizeBits: 50 * mbps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows = append(flows, f)
+	}
+	for i, f := range flows {
+		if got := f.Rate(); math.Abs(got-25*mbps) > 1 {
+			t.Fatalf("flow %d rate = %v, want 25 mbps", i, got)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range flows {
+		if ended, reason := f.Ended(); !ended || reason != EndCompleted {
+			t.Fatalf("flow %d not completed: %v %v", i, ended, reason)
+		}
+	}
+	// 4 × 50 Mb over a shared 100 Mb/s path: 2 s.
+	if got := e.Now(); got != sim.Time(2*time.Second) {
+		t.Fatalf("completion time = %v, want 2s", got)
 	}
 }

@@ -106,8 +106,8 @@ type Rule struct {
 	installedAt sim.Time
 	lastHit     sim.Time
 	hits        uint64
-	hardEv      *sim.Event
-	idleEv      *sim.Event
+	hardEv      sim.Event
+	idleEv      sim.Event
 	sw          *Switch
 }
 
@@ -251,12 +251,8 @@ func (s *Switch) remove(r *Rule) bool {
 		return false
 	}
 	s.rules = append(s.rules[:i], s.rules[i+1:]...)
-	if r.hardEv != nil {
-		r.hardEv.Cancel()
-	}
-	if r.idleEv != nil {
-		r.idleEv.Cancel()
-	}
+	r.hardEv.Cancel()
+	r.idleEv.Cancel()
 	return true
 }
 

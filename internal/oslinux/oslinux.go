@@ -95,7 +95,7 @@ type Task struct {
 	remain  float64 // MI outstanding (finite tasks)
 	started sim.Time
 	last    sim.Time
-	doneEv  *sim.Event
+	doneEv  sim.Event
 	ended   bool
 }
 
@@ -339,10 +339,8 @@ func (k *Kernel) endTask(t *Task) {
 	}
 	t.ended = true
 	t.rate = 0
-	if t.doneEv != nil {
-		t.doneEv.Cancel()
-		t.doneEv = nil
-	}
+	t.doneEv.Cancel()
+	t.doneEv = sim.Event{}
 	delete(t.cgroup.tasks, t)
 }
 
@@ -459,10 +457,8 @@ func (k *Kernel) reschedule() {
 func (k *Kernel) rescheduleCompletions() {
 	for _, cg := range k.cgroups {
 		for t := range cg.tasks {
-			if t.doneEv != nil {
-				t.doneEv.Cancel()
-				t.doneEv = nil
-			}
+			t.doneEv.Cancel()
+			t.doneEv = sim.Event{}
 			if t.Spec.WorkMI <= 0 || t.rate <= 0 {
 				continue
 			}

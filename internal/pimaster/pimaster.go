@@ -186,7 +186,10 @@ func (m *Master) SetPlacer(p placement.Placer) {
 }
 
 // RegisterNode adds a node: a DHCP pool/lease for its rack, DNS records,
-// and the REST client. Racks get pool "rack<N>" with subnet 10.<N>.0.0/24.
+// and the REST client. Racks get pool "rack<N>" with subnet 10.<N>.0.0/20
+// — room for ~4000 addresses per rack so scale-out fleets keep the same
+// addressing plan as the published 4×14 testbed (small indices yield the
+// identical 10.<rack>.0.<2+idx> addresses).
 func (m *Master) RegisterNode(ref *NodeRef, idxInRack int) error {
 	if ref == nil || ref.Name == "" || ref.Client == nil {
 		return fmt.Errorf("pimaster: incomplete node ref")
@@ -194,14 +197,22 @@ func (m *Master) RegisterNode(ref *NodeRef, idxInRack int) error {
 	if _, dup := m.byName[ref.Name]; dup {
 		return fmt.Errorf("pimaster: node %s already registered", ref.Name)
 	}
+	if ref.Rack < 0 || ref.Rack > 255 {
+		return fmt.Errorf("pimaster: rack %d outside the 10.<rack>.0.0/20 addressing plan", ref.Rack)
+	}
+	hostNum := 2 + idxInRack
+	// 0xFFF is the /20 broadcast address — also off limits.
+	if idxInRack < 0 || hostNum >= 0xFFF {
+		return fmt.Errorf("pimaster: node index %d outside the rack /20 pool", idxInRack)
+	}
 	pool := fmt.Sprintf("rack%d", ref.Rack)
-	cidr := fmt.Sprintf("10.%d.0.0/24", ref.Rack)
+	cidr := fmt.Sprintf("10.%d.0.0/20", ref.Rack)
 	if err := m.dhcp.AddPool(pool, cidr); err != nil && !errors.Is(err, dhcp.ErrPoolExists) {
 		return err
 	}
 	// Nodes get static reservations (the administrator's IP policy):
-	// 10.<rack>.0.<2+idx>, immune to lease expiry.
-	addr := netip.AddrFrom4([4]byte{10, byte(ref.Rack), 0, byte(2 + idxInRack)})
+	// pool base + 2 + idx, immune to lease expiry.
+	addr := netip.AddrFrom4([4]byte{10, byte(ref.Rack), byte(hostNum >> 8), byte(hostNum)})
 	lease, err := m.dhcp.Reserve(pool, dhcp.NodeMAC(ref.Rack, idxInRack), addr)
 	if err != nil {
 		return err
@@ -263,15 +274,9 @@ func (m *Master) buildView() (*placement.View, error) {
 	m.mu.Unlock()
 	// Placement sees the larger of measured utilisation and declared
 	// reservations, so idle-but-reserved capacity is not double-booked.
+	// v.Nodes is index-aligned with m.nodes.
 	for i := range v.Nodes {
-		name := ""
-		for _, ref := range m.nodes {
-			if ref.Host == v.Nodes[i].ID {
-				name = ref.Name
-				break
-			}
-		}
-		if res := reserved[name]; res > v.Nodes[i].CPUUsed {
+		if res := reserved[m.nodes[i].Name]; res > v.Nodes[i].CPUUsed {
 			v.Nodes[i].CPUUsed = res
 		}
 	}
@@ -388,7 +393,7 @@ func (m *Master) refByHost(host netsim.NodeID) *NodeRef {
 // in rack order so index is position within the rack.
 func splitNodeName(ref *NodeRef) (rack, idx int) {
 	var r, i int
-	if _, err := fmt.Sscanf(ref.Name, "pi-r%02d-n%02d", &r, &i); err == nil {
+	if _, err := fmt.Sscanf(ref.Name, "pi-r%d-n%d", &r, &i); err == nil {
 		return r, i
 	}
 	return ref.Rack, 0

@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// The canned catalog: named, reproducible runs from the paper's 4×14
+// testbed up to 1000+ simulated nodes. cmd/piscale and cmd/picloud both
+// expose it; the BenchmarkScenario* entries track its performance
+// trajectory release over release.
+
+// Catalog returns the spec for a named canned scenario.
+func Catalog(name string) (Spec, error) {
+	for _, s := range catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown scenario %q (try one of %v)", name, Names())
+}
+
+// Names lists the canned scenarios, sorted.
+func Names() []string {
+	specs := catalog()
+	out := make([]string, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe renders a one-line-per-scenario listing.
+func Describe() string {
+	out := ""
+	for _, n := range Names() {
+		s, _ := Catalog(n)
+		nodes := s.Cloud.Racks * s.Cloud.HostsPerRack
+		if nodes == 0 {
+			nodes = topology.DefaultRacks * topology.DefaultHostsPerRack
+		}
+		out += fmt.Sprintf("  %-18s %5d nodes, %-8v %s\n", n, nodes, s.Duration, s.Description)
+	}
+	return out
+}
+
+func catalog() []Spec {
+	return []Spec{
+		{
+			Name:        "diurnal-day",
+			Description: "a compressed day/night load curve over the published 4×14 testbed",
+			Cloud:       core.Config{Seed: 11},
+			Duration:    10 * time.Minute,
+			Traffic: TrafficSpec{
+				Diurnal: &DiurnalConfig{Period: 10 * time.Minute, FlowBytes: 2 * hw.MiB},
+			},
+		},
+		{
+			Name:        "migration-storm",
+			Description: "32 VMs live-migrated at once under gravity background traffic",
+			Cloud:       core.Config{Seed: 23},
+			Duration:    5 * time.Minute,
+			Fleet:       FleetSpec{VMs: 40, Image: "webserver", CPUDemandMIPS: 100},
+			Traffic: TrafficSpec{
+				Gravity: &workload.GravityConfig{EpochSeconds: 20, FlowsPerEpoch: 12},
+			},
+			Faults: []Fault{
+				MigrationStorm{At: 60 * time.Second, Moves: 32},
+			},
+		},
+		{
+			Name:        "rack-blackout",
+			Description: "a whole rack loses power for two minutes mid-run",
+			Cloud:       core.Config{Seed: 31},
+			Duration:    5 * time.Minute,
+			// Round-robin cycles nodes in order, so ≥ 29 VMs are needed
+			// before rack 2 hosts any; 36 puts 8 containers in the blast
+			// radius instead of darkening empty boards.
+			Fleet: FleetSpec{VMs: 36, Image: "webserver", Placer: "round-robin"},
+			Traffic: TrafficSpec{
+				OnOff: &workload.OnOffConfig{Sources: 12},
+			},
+			Faults: []Fault{
+				RackFail{Rack: 2, At: 60 * time.Second, Outage: 2 * time.Minute},
+			},
+		},
+		{
+			Name:        "node-churn",
+			Description: "a node crashes every 20 s and returns after a minute dark",
+			Cloud:       core.Config{Seed: 41},
+			Duration:    5 * time.Minute,
+			Fleet:       FleetSpec{VMs: 16, Image: "database"},
+			Traffic: TrafficSpec{
+				OnOff: &workload.OnOffConfig{Sources: 8},
+			},
+			Faults: []Fault{
+				NodeChurn{Start: 30 * time.Second, Every: 20 * time.Second, Outage: time.Minute},
+			},
+		},
+		{
+			Name:        "brownout-fabric",
+			Description: "every ToR uplink shaped to quarter capacity, +2 ms, 2% loss",
+			Cloud:       core.Config{Seed: 53},
+			Duration:    5 * time.Minute,
+			Traffic: TrafficSpec{
+				OnOff:   &workload.OnOffConfig{Sources: 16},
+				Gravity: &workload.GravityConfig{EpochSeconds: 15},
+			},
+			Faults: []Fault{
+				Degrade{
+					At: 60 * time.Second, Outage: 2 * time.Minute,
+					Shaping: netsim.Shaping{CapacityScale: 0.25, ExtraLatency: 2 * time.Millisecond, Loss: 0.02},
+				},
+			},
+		},
+		{
+			Name:        "flash-crowd",
+			Description: "a 200-node leaf-spine scale-out hit by a steep arrival spike",
+			Cloud: core.Config{
+				Seed: 67, Racks: 8, HostsPerRack: 25,
+				Fabric: topology.FabricLeafSpine, SpineSwitches: 4,
+			},
+			Duration: 5 * time.Minute,
+			Traffic: TrafficSpec{
+				Diurnal: &DiurnalConfig{
+					Period: 5 * time.Minute, Tick: 2 * time.Second,
+					BaseFlowsPerTick: 2, PeakExtraFlowsPerTick: 40,
+					FlowBytes: hw.MiB,
+				},
+			},
+		},
+		{
+			Name:        "megafleet-1000",
+			Description: "1040 nodes in 20 racks: mixed load, churn, and a fabric brownout",
+			Cloud: core.Config{
+				Seed: 97, Racks: 20, HostsPerRack: 52, AggSwitches: 4,
+			},
+			Duration: 2 * time.Minute,
+			Fleet:    FleetSpec{VMs: 48, Image: "webserver"},
+			Traffic: TrafficSpec{
+				OnOff:   &workload.OnOffConfig{Sources: 40},
+				Gravity: &workload.GravityConfig{EpochSeconds: 15, FlowsPerEpoch: 30},
+			},
+			Faults: []Fault{
+				NodeChurn{Start: 20 * time.Second, Every: 15 * time.Second, Outage: 30 * time.Second},
+				Degrade{
+					At: 45 * time.Second, Outage: 45 * time.Second,
+					Shaping: netsim.Shaping{CapacityScale: 0.5, ExtraLatency: time.Millisecond, Loss: 0.01},
+				},
+			},
+		},
+	}
+}

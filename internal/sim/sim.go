@@ -40,32 +40,49 @@ func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
 // stopped before the run condition was met.
 var ErrStopped = errors.New("sim: engine stopped")
 
-// Event is a scheduled callback. It is returned by the scheduling methods
-// so callers can cancel it before it fires.
+// Event is a cancellable handle to a scheduled callback, returned by the
+// scheduling methods. It is a small value — copy it freely. The zero
+// Event is inert: Cancel on it reports false.
+//
+// Handles are generation-checked: the engine recycles the underlying
+// event storage once an event fires or is discarded, so a stale handle
+// held across the fire can never cancel an unrelated later event.
 type Event struct {
-	at       Time
-	seq      uint64
-	index    int // heap index, -1 once removed
-	canceled bool
-	fn       func()
+	n   *eventNode
+	gen uint64
+	at  Time
 }
 
 // At returns the virtual time the event fires (or would have fired).
-func (e *Event) At() Time { return e.at }
+func (e Event) At() Time { return e.at }
 
 // Cancel prevents the event from firing. Cancelling an event that already
 // fired or was already cancelled is a no-op. Cancel reports whether the
 // event was still pending.
-func (e *Event) Cancel() bool {
-	if e.canceled || e.index < 0 {
+func (e Event) Cancel() bool {
+	n := e.n
+	if n == nil || n.gen != e.gen || n.canceled || n.index < 0 {
 		return false
 	}
-	e.canceled = true
+	n.canceled = true
 	return true
 }
 
+// eventNode is the engine-owned storage behind an Event handle. Nodes are
+// pooled: after firing (or being discarded while cancelled) a node's
+// generation is bumped and it returns to the engine free list, so steady
+// event churn allocates nothing.
+type eventNode struct {
+	at       Time
+	seq      uint64
+	index    int // heap index, -1 once removed
+	gen      uint64
+	canceled bool
+	fn       func()
+}
+
 // eventQueue is a min-heap of events ordered by (time, sequence).
-type eventQueue []*Event
+type eventQueue []*eventNode
 
 func (q eventQueue) Len() int { return len(q) }
 
@@ -83,7 +100,7 @@ func (q eventQueue) Swap(i, j int) {
 }
 
 func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
+	e := x.(*eventNode)
 	e.index = len(*q)
 	*q = append(*q, e)
 }
@@ -109,6 +126,7 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
+	free    []*eventNode
 }
 
 // NewEngine returns an engine at the epoch using the given RNG seed.
@@ -134,7 +152,7 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Schedule queues fn to run after delay d. A negative delay is treated as
 // zero (fires at the current time, after already-queued events at that
 // time). It returns an Event handle for cancellation.
-func (e *Engine) Schedule(d Duration, fn func()) *Event {
+func (e *Engine) Schedule(d Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -143,7 +161,7 @@ func (e *Engine) Schedule(d Duration, fn func()) *Event {
 
 // ScheduleAt queues fn to run at absolute virtual time t. Times in the
 // past are clamped to the current time.
-func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+func (e *Engine) ScheduleAt(t Time, fn func()) Event {
 	if fn == nil {
 		panic("sim: ScheduleAt with nil function")
 	}
@@ -151,9 +169,30 @@ func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
 		t = e.now
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	return ev
+	var n *eventNode
+	if k := len(e.free); k > 0 {
+		n = e.free[k-1]
+		e.free[k-1] = nil
+		e.free = e.free[:k-1]
+	} else {
+		n = &eventNode{}
+	}
+	n.at = t
+	n.seq = e.seq
+	n.canceled = false
+	n.fn = fn
+	heap.Push(&e.queue, n)
+	return Event{n: n, gen: n.gen, at: t}
+}
+
+// release returns a node to the free list, invalidating outstanding
+// handles by bumping the generation.
+func (e *Engine) release(n *eventNode) {
+	n.gen++
+	n.fn = nil
+	n.canceled = false
+	n.index = -1
+	e.free = append(e.free, n)
 }
 
 // Stop halts the current Run call after the in-flight event completes.
@@ -164,8 +203,9 @@ func (e *Engine) Stop() { e.stopped = true }
 // empty). Cancelled events are discarded without executing.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := heap.Pop(&e.queue).(*eventNode)
 		if ev.canceled {
+			e.release(ev)
 			continue
 		}
 		if ev.at < e.now {
@@ -173,7 +213,9 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		fn := ev.fn
+		e.release(ev)
+		fn()
 		return true
 	}
 	return false
@@ -223,13 +265,14 @@ func (e *Engine) RunFor(d Duration) error { return e.RunUntil(e.now.Add(d)) }
 
 // peek returns the earliest non-cancelled event without removing it,
 // discarding cancelled events it encounters on top of the heap.
-func (e *Engine) peek() *Event {
+func (e *Engine) peek() *eventNode {
 	for len(e.queue) > 0 {
 		ev := e.queue[0]
 		if !ev.canceled {
 			return ev
 		}
 		heap.Pop(&e.queue)
+		e.release(ev)
 	}
 	return nil
 }
@@ -250,7 +293,7 @@ type Ticker struct {
 	engine  *Engine
 	period  Duration
 	fn      func(Time)
-	ev      *Event
+	ev      Event
 	stopped bool
 }
 
@@ -280,7 +323,5 @@ func (t *Ticker) arm() {
 // Stop cancels future ticks.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.ev != nil {
-		t.ev.Cancel()
-	}
+	t.ev.Cancel()
 }

@@ -318,3 +318,16 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSchedulePooled measures steady-state scheduling on a live
+// engine: pooled event nodes make the schedule→fire cycle allocation-free.
+func BenchmarkSchedulePooled(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Millisecond, fn)
+		e.Step()
+	}
+}
