@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke lint ci
+.PHONY: all build test race race-megafleet bench bench-smoke bench-json lint ci
 
 all: build
 
@@ -16,18 +16,30 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The 1000-node scale gate under the race detector: the scenario engine,
+# incremental solver and route cache all run full-size with -race on.
+race-megafleet:
+	$(GO) test -race -run='^$$' -bench='^BenchmarkScenarioMegafleet1000$$' -benchtime=1x .
+
 # Full benchmark pass with memory stats — the reproduction gate plus the
 # BenchmarkScenario* perf trajectory.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
-# One iteration of everything; what CI runs on every push.
+# One iteration of everything; what CI runs on every push. Includes the
+# megafleet-10000 scale gate.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
+
+# The benchmark trajectory: one run of every canned scenario, written as
+# BENCH_PR2.json (per-scenario sim-s/wall-s, events/s, ns/op, trace
+# digests, plus the PR 1 baseline). CI uploads it as an artifact.
+bench-json:
+	$(GO) run ./cmd/piscale -bench-json BENCH_PR2.json
 
 lint:
 	$(GO) vet ./...
 	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
-ci: build lint test race bench-smoke
+ci: build lint test race race-megafleet bench-smoke

@@ -256,13 +256,30 @@ func BenchmarkScenarioFlashCrowd(b *testing.B) {
 	}
 }
 
-// BenchmarkScenarioMegafleet1000 is the scale-out gate: 1040 simulated
-// nodes with churn and a fabric brownout must complete inside the CI
-// bench-smoke job.
+// BenchmarkScenarioMegafleet1000 is the previous scale-out gate: 1040
+// simulated nodes with churn and a fabric brownout must complete inside
+// the CI bench-smoke job (and, since PR 2, also under -race).
 func BenchmarkScenarioMegafleet1000(b *testing.B) {
 	r := runScenario(b, "megafleet-1000")
 	if r.Nodes < 1000 {
 		b.Fatalf("megafleet ran on %d nodes, want ≥ 1000", r.Nodes)
+	}
+	b.ReportMetric(float64(r.Nodes), "nodes")
+}
+
+// BenchmarkScenarioMegafleet10000 is the PR 2 scale gate for the
+// incremental congestion-domain solver and the SDN route cache: 10,000
+// simulated nodes in 40 racks, with churn and a fabric brownout, must
+// complete inside the CI bench-smoke job. The wall time is dominated by
+// building the fleet; the simulated minute itself runs in well under a
+// second because rack-local mutations re-solve only rack-sized domains.
+func BenchmarkScenarioMegafleet10000(b *testing.B) {
+	r := runScenario(b, "megafleet-10000")
+	if r.Nodes < 10000 {
+		b.Fatalf("megafleet ran on %d nodes, want ≥ 10000", r.Nodes)
+	}
+	if r.Metrics["faults_injected"] == 0 {
+		b.Fatal("no faults injected at scale")
 	}
 	b.ReportMetric(float64(r.Nodes), "nodes")
 }

@@ -10,12 +10,15 @@
 //	piscale -scenario migration-storm
 //	piscale -scenario megafleet-1000 -trace 20
 //	piscale -scenario diurnal-day -racks 10 -hosts-per-rack 30 -duration 20m
+//	piscale -bench-json BENCH_PR2.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/scenario"
@@ -31,20 +34,105 @@ func main() {
 	sample := flag.Duration("sample", 0, "override the metrics sampling cadence")
 	traceTail := flag.Int("trace", 0, "print the last N trace events")
 	quiet := flag.Bool("q", false, "suppress live event streaming")
+	benchJSON := flag.String("bench-json", "", "run every canned scenario once and write the benchmark trajectory to FILE")
 	flag.Parse()
 
 	if *list {
 		fmt.Print("canned scenarios:\n" + scenario.Describe())
 		return
 	}
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "piscale:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *name == "" {
-		fmt.Fprintln(os.Stderr, "piscale: -scenario is required (or -list)")
+		fmt.Fprintln(os.Stderr, "piscale: -scenario is required (or -list / -bench-json)")
 		os.Exit(2)
 	}
 	if err := run(*name, *seed, *duration, *racks, *hostsPerRack, *sample, *traceTail, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "piscale:", err)
 		os.Exit(1)
 	}
+}
+
+// benchEntry is one scenario's row of the benchmark trajectory.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Nodes       int     `json:"nodes"`
+	Racks       int     `json:"racks,omitempty"`
+	SimSeconds  float64 `json:"sim_s,omitempty"`
+	WallSeconds float64 `json:"wall_s,omitempty"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	Events      uint64  `json:"events,omitempty"`
+	EventsPerS  float64 `json:"events_per_s"`
+	SimPerWall  float64 `json:"sim_s_per_wall_s"`
+	TraceDigest string  `json:"trace_digest,omitempty"`
+}
+
+// pr1Baseline records the PR 1 numbers for the scenarios that existed
+// then, measured on the same class of machine the trajectory files are
+// generated on (Intel Xeon @ 2.10GHz, linux/amd64, -benchtime=1x).
+// Keeping them in the emitted JSON makes every BENCH_PR<N>.json
+// self-contained: the improvement claim travels with the data.
+var pr1Baseline = map[string]benchEntry{
+	"megafleet-1000": {Name: "megafleet-1000", Nodes: 1040, NsPerOp: 2714070664, EventsPerS: 3204, SimPerWall: 71.42},
+	"flash-crowd":    {Name: "flash-crowd", Nodes: 200, NsPerOp: 713221764, EventsPerS: 18173, SimPerWall: 426.7},
+}
+
+// runBenchJSON executes every canned scenario once and writes the
+// per-scenario throughput trajectory (plus the PR 1 baseline) to path.
+func runBenchJSON(path string) error {
+	type trajectory struct {
+		GeneratedBy string                `json:"generated_by"`
+		GoVersion   string                `json:"go_version"`
+		GoosGoarch  string                `json:"goos_goarch"`
+		BaselinePR1 map[string]benchEntry `json:"baseline_pr1"`
+		Scenarios   []benchEntry          `json:"scenarios"`
+	}
+	out := trajectory{
+		GeneratedBy: "piscale -bench-json",
+		GoVersion:   runtime.Version(),
+		GoosGoarch:  runtime.GOOS + "/" + runtime.GOARCH,
+		BaselinePR1: pr1Baseline,
+	}
+	for _, n := range scenario.Names() {
+		spec, err := scenario.Catalog(n)
+		if err != nil {
+			return err
+		}
+		rep, err := scenario.Execute(spec)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", n, err)
+		}
+		wall := rep.WallTime.Seconds()
+		out.Scenarios = append(out.Scenarios, benchEntry{
+			Name:        rep.Name,
+			Nodes:       rep.Nodes,
+			Racks:       rep.Racks,
+			SimSeconds:  rep.SimTime.Seconds(),
+			WallSeconds: wall,
+			NsPerOp:     rep.WallTime.Nanoseconds(),
+			Events:      rep.EventsFired,
+			EventsPerS:  float64(rep.EventsFired) / wall,
+			SimPerWall:  rep.SimTime.Seconds() / wall,
+			TraceDigest: rep.TraceDigest(),
+		})
+		fmt.Printf("%-18s %6d nodes  %8.0f events/s  %9.1f sim-s/wall-s\n",
+			rep.Name, rep.Nodes, float64(rep.EventsFired)/wall, rep.SimTime.Seconds()/wall)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d scenarios)\n", path, len(out.Scenarios))
+	return nil
 }
 
 func run(name string, seed int64, duration time.Duration, racks, hostsPerRack int, sample time.Duration, traceTail int, quiet bool) error {

@@ -1,0 +1,409 @@
+// Congestion domains: the incremental, locality-aware half of the rate
+// allocator. Max-min fairness couples two flows only when they share a
+// link, so the live flows partition into connected components over the
+// link↔flow incidence graph — "congestion domains". A mutation (flow
+// start/end, link up/down, shaping change, re-path) dirties only the
+// domain(s) it touches, and flush re-solves exactly those, leaving the
+// rest of the fabric untouched. On the paper's mostly-rack-local gravity
+// workloads this turns the former whole-fabric progressive fill into a
+// handful of rack-sized solves per virtual instant.
+//
+// Invariants:
+//
+//   - Every live flow belongs to exactly one domain, reachable through
+//     f.dom (a union-find node; find() resolves the root).
+//   - For every link with at least one live flow, l.dom resolves to the
+//     domain all of that link's flows belong to. Links with no live
+//     flows carry a stale pointer that is never consulted.
+//   - The partition always equals the true connected components at
+//     flush time: merges happen eagerly (StartFlow/SetPath union the
+//     domains of every path link), splits lazily (a flow ending flags
+//     its root `rebuild`, and flush recomputes components inside that
+//     domain only).
+//
+// Determinism contract: domains are rebuilt and solved in admission
+// order of their first live flow, the per-domain fill arithmetic is a
+// pure function of the domain's own links and flows, and completion
+// events are (re)armed in one global admission-order pass gated on the
+// flow's rate actually changing. A full re-solve of every domain
+// (SetFullRecompute) therefore produces byte-identical traces to the
+// incremental path — the property TestIncrementalMatchesFullSolver
+// pins across the whole canned-scenario catalog.
+package netsim
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// domain is a union-find node for one congestion domain. Only the root
+// of a set carries meaningful flags and membership; find() resolves it.
+type domain struct {
+	parent *domain
+	rank   int
+	// flows lists member flows. It may transiently hold ended flows,
+	// duplicate entries, and flows re-pathed into another domain; solve
+	// and rebuild skip and compact those lazily.
+	flows []*Flow
+	// dirty marks the domain for re-solving at the next flush.
+	dirty bool
+	// rebuild marks that membership may have shrunk (a flow ended or
+	// was re-pathed away), so the domain's connected components must be
+	// recomputed before solving.
+	rebuild bool
+}
+
+// newDomain returns a fresh singleton set.
+func newDomain() *domain {
+	d := &domain{}
+	d.parent = d
+	return d
+}
+
+// find resolves the set root with path compression.
+func (d *domain) find() *domain {
+	root := d
+	for root.parent != root {
+		root = root.parent
+	}
+	for d != root {
+		d.parent, d = root, d.parent
+	}
+	return root
+}
+
+// unionDomains merges the sets holding a and b and returns the new
+// root. Flow membership and the dirty/rebuild flags migrate to the
+// winning root, which joins the dirty worklist if it picks dirtiness up
+// from the loser (every dirty root must be listed exactly while dirty).
+func (n *Network) unionDomains(a, b *domain) *domain {
+	a, b = a.find(), b.find()
+	if a == b {
+		return a
+	}
+	if a.rank < b.rank {
+		a, b = b, a
+	}
+	if a.rank == b.rank {
+		a.rank++
+	}
+	b.parent = a
+	a.flows = append(a.flows, b.flows...)
+	b.flows = nil
+	if b.dirty && !a.dirty {
+		a.dirty = true
+		n.dirtyDomains = append(n.dirtyDomains, a)
+	}
+	a.rebuild = a.rebuild || b.rebuild
+	b.dirty, b.rebuild = false, false
+	return a
+}
+
+// markDomainDirty queues d's root for re-solving and arms the
+// end-of-instant flush.
+func (n *Network) markDomainDirty(d *domain) {
+	if r := d.find(); !r.dirty {
+		r.dirty = true
+		n.dirtyDomains = append(n.dirtyDomains, r)
+	}
+	n.markDirty()
+}
+
+// adoptFlow places a newly admitted (or re-pathed) flow into the domain
+// structure: the domains of every path link that already carries live
+// flows are merged, the flow joins the result, and every path link is
+// re-pointed at it. Callers must add f to the links' flow maps first.
+func (n *Network) adoptFlow(f *Flow, links []*Link) {
+	var dom *domain
+	for _, l := range links {
+		// l.flows already contains f; another entry means live company.
+		if len(l.flows) > 1 {
+			if dom == nil {
+				dom = l.dom.find()
+			} else {
+				dom = n.unionDomains(dom, l.dom)
+			}
+		}
+	}
+	if dom == nil {
+		dom = newDomain()
+	}
+	dom.flows = append(dom.flows, f)
+	f.dom = dom
+	for _, l := range links {
+		l.dom = dom
+	}
+	n.markDomainDirty(dom)
+}
+
+// solveDirty is the flush body: rebuild split-suspect domains, re-solve
+// every dirty domain, then re-arm completion events for flows whose
+// rate moved, in admission order. The worklist makes one virtual
+// instant cost O(dirty domains), not O(live flows) — the incremental
+// contract. Solve order across domains is irrelevant to the arithmetic
+// (domains are disjoint by construction) and event order is fixed by
+// the final sorted rescheduling pass, so the two allocator modes stay
+// byte-identical.
+func (n *Network) solveDirty() {
+	if n.fullRecompute {
+		n.enqueueAllDomains()
+	}
+	// Rebuilds append their fresh components to the worklist, so both
+	// loops index rather than range.
+	for i := 0; i < len(n.dirtyDomains); i++ {
+		if r := n.dirtyDomains[i].find(); r.dirty && r.rebuild {
+			n.rebuildDomain(r)
+		}
+	}
+	for i := 0; i < len(n.dirtyDomains); i++ {
+		if r := n.dirtyDomains[i].find(); r.dirty {
+			r.dirty = false
+			n.solveDomain(r)
+		}
+	}
+	for i := range n.dirtyDomains {
+		n.dirtyDomains[i] = nil
+	}
+	n.dirtyDomains = n.dirtyDomains[:0]
+	n.rescheduleChanged()
+}
+
+// enqueueAllDomains marks every live domain dirty and lists it on the
+// flush worklist (the full-recompute sweep, also behind reallocate()).
+func (n *Network) enqueueAllDomains() {
+	for _, f := range n.flowOrder {
+		if f.ended {
+			continue
+		}
+		if r := f.dom.find(); !r.dirty {
+			r.dirty = true
+			n.dirtyDomains = append(n.dirtyDomains, r)
+		}
+	}
+}
+
+// rebuildDomain recomputes the connected components among r's surviving
+// flows after membership shrank, producing one fresh dirty domain per
+// component (each joins the worklist). Links are re-pointed as they are
+// claimed; links whose flows all ended are simply never claimed again.
+func (n *Network) rebuildDomain(r *domain) {
+	n.passSeq++
+	pass := n.passSeq
+	for _, f := range r.flows {
+		if f.ended || f.dom.find() != r {
+			continue // ended, duplicate, or re-pathed into another domain
+		}
+		nd := newDomain()
+		nd.dirty = true
+		n.dirtyDomains = append(n.dirtyDomains, nd)
+		nd.flows = append(nd.flows, f)
+		f.dom = nd
+		for _, l := range f.path {
+			if l.pass == pass {
+				l.dom = n.unionDomains(f.dom, l.dom)
+			} else {
+				l.pass = pass
+				l.dom = nd
+			}
+		}
+	}
+	r.flows = nil
+	r.dirty, r.rebuild = false, false
+}
+
+// rateReschedEps is the relative rate change below which a flow's
+// pending completion event is left armed rather than re-pushed: the
+// event time is still correct to within the same tolerance, and
+// skipping the cancel+push pair is what keeps a virtual instant from
+// costing O(live flows) heap operations.
+const rateReschedEps = 1e-9
+
+// solveDomain runs the progressive-filling max-min fill over one
+// domain's flows and links only. The arithmetic is a pure function of
+// the domain's own state, so solving a clean domain again yields
+// bit-identical rates — the property the incremental/full equivalence
+// rests on.
+func (n *Network) solveDomain(d *domain) {
+	n.passSeq++
+	pass := n.passSeq
+
+	flows := n.scratchFlows[:0]
+	for _, f := range d.flows {
+		if f.ended || f.pass == pass || f.dom.find() != d {
+			continue
+		}
+		f.pass = pass
+		flows = append(flows, f)
+	}
+	// Compact the membership list while we have it in hand.
+	d.flows = append(d.flows[:0], flows...)
+
+	links := n.scratchLinks[:0]
+	for _, f := range flows {
+		for _, l := range f.path {
+			if l.pass != pass {
+				l.pass = pass
+				l.remaining = l.Capacity
+				l.activeCount = 0
+				links = append(links, l)
+			}
+		}
+	}
+
+	active := n.scratchActive[:0]
+	for _, f := range flows {
+		f.rate = 0
+		onDownLink := false
+		for _, l := range f.path {
+			if !l.up {
+				onDownLink = true
+				break
+			}
+		}
+		if !onDownLink {
+			active = append(active, f)
+			for _, l := range f.path {
+				l.activeCount++
+			}
+		}
+	}
+
+	for len(active) > 0 {
+		inc := math.Inf(1)
+		for _, l := range links {
+			if l.up && l.activeCount > 0 {
+				if share := l.remaining / float64(l.activeCount); share < inc {
+					inc = share
+				}
+			}
+		}
+		for _, f := range active {
+			if f.Spec.RateCapBps > 0 {
+				if room := f.Spec.RateCapBps - f.rate; room < inc {
+					inc = room
+				}
+			}
+		}
+		if math.IsInf(inc, 1) {
+			// Active flows with no links and no caps cannot occur
+			// (paths have ≥1 link), but guard against livelock.
+			break
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		for _, f := range active {
+			f.rate += inc
+		}
+		for _, l := range links {
+			if l.up {
+				l.remaining -= inc * float64(l.activeCount)
+			}
+		}
+		// Freeze flows at saturated links or at their cap.
+		kept := active[:0]
+		for _, f := range active {
+			frozen := false
+			if f.Spec.RateCapBps > 0 && f.rate >= f.Spec.RateCapBps-1e-9 {
+				frozen = true
+			}
+			if !frozen {
+				for _, l := range f.path {
+					if l.remaining <= 1e-9 {
+						frozen = true
+						break
+					}
+				}
+			}
+			if frozen {
+				for _, l := range f.path {
+					l.activeCount--
+				}
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		if len(kept) == len(active) {
+			// No flow froze despite a finite increment; avoid livelock.
+			break
+		}
+		active = kept
+	}
+
+	// Record the deterministic per-link allocation (capacity minus
+	// unfilled remainder) and flag flows whose rate moved enough to
+	// need their completion event re-armed.
+	for _, l := range links {
+		if alloc := l.Capacity - l.remaining; alloc > 0 {
+			l.allocated = alloc
+		} else {
+			l.allocated = 0
+		}
+	}
+	for _, f := range flows {
+		if rateChanged(f.schedRate, f.rate) && !f.rateDirty {
+			f.rateDirty = true
+			n.changedFlows = append(n.changedFlows, f)
+		}
+	}
+
+	n.scratchFlows = flows[:0]
+	n.scratchLinks = links[:0]
+	n.scratchActive = active[:0]
+}
+
+// rateChanged reports whether a flow's allocation moved beyond the
+// rescheduling epsilon (relative to the larger of the two rates).
+func rateChanged(old, new float64) bool {
+	diff := new - old
+	if diff < 0 {
+		diff = -diff
+	}
+	limit := old
+	if new > limit {
+		limit = new
+	}
+	return diff > rateReschedEps*limit
+}
+
+// rescheduleChanged re-arms the completion event of every finite flow
+// whose rate actually changed, in admission (flow-ID) order so the
+// engine's event sequence — and with it whole-run determinism — is
+// independent of which domains were solved, and in what order.
+func (n *Network) rescheduleChanged() {
+	if len(n.changedFlows) == 0 {
+		return
+	}
+	sort.Slice(n.changedFlows, func(i, j int) bool {
+		return n.changedFlows[i].ID < n.changedFlows[j].ID
+	})
+	for _, f := range n.changedFlows {
+		if f.ended || !f.rateDirty {
+			continue
+		}
+		f.rateDirty = false
+		f.schedRate = f.rate
+		f.complete.Cancel()
+		f.complete = sim.Event{}
+		if f.Spec.SizeBits <= 0 || f.rate <= 0 {
+			continue
+		}
+		seconds := f.remaining / f.rate
+		d := time.Duration(seconds * float64(time.Second))
+		f := f
+		f.complete = n.engine.Schedule(d, func() {
+			n.advanceAll()
+			// Guard against float drift: clamp and finish.
+			f.remaining = 0
+			n.endFlow(f, EndCompleted)
+			n.markDirty()
+		})
+	}
+	for i := range n.changedFlows {
+		n.changedFlows[i] = nil
+	}
+	n.changedFlows = n.changedFlows[:0]
+}

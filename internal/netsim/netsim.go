@@ -15,7 +15,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
-	"math"
+	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -69,7 +69,18 @@ type Link struct {
 	// BitsCarried accumulates the total traffic volume for utilisation
 	// reporting and the congestion experiments.
 	bitsCarried float64
-	// Allocation scratch, valid only inside reallocate.
+	// toKind caches the destination node's kind so routing loops skip a
+	// node-map lookup per edge.
+	toKind NodeKind
+	// dom resolves to the congestion domain of this link's flows; only
+	// meaningful while the link carries at least one live flow.
+	dom *domain
+	// pass is the solver's visited marker (see Network.passSeq).
+	pass uint64
+	// allocated is the deterministic bits-per-second currently assigned
+	// across this link's flows, maintained by the per-domain solver.
+	allocated float64
+	// Allocation scratch, valid only inside a domain solve.
 	remaining   float64
 	activeCount int
 }
@@ -87,6 +98,8 @@ func (l *Link) BitsCarried() float64 { return l.bitsCarried }
 func (l *Link) Shaped() bool { return l.shaped }
 
 // Utilisation returns the instantaneous fraction of capacity in use.
+// It reads the solver-maintained allocation, so it is O(1) and — unlike
+// summing the flow map — independent of map iteration order.
 func (l *Link) Utilisation() float64 {
 	if l.net != nil {
 		l.net.flush()
@@ -94,11 +107,7 @@ func (l *Link) Utilisation() float64 {
 	if l.Capacity <= 0 {
 		return 0
 	}
-	total := 0.0
-	for f := range l.flows {
-		total += f.rate
-	}
-	return total / l.Capacity
+	return l.allocated / l.Capacity
 }
 
 // EndReason explains why a flow stopped.
@@ -157,6 +166,16 @@ type Flow struct {
 	endAt     sim.Time
 	endReason EndReason
 	complete  sim.Event
+	// dom is the flow's congestion-domain handle (union-find node).
+	dom *domain
+	// pass is the solver's visited/dedup marker.
+	pass uint64
+	// schedRate is the rate the armed completion event was computed
+	// from; comparing fresh solves against it (not against the previous
+	// solve) bounds sub-epsilon drift at one epsilon total. rateDirty
+	// gates the rescheduling pass (see rescheduleChanged).
+	schedRate float64
+	rateDirty bool
 }
 
 // Rate returns the current max-min allocation in bits per second.
@@ -203,12 +222,14 @@ func (f *Flow) PathLatency() time.Duration {
 // engine; callers integrating with real goroutines must serialise access
 // externally (the cloud facade does).
 //
-// Rate recomputation is batched: mutations (flow start/end, link events,
-// shaping) mark the allocation dirty and a single max-min recomputation
-// runs once per virtual instant — either via a zero-delay engine event or
-// lazily when a rate-dependent query arrives. A burst of N mutations at
-// one instant therefore costs one progressive-filling pass instead of N,
-// which is what makes migration storms and 1000-node fleets feasible.
+// Rate recomputation is batched and incremental: mutations (flow
+// start/end, link events, shaping) mark the affected congestion
+// domain(s) dirty, and a single flush runs once per virtual instant —
+// either via a zero-delay engine event or lazily when a rate-dependent
+// query arrives — re-solving only the dirty domains (see domains.go). A
+// burst of N rack-local mutations at one instant therefore costs a few
+// rack-sized max-min fills instead of N whole-fabric passes, which is
+// what makes 10,000-node fleets feasible.
 type Network struct {
 	engine *sim.Engine
 	nodes  map[NodeID]*Node
@@ -216,6 +237,9 @@ type Network struct {
 	// linkList iterates links in creation order (deterministic, no map
 	// ranging on the hot path). Removed links are filtered out in place.
 	linkList []*Link
+	// adjacency holds each node's outgoing links in creation order, so
+	// routing explores the graph without ranging over the link map.
+	adjacency map[NodeID][]*Link
 	// flowOrder iterates live flows in admission order; ended flows are
 	// compacted out lazily. Determinism of completion-event sequence
 	// numbers depends on this ordering.
@@ -223,8 +247,29 @@ type Network struct {
 	active    int
 	nextID    int64
 	dirty     bool
-	// scratch buffer reused across reallocate calls.
-	reallocScratch []*Flow
+	// lastAdvance dedupes advanceAll within one virtual instant
+	// (initialised to -1 so the epoch instant is not skipped).
+	lastAdvance sim.Time
+	// topoEpoch counts topology/link-state mutations; the SDN layer
+	// keys its route cache on it.
+	topoEpoch uint64
+	// passSeq issues visited-markers for solver passes.
+	passSeq uint64
+	// fullRecompute forces every domain to re-solve at each flush —
+	// the "full solver" the incremental path is byte-compared against.
+	fullRecompute bool
+	// flushFn is the pre-bound flush closure (no per-instant alloc).
+	flushFn func()
+	// dirtyDomains is the flush worklist: every dirty root appears here
+	// (possibly more than once; dedup is the dirty flag itself).
+	dirtyDomains []*domain
+	// changedFlows collects flows whose rate moved this flush, for the
+	// admission-ordered completion rescheduling pass.
+	changedFlows []*Flow
+	// scratch buffers reused across domain solves.
+	scratchFlows  []*Flow
+	scratchLinks  []*Link
+	scratchActive []*Flow
 }
 
 type linkKey struct{ from, to NodeID }
@@ -242,11 +287,15 @@ var (
 
 // New returns an empty network on the given engine.
 func New(engine *sim.Engine) *Network {
-	return &Network{
-		engine: engine,
-		nodes:  make(map[NodeID]*Node),
-		links:  make(map[linkKey]*Link),
+	n := &Network{
+		engine:      engine,
+		nodes:       make(map[NodeID]*Node),
+		links:       make(map[linkKey]*Link),
+		adjacency:   make(map[NodeID][]*Link),
+		lastAdvance: -1,
 	}
+	n.flushFn = n.flush
+	return n
 }
 
 // markDirty defers rate recomputation to the end of the current virtual
@@ -257,18 +306,39 @@ func (n *Network) markDirty() {
 		return
 	}
 	n.dirty = true
-	n.engine.Schedule(0, n.flush)
+	n.engine.Schedule(0, n.flushFn)
 }
 
-// flush recomputes allocations if a mutation is pending. Queries that
-// depend on rates call it so reads are always consistent even before the
-// engine runs the deferred event.
+// flush re-solves dirty congestion domains if a mutation is pending.
+// Queries that depend on rates call it so reads are always consistent
+// even before the engine runs the deferred event.
 func (n *Network) flush() {
 	if !n.dirty {
 		return
 	}
-	n.reallocate()
+	n.dirty = false
+	n.solveDirty()
 }
+
+// TopoEpoch returns the topology/link-state epoch: it advances on every
+// wiring or link-state mutation (add/remove link, up/down, shaping), and
+// route caches keyed on it are thereby invalidated. Rate-only changes do
+// not advance it. Shaping bumps are deliberately conservative — hop-count
+// routes survive shaping, but the epoch contract promises any cached
+// answer derived from link state (capacity, latency) dies with it, so
+// future weight-aware policies can cache safely.
+func (n *Network) TopoEpoch() uint64 { return n.topoEpoch }
+
+// BumpTopoEpoch advances the epoch explicitly — the hook the topology
+// builders and fault injectors use to force route-cache invalidation
+// beyond the automatic bumps netsim's own mutators perform.
+func (n *Network) BumpTopoEpoch() { n.topoEpoch++ }
+
+// SetFullRecompute switches the allocator between incremental (default,
+// dirty domains only) and full re-solve of every domain at each flush.
+// The two modes produce byte-identical traces; the full mode exists so
+// tests can pin that equivalence and as a belt-and-braces escape hatch.
+func (n *Network) SetFullRecompute(v bool) { n.fullRecompute = v }
 
 // AddNode registers a device.
 func (n *Network) AddNode(id NodeID, kind NodeKind) error {
@@ -276,6 +346,7 @@ func (n *Network) AddNode(id NodeID, kind NodeKind) error {
 		return fmt.Errorf("%w: %s", ErrNodeExists, id)
 	}
 	n.nodes[id] = &Node{ID: id, Kind: kind}
+	n.topoEpoch++
 	return nil
 }
 
@@ -308,10 +379,13 @@ func (n *Network) AddDuplexLink(a, b NodeID, capacityBps float64, latency time.D
 			Capacity: capacityBps, Latency: latency,
 			baseCapacity: capacityBps, baseLatency: latency,
 			up: true, net: n, flows: make(map[*Flow]struct{}),
+			toKind: n.nodes[k.to].Kind,
 		}
 		n.links[k] = l
 		n.linkList = append(n.linkList, l)
+		n.adjacency[k.from] = append(n.adjacency[k.from], l)
 	}
+	n.topoEpoch++
 	return nil
 }
 
@@ -348,8 +422,11 @@ func (n *Network) ShapeLink(a, b NodeID, s Shaping) error {
 		l.Capacity = l.baseCapacity * scale * (1 - s.Loss)
 		l.Latency = l.baseLatency + s.ExtraLatency
 		l.shaped = true
+		if len(l.flows) > 0 {
+			n.markDomainDirty(l.dom)
+		}
 	}
-	n.markDirty()
+	n.topoEpoch++
 	return nil
 }
 
@@ -365,8 +442,11 @@ func (n *Network) ClearShaping(a, b NodeID) error {
 		l.Capacity = l.baseCapacity
 		l.Latency = l.baseLatency
 		l.shaped = false
+		if len(l.flows) > 0 {
+			n.markDomainDirty(l.dom)
+		}
 	}
-	n.markDirty()
+	n.topoEpoch++
 	return nil
 }
 
@@ -381,10 +461,15 @@ func (n *Network) RemoveDuplexLink(a, b NodeID) error {
 	n.advanceAll()
 	for _, k := range []linkKey{ka, kb} {
 		l := n.links[k]
-		for f := range l.flows {
-			n.endFlow(f, EndLinkDown)
-		}
+		n.endLinkFlows(l, EndLinkDown)
 		delete(n.links, k)
+		adj := n.adjacency[k.from][:0]
+		for _, al := range n.adjacency[k.from] {
+			if al != l {
+				adj = append(adj, al)
+			}
+		}
+		n.adjacency[k.from] = adj
 	}
 	kept := n.linkList[:0]
 	for _, l := range n.linkList {
@@ -396,8 +481,26 @@ func (n *Network) RemoveDuplexLink(a, b NodeID) error {
 		n.linkList[i] = nil
 	}
 	n.linkList = kept
+	n.topoEpoch++
 	n.markDirty()
 	return nil
+}
+
+// endLinkFlows terminates every flow routed over l in deterministic
+// flow-ID order (map ranging would end them — and fire their OnEnd
+// callbacks — in random order).
+func (n *Network) endLinkFlows(l *Link, reason EndReason) {
+	if len(l.flows) == 0 {
+		return
+	}
+	victims := make([]*Flow, 0, len(l.flows))
+	for f := range l.flows {
+		victims = append(victims, f)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].ID < victims[j].ID })
+	for _, f := range victims {
+		n.endFlow(f, reason)
+	}
 }
 
 // Link returns the directed link from a to b, or nil.
@@ -412,16 +515,28 @@ func (n *Network) Links() []*Link {
 	return out
 }
 
-// Neighbors returns the IDs reachable over one up link from id.
+// Neighbors returns the IDs reachable over one up link from id, in link
+// creation order (deterministic).
 func (n *Network) Neighbors(id NodeID) []NodeID {
 	var out []NodeID
-	for k, l := range n.links {
-		if k.from == id && l.up {
-			out = append(out, k.to)
+	for _, l := range n.adjacency[id] {
+		if l.up {
+			out = append(out, l.To)
 		}
 	}
 	return out
 }
+
+// NeighborLinks returns id's outgoing links in creation order, including
+// down links (callers filter with Up). The slice is shared — read-only.
+// Routing uses it to walk the graph with zero per-node allocation.
+func (n *Network) NeighborLinks(id NodeID) []*Link {
+	return n.adjacency[id]
+}
+
+// DstKind returns the kind of the link's destination node (cached at
+// wiring time for the routing hot path).
+func (l *Link) DstKind() NodeKind { return l.toKind }
 
 // SetLinkUp raises or fails the duplex cable between a and b. Failing a
 // link ends every flow that traverses either direction with EndLinkDown —
@@ -435,12 +550,10 @@ func (n *Network) SetLinkUp(a, b NodeID, up bool) error {
 	n.advanceAll()
 	la.up, lb.up = up, up
 	if !up {
-		for _, l := range []*Link{la, lb} {
-			for f := range l.flows {
-				n.endFlow(f, EndLinkDown)
-			}
-		}
+		n.endLinkFlows(la, EndLinkDown)
+		n.endLinkFlows(lb, EndLinkDown)
 	}
+	n.topoEpoch++
 	n.markDirty()
 	return nil
 }
@@ -461,6 +574,10 @@ func (n *Network) StartFlow(spec FlowSpec) (*Flow, error) {
 	}
 	n.advanceAll()
 	n.nextID++
+	// Copy the hop list: callers may hand us a shared slice (the SDN
+	// route cache does), and Spec.Path is exported for the flow's
+	// lifetime.
+	spec.Path = append([]NodeID(nil), spec.Path...)
 	f := &Flow{
 		ID:        n.nextID,
 		Spec:      spec,
@@ -475,7 +592,7 @@ func (n *Network) StartFlow(spec FlowSpec) (*Flow, error) {
 	}
 	n.flowOrder = append(n.flowOrder, f)
 	n.active++
-	n.markDirty()
+	n.adoptFlow(f, links)
 	return f, nil
 }
 
@@ -522,15 +639,27 @@ func (n *Network) SetPath(f *Flow, path []NodeID) error {
 		return err
 	}
 	n.advanceAll()
+	// The old domain loses a member: flag it for component rebuild. The
+	// flow's entry in its flows list goes stale and is compacted there.
+	if f.dom != nil {
+		r := f.dom.find()
+		r.rebuild = true
+		n.markDomainDirty(r)
+	}
 	for _, l := range f.path {
 		delete(l.flows, f)
+		if len(l.flows) == 0 {
+			// Abandoned links are never re-solved; zero the allocation
+			// so utilisation reads don't see a phantom load.
+			l.allocated = 0
+		}
 	}
 	f.path = links
 	f.Spec.Path = append([]NodeID(nil), path...)
 	for _, l := range links {
 		l.flows[f] = struct{}{}
 	}
-	n.markDirty()
+	n.adoptFlow(f, links)
 	return nil
 }
 
@@ -548,8 +677,8 @@ func (n *Network) CancelFlow(f *Flow) error {
 // ActiveFlows returns the number of live flows.
 func (n *Network) ActiveFlows() int { return n.active }
 
-// endFlow finalises a flow and fires its callback. Callers must follow
-// with markDirty().
+// endFlow finalises a flow, dirties its congestion domain for rebuild,
+// and fires its callback.
 func (n *Network) endFlow(f *Flow, reason EndReason) {
 	if f.ended {
 		return
@@ -558,12 +687,23 @@ func (n *Network) endFlow(f *Flow, reason EndReason) {
 	f.endReason = reason
 	f.endAt = n.engine.Now()
 	f.rate = 0
+	f.rateDirty = false
 	f.complete.Cancel()
 	f.complete = sim.Event{}
 	for _, l := range f.path {
 		delete(l.flows, f)
+		if len(l.flows) == 0 {
+			// No solver pass will visit this link again until a new
+			// flow claims it; zero its allocation for utilisation reads.
+			l.allocated = 0
+		}
 	}
 	n.active--
+	if f.dom != nil {
+		r := f.dom.find()
+		r.rebuild = true
+		n.markDomainDirty(r)
+	}
 	if f.Spec.OnEnd != nil {
 		f.Spec.OnEnd(f, reason)
 	}
@@ -571,9 +711,14 @@ func (n *Network) endFlow(f *Flow, reason EndReason) {
 
 // advanceAll credits every live flow with the bits moved since the last
 // allocation change, compacting ended flows out of the admission-order
-// list as it goes.
+// list as it goes. Repeat calls within one virtual instant are no-ops,
+// so a burst of same-instant mutations costs one pass, not one each.
 func (n *Network) advanceAll() {
 	now := n.engine.Now()
+	if now == n.lastAdvance {
+		return
+	}
+	n.lastAdvance = now
 	live := n.flowOrder[:0]
 	for _, f := range n.flowOrder {
 		if f.ended {
@@ -602,128 +747,14 @@ func (n *Network) advanceAll() {
 	n.flowOrder = live
 }
 
-// reallocate recomputes the max-min fair allocation for all live flows
-// (progressive filling with per-flow caps) and reschedules completion
-// events. It runs once per virtual instant no matter how many mutations
-// arrived, iterating slices in deterministic admission/wiring order with
-// zero per-call heap allocation.
+// reallocate forces a full re-solve of every congestion domain now. The
+// steady-state path is flush → solveDirty (dirty domains only); this
+// entry point exists for white-box tests and benchmarks that want the
+// whole-fabric cost.
 func (n *Network) reallocate() {
 	n.dirty = false
-	active := n.reallocScratch[:0]
-	for _, f := range n.flowOrder {
-		if f.ended {
-			continue
-		}
-		f.rate = 0
-		onDownLink := false
-		for _, l := range f.path {
-			if !l.up {
-				onDownLink = true
-				break
-			}
-		}
-		if !onDownLink {
-			active = append(active, f)
-		}
-	}
-	for _, l := range n.linkList {
-		l.remaining = l.Capacity
-		l.activeCount = 0
-	}
-	for _, f := range active {
-		for _, l := range f.path {
-			l.activeCount++
-		}
-	}
-	for len(active) > 0 {
-		inc := math.Inf(1)
-		for _, l := range n.linkList {
-			if l.up && l.activeCount > 0 {
-				if share := l.remaining / float64(l.activeCount); share < inc {
-					inc = share
-				}
-			}
-		}
-		for _, f := range active {
-			if f.Spec.RateCapBps > 0 {
-				if room := f.Spec.RateCapBps - f.rate; room < inc {
-					inc = room
-				}
-			}
-		}
-		if math.IsInf(inc, 1) {
-			// Active flows with no links and no caps cannot occur
-			// (paths have ≥1 link), but guard against livelock.
-			break
-		}
-		if inc < 0 {
-			inc = 0
-		}
-		for _, f := range active {
-			f.rate += inc
-		}
-		for _, l := range n.linkList {
-			if l.up {
-				l.remaining -= inc * float64(l.activeCount)
-			}
-		}
-		// Freeze flows at saturated links or at their cap.
-		kept := active[:0]
-		for _, f := range active {
-			frozen := false
-			if f.Spec.RateCapBps > 0 && f.rate >= f.Spec.RateCapBps-1e-9 {
-				frozen = true
-			}
-			if !frozen {
-				for _, l := range f.path {
-					if l.remaining <= 1e-9 {
-						frozen = true
-						break
-					}
-				}
-			}
-			if frozen {
-				for _, l := range f.path {
-					l.activeCount--
-				}
-			} else {
-				kept = append(kept, f)
-			}
-		}
-		if len(kept) == len(active) {
-			// No flow froze despite a finite increment; avoid livelock.
-			break
-		}
-		active = kept
-	}
-	n.reallocScratch = active[:0]
-	n.rescheduleCompletions()
-}
-
-// rescheduleCompletions re-arms the completion event of every finite flow
-// based on its fresh rate, in admission order so the event sequence — and
-// with it whole-run determinism — is stable.
-func (n *Network) rescheduleCompletions() {
-	for _, f := range n.flowOrder {
-		if f.ended {
-			continue
-		}
-		f.complete.Cancel()
-		f.complete = sim.Event{}
-		if f.Spec.SizeBits <= 0 || f.rate <= 0 {
-			continue
-		}
-		seconds := f.remaining / f.rate
-		d := time.Duration(seconds * float64(time.Second))
-		f := f
-		f.complete = n.engine.Schedule(d, func() {
-			n.advanceAll()
-			// Guard against float drift: clamp and finish.
-			f.remaining = 0
-			n.endFlow(f, EndCompleted)
-			n.markDirty()
-		})
-	}
+	n.enqueueAllDomains()
+	n.solveDirty()
 }
 
 // TransferOnce is a convenience: start a finite flow and return its
@@ -736,15 +767,17 @@ func (n *Network) TransferOnce(spec FlowSpec) (*Flow, error) {
 }
 
 // MaxLinkUtilisation returns the highest instantaneous utilisation across
-// all up links — the congestion metric used by experiment R4.
+// all up links — the congestion metric used by experiment R4. It walks
+// the ordered linkList (not the link map), so the scan is deterministic
+// and allocation-free.
 func (n *Network) MaxLinkUtilisation() float64 {
 	n.flush()
 	max := 0.0
-	for _, l := range n.links {
-		if !l.up {
+	for _, l := range n.linkList {
+		if !l.up || l.Capacity <= 0 {
 			continue
 		}
-		if u := l.Utilisation(); u > max {
+		if u := l.allocated / l.Capacity; u > max {
 			max = u
 		}
 	}

@@ -138,6 +138,26 @@ func catalog() []Spec {
 			},
 		},
 		{
+			Name:        "megafleet-10000",
+			Description: "10,000 nodes in 40 racks of 250: the incremental-solver scale gate",
+			Cloud: core.Config{
+				Seed: 113, Racks: 40, HostsPerRack: 250, AggSwitches: 8,
+			},
+			Duration: time.Minute,
+			Fleet:    FleetSpec{VMs: 64, Image: "webserver"},
+			Traffic: TrafficSpec{
+				OnOff:   &workload.OnOffConfig{Sources: 80},
+				Gravity: &workload.GravityConfig{EpochSeconds: 15, FlowsPerEpoch: 60},
+			},
+			Faults: []Fault{
+				NodeChurn{Start: 15 * time.Second, Every: 15 * time.Second, Outage: 20 * time.Second},
+				Degrade{
+					At: 30 * time.Second, Outage: 20 * time.Second,
+					Shaping: netsim.Shaping{CapacityScale: 0.5, ExtraLatency: time.Millisecond, Loss: 0.01},
+				},
+			},
+		},
+		{
 			Name:        "megafleet-1000",
 			Description: "1040 nodes in 20 racks: mixed load, churn, and a fabric brownout",
 			Cloud: core.Config{

@@ -14,6 +14,8 @@
 package scenario
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math"
 	"sort"
@@ -155,6 +157,18 @@ type Report struct {
 	Metrics     map[string]float64
 	Trace       []TraceEvent
 	Samples     []Sample
+}
+
+// TraceDigest returns the SHA-256 of the rendered event trace — the
+// fingerprint the determinism regression gate pins: same spec, same
+// seed, same build ⇒ same digest, and any change to event ordering or
+// solver arithmetic shows up as a digest change.
+func (r *Report) TraceDigest() string {
+	h := sha256.New()
+	for _, ev := range r.Trace {
+		fmt.Fprintln(h, ev.String())
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Table renders the report for terminals.
@@ -458,6 +472,10 @@ func (r *Run) report(wall time.Duration) *Report {
 	rep.Metrics["active_flows"] = float64(c.Net.ActiveFlows())
 	rep.Metrics["max_link_util"] = c.Net.MaxLinkUtilisation()
 	rep.Metrics["faults_injected"] = float64(r.faultsInjected)
+	// The topology/link-state epoch after the run: every link fault,
+	// shaping change and re-cable bumps it (invalidating the SDN route
+	// cache), so it doubles as a fault-plumbing check.
+	rep.Metrics["topo_epoch"] = float64(c.Net.TopoEpoch())
 	if r.onoff != nil {
 		rep.Metrics["onoff_flows_done"] = float64(r.onoff.FlowsDone)
 		rep.Metrics["onoff_flows_failed"] = float64(r.onoff.FlowsFailed)
@@ -515,6 +533,8 @@ type Fault interface {
 // LinkFail takes the duplex cable between two netsim nodes down At into
 // the run and restores it after Outage. Zero A/B means the first
 // ToR-to-aggregation uplink — the paper's shared-uplink bottleneck.
+// Both edges bump netsim's topology epoch (via SetLinkUp), so cached SDN
+// routes across the cable are invalidated the instant it changes state.
 type LinkFail struct {
 	A, B   netsim.NodeID
 	At     time.Duration
@@ -562,7 +582,8 @@ func (f LinkFail) actions(r *Run) []timedAction {
 
 // Degrade applies tc-style shaping — capacity scaling, extra latency,
 // loss — to every ToR uplink for the outage window, modelling a browned-
-// out or oversubscribed fabric.
+// out or oversubscribed fabric. Each shaped uplink bumps the topology
+// epoch, flushing any cached routes over the degraded fabric.
 type Degrade struct {
 	At      time.Duration
 	Outage  time.Duration

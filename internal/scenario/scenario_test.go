@@ -116,10 +116,14 @@ func shrink(s Spec) Spec {
 	if s.Duration > 2*time.Minute {
 		s.Duration = 2 * time.Minute
 	}
-	// The megafleet is exercised at full node count by the benchmark;
-	// end-to-end here runs a quarter of it to keep `go test` snappy.
+	// The megafleets are exercised at full node count by the benchmarks;
+	// end-to-end here runs cut-down fleets to keep `go test` snappy.
 	if s.Name == "megafleet-1000" {
 		s.Cloud.Racks = 5
+		s.Duration = time.Minute
+	}
+	if s.Name == "megafleet-10000" {
+		s.Cloud.Racks = 4
 		s.Duration = time.Minute
 	}
 	return s

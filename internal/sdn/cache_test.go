@@ -1,0 +1,170 @@
+package sdn
+
+// Route-cache behaviour: hits are served from the per-epoch shortest
+// path DAG without running Dijkstra (and, for the tiebreak-0 path,
+// without allocating at all); any topology or link-state mutation bumps
+// netsim's epoch and invalidates every entry; the congestion-aware
+// policy bypasses the cache entirely because its weights move with link
+// utilisation, which advances without an epoch bump.
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/openflow"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestRouteCacheHitsAndEpochInvalidation(t *testing.T) {
+	r := newRig(t)
+	src, dst := r.host(0, 0), r.host(3, 13)
+
+	first, err := r.ctrl.PathFor(src, dst, PolicyShortestPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ctrl.RouteCacheMisses() != 1 || r.ctrl.RouteCacheHits() != 0 {
+		t.Fatalf("after first call: hits %d misses %d, want 0/1",
+			r.ctrl.RouteCacheHits(), r.ctrl.RouteCacheMisses())
+	}
+	second, err := r.ctrl.PathFor(src, dst, PolicyShortestPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ctrl.RouteCacheHits() != 1 {
+		t.Fatalf("second identical call missed the cache (hits %d)", r.ctrl.RouteCacheHits())
+	}
+	if len(first) != len(second) {
+		t.Fatalf("cached path differs: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("cached path differs at hop %d: %v vs %v", i, first, second)
+		}
+	}
+
+	// ECMP shares the DAG: a keyed call on the same pair is still a hit.
+	if _, err := r.ctrl.PathFor(src, dst, PolicyECMP, 42); err != nil {
+		t.Fatal(err)
+	}
+	if r.ctrl.RouteCacheHits() != 2 {
+		t.Fatalf("ECMP call on cached pair missed (hits %d)", r.ctrl.RouteCacheHits())
+	}
+
+	// A link-state change invalidates: the next call re-routes around
+	// the failure instead of replaying the stale path.
+	if err := r.net.SetLinkUp(r.topo.Edge[0], r.topo.Agg[0], false); err != nil {
+		t.Fatal(err)
+	}
+	rerouted, err := r.ctrl.PathFor(src, dst, PolicyShortestPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ctrl.RouteCacheMisses() != 2 {
+		t.Fatalf("epoch bump did not invalidate (misses %d)", r.ctrl.RouteCacheMisses())
+	}
+	for _, hop := range rerouted {
+		if hop == r.topo.Agg[0] {
+			t.Fatalf("rerouted path %v still crosses the failed uplink's agg", rerouted)
+		}
+	}
+
+	// Shaping bumps the epoch too (the fault injectors' contract).
+	before := r.net.TopoEpoch()
+	if err := r.net.ShapeLink(r.topo.Edge[1], r.topo.Agg[1], netsim.Shaping{CapacityScale: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if r.net.TopoEpoch() == before {
+		t.Fatal("shaping did not advance the topology epoch")
+	}
+}
+
+func TestCongestionAwareBypassesCache(t *testing.T) {
+	r := newRig(t)
+	src, dst := r.host(0, 0), r.host(1, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := r.ctrl.PathFor(src, dst, PolicyCongestionAware, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.ctrl.RouteCacheHits() != 0 || r.ctrl.RouteCacheMisses() != 0 {
+		t.Fatalf("congestion-aware routing touched the cache: hits %d misses %d",
+			r.ctrl.RouteCacheHits(), r.ctrl.RouteCacheMisses())
+	}
+}
+
+// TestCacheHitPathAllocationFree pins the microbench claim: a
+// shortest-path cache hit performs zero heap allocations.
+func TestCacheHitPathAllocationFree(t *testing.T) {
+	r := newRig(t)
+	src, dst := r.host(0, 0), r.host(3, 13)
+	if _, err := r.ctrl.PathFor(src, dst, PolicyShortestPath, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := r.ctrl.PathFor(src, dst, PolicyShortestPath, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// benchRig is newRig without the testing.T plumbing, at a 1000-node
+// scale so the cache is amortising a genuinely expensive Dijkstra.
+func benchRig(b *testing.B) (*netsim.Network, *topology.Topology, *Controller) {
+	b.Helper()
+	e := sim.NewEngine(1)
+	n := netsim.New(e)
+	topo, err := topology.BuildMultiRoot(n, topology.MultiRootConfig{
+		Racks: 20, HostsPerRack: 52, AggSwitches: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl := NewController(e, n, DefaultConfig())
+	for _, id := range topo.Switches() {
+		ctrl.RegisterSwitch(openflow.NewSwitch(id, e))
+	}
+	return n, topo, ctrl
+}
+
+// BenchmarkSDNAdmitCached measures steady-state admission on a warm
+// route cache: a cross-rack shortest-path lookup on a 1040-node fabric.
+// Run with -benchmem: the headline claim is 0 B/op, 0 allocs/op.
+func BenchmarkSDNAdmitCached(b *testing.B) {
+	_, topo, ctrl := benchRig(b)
+	src, dst := topo.Racks[0][0], topo.Racks[19][51]
+	if _, err := ctrl.PathFor(src, dst, PolicyShortestPath, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctrl.PathFor(src, dst, PolicyShortestPath, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if ctrl.RouteCacheHits() < uint64(b.N) {
+		b.Fatalf("cache hits %d < iterations %d", ctrl.RouteCacheHits(), b.N)
+	}
+}
+
+// BenchmarkSDNAdmitUncached is the contrast case: every iteration pays
+// the full Dijkstra because the pair alternates (cold pair each time
+// would grow the cache unboundedly, so we bust it with an epoch bump).
+func BenchmarkSDNAdmitUncached(b *testing.B) {
+	n, topo, ctrl := benchRig(b)
+	src, dst := topo.Racks[0][0], topo.Racks[19][51]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.BumpTopoEpoch()
+		if _, err := ctrl.PathFor(src, dst, PolicyShortestPath, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

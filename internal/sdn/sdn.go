@@ -92,7 +92,40 @@ type Controller struct {
 
 	packetIns      uint64
 	rulesInstalled uint64
+
+	// routeCache memoises the hop-count shortest-path DAG per
+	// (src, dst) pair. Entries are valid only while the network's
+	// topology epoch matches, so any re-cable, link up/down or shaping
+	// change invalidates the whole cache at zero cost. Congestion-aware
+	// routing is never cached: its weights move with utilisation, which
+	// advances without an epoch bump.
+	routeCache  map[pairKey]*routeEntry
+	cacheHits   uint64
+	cacheMisses uint64
 }
+
+// pairKey identifies one cached routing question.
+type pairKey struct{ src, dst netsim.NodeID }
+
+// routeEntry is one cached shortest-path DAG and its materialised
+// tiebreak-0 path.
+type routeEntry struct {
+	epoch uint64
+	// parents holds, per reached node, the equal-cost predecessors in
+	// sorted order (ready for the deterministic ECMP walk-back).
+	parents map[netsim.NodeID][]netsim.NodeID
+	// visited bounds the walk-back loop guard (nodes with a distance).
+	visited int
+	// shortest is the tiebreak-0 path, shared across callers: treat as
+	// read-only. Returning it is what makes the cache hit path
+	// allocation-free.
+	shortest []netsim.NodeID
+}
+
+// maxRouteCacheEntries caps cache growth on huge fleets; when full the
+// cache is cleared wholesale (deterministic, and an epoch bump would
+// drop it anyway).
+const maxRouteCacheEntries = 1 << 16
 
 // NewController returns a controller over the given network. Switches
 // must be registered before flows are admitted.
@@ -101,14 +134,26 @@ func NewController(engine *sim.Engine, net *netsim.Network, cfg Config) *Control
 		cfg.CongestionExponent = 2
 	}
 	return &Controller{
-		engine:    engine,
-		net:       net,
-		cfg:       cfg,
-		switches:  make(map[netsim.NodeID]*openflow.Switch),
-		labels:    make(map[openflow.Label]netsim.NodeID),
-		labelName: make(map[string]openflow.Label),
+		engine:     engine,
+		net:        net,
+		cfg:        cfg,
+		switches:   make(map[netsim.NodeID]*openflow.Switch),
+		labels:     make(map[openflow.Label]netsim.NodeID),
+		labelName:  make(map[string]openflow.Label),
+		routeCache: make(map[pairKey]*routeEntry),
 	}
 }
+
+// RouteCacheHits returns how many PathFor calls were served from the
+// route cache.
+func (c *Controller) RouteCacheHits() uint64 { return c.cacheHits }
+
+// RouteCacheMisses returns how many PathFor calls ran a fresh Dijkstra.
+func (c *Controller) RouteCacheMisses() uint64 { return c.cacheMisses }
+
+// RouteCacheSize returns the number of cached (src, dst) entries,
+// including any invalidated by a later epoch bump.
+func (c *Controller) RouteCacheSize() int { return len(c.routeCache) }
 
 // RegisterSwitch places a switch under this controller's management.
 func (c *Controller) RegisterSwitch(sw *openflow.Switch) {
@@ -199,19 +244,48 @@ func (c *Controller) weightCongestion(l *netsim.Link) float64 {
 
 // PathFor computes a path from src to dst hosts under the policy, without
 // touching any flow table. key disambiguates ECMP choices.
+//
+// Shortest-path and ECMP run against the route cache: the hop-count
+// shortest-path DAG for (src, dst) is computed once per topology epoch
+// and every later admission is a map lookup. On a cache hit with no ECMP
+// tiebreak the returned slice is the shared cached path — treat it as
+// read-only (no caller mutates paths; netsim copies on SetPath).
 func (c *Controller) PathFor(src, dst netsim.NodeID, policy Policy, key uint64) ([]netsim.NodeID, error) {
-	var w weightFunc
-	switch policy {
-	case PolicyCongestionAware:
-		w = c.weightCongestion
-	default:
-		w = weightHops
+	if policy == PolicyCongestionAware {
+		// Utilisation-weighted routing re-reads link state every time;
+		// caching it would freeze the hotspot picture it exists to track.
+		return c.dijkstra(src, dst, c.weightCongestion, key)
 	}
 	tiebreak := uint64(0)
-	if policy == PolicyECMP || policy == PolicyCongestionAware {
+	if policy == PolicyECMP {
 		tiebreak = key
 	}
-	return c.dijkstra(src, dst, w, tiebreak)
+	epoch := c.net.TopoEpoch()
+	k := pairKey{src, dst}
+	if e := c.routeCache[k]; e != nil && e.epoch == epoch {
+		c.cacheHits++
+		if tiebreak == 0 {
+			return e.shortest, nil
+		}
+		return materialisePath(e.parents, src, dst, tiebreak, e.visited)
+	}
+	c.cacheMisses++
+	parents, visited, err := c.shortestDAG(src, dst, weightHops)
+	if err != nil {
+		return nil, err
+	}
+	shortest, err := materialisePath(parents, src, dst, 0, visited)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.routeCache) >= maxRouteCacheEntries {
+		clear(c.routeCache)
+	}
+	c.routeCache[k] = &routeEntry{epoch: epoch, parents: parents, visited: visited, shortest: shortest}
+	if tiebreak == 0 {
+		return shortest, nil
+	}
+	return materialisePath(parents, src, dst, tiebreak, visited)
 }
 
 // pqItem is a priority-queue element for Dijkstra.
@@ -236,13 +310,28 @@ func (q pq) empty() bool   { return len(q) == 0 }
 
 // dijkstra computes a least-weight path keeping all equal-cost parents,
 // then materialises one path choosing among parents by tiebreak hash
-// (deterministic ECMP).
+// (deterministic ECMP). Uncached — the congestion-aware policy and the
+// cache-miss path both come through here via shortestDAG.
 func (c *Controller) dijkstra(src, dst netsim.NodeID, w weightFunc, tiebreak uint64) ([]netsim.NodeID, error) {
+	parents, visited, err := c.shortestDAG(src, dst, w)
+	if err != nil {
+		return nil, err
+	}
+	return materialisePath(parents, src, dst, tiebreak, visited)
+}
+
+// shortestDAG runs Dijkstra from src until dst is settled, returning the
+// equal-cost predecessor DAG (parent lists pre-sorted for the ECMP
+// walk-back) and the number of nodes given a distance (the walk-back
+// loop bound). Neighbours are explored over the network's creation-order
+// adjacency lists — deterministic without sorting, and without the
+// per-edge link-map lookups the old implementation paid.
+func (c *Controller) shortestDAG(src, dst netsim.NodeID, w weightFunc) (map[netsim.NodeID][]netsim.NodeID, int, error) {
 	if c.net.Node(src) == nil || c.net.Node(dst) == nil {
-		return nil, fmt.Errorf("%w: %s -> %s (unknown node)", ErrNoPath, src, dst)
+		return nil, 0, fmt.Errorf("%w: %s -> %s (unknown node)", ErrNoPath, src, dst)
 	}
 	if src == dst {
-		return nil, fmt.Errorf("%w: src equals dst %s", ErrNoPath, src)
+		return nil, 0, fmt.Errorf("%w: src equals dst %s", ErrNoPath, src)
 	}
 	const eps = 1e-12
 	dist := map[netsim.NodeID]float64{src: 0}
@@ -258,18 +347,13 @@ func (c *Controller) dijkstra(src, dst netsim.NodeID, w weightFunc, tiebreak uin
 		if it.node == dst {
 			break
 		}
-		nbrs := c.net.Neighbors(it.node)
-		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
-		for _, nb := range nbrs {
-			if done[nb] {
+		for _, l := range c.net.NeighborLinks(it.node) {
+			nb := l.To
+			if !l.Up() || done[nb] {
 				continue
 			}
 			// Hosts other than src/dst never relay traffic.
-			if nb != dst && c.net.Node(nb).Kind == netsim.KindHost {
-				continue
-			}
-			l := c.net.Link(it.node, nb)
-			if l == nil || !l.Up() {
+			if nb != dst && l.DstKind() == netsim.KindHost {
 				continue
 			}
 			nd := it.dist + w(l)
@@ -285,9 +369,18 @@ func (c *Controller) dijkstra(src, dst netsim.NodeID, w weightFunc, tiebreak uin
 		}
 	}
 	if !done[dst] {
-		return nil, fmt.Errorf("%w: %s -> %s", ErrNoPath, src, dst)
+		return nil, 0, fmt.Errorf("%w: %s -> %s", ErrNoPath, src, dst)
 	}
-	// Walk back choosing parents by hash for ECMP spreading.
+	for _, ps := range parents {
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	}
+	return parents, len(dist), nil
+}
+
+// materialisePath walks the predecessor DAG back from dst, choosing
+// among equal-cost parents by tiebreak hash (deterministic ECMP), and
+// returns the src..dst hop sequence.
+func materialisePath(parents map[netsim.NodeID][]netsim.NodeID, src, dst netsim.NodeID, tiebreak uint64, visited int) ([]netsim.NodeID, error) {
 	var rev []netsim.NodeID
 	cur := dst
 	for cur != src {
@@ -296,7 +389,6 @@ func (c *Controller) dijkstra(src, dst netsim.NodeID, w weightFunc, tiebreak uin
 		if len(ps) == 0 {
 			return nil, fmt.Errorf("%w: broken parent chain at %s", ErrNoPath, cur)
 		}
-		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
 		idx := 0
 		if tiebreak != 0 && len(ps) > 1 {
 			h := fnv.New64a()
@@ -309,7 +401,7 @@ func (c *Controller) dijkstra(src, dst netsim.NodeID, w weightFunc, tiebreak uin
 			idx = int(h.Sum64() % uint64(len(ps)))
 		}
 		cur = ps[idx]
-		if len(rev) > len(dist)+1 {
+		if len(rev) > visited+1 {
 			return nil, ErrForwardLoop
 		}
 	}

@@ -201,6 +201,14 @@ func BuildMultiRoot(net *netsim.Network, cfg MultiRootConfig) (*Topology, error)
 		}
 		t.Racks = append(t.Racks, rack)
 	}
+	return finishBuild(net, t)
+}
+
+// finishBuild seals a wired fabric: the topology epoch is bumped once
+// more so SDN route caches keyed on it can never survive a build or
+// re-cable, whatever mix of netsim mutations produced the fabric.
+func finishBuild(net *netsim.Network, t *Topology) (*Topology, error) {
+	net.BumpTopoEpoch()
 	return t, nil
 }
 
@@ -303,7 +311,7 @@ func BuildFatTree(net *netsim.Network, cfg FatTreeConfig) (*Topology, error) {
 			placed++
 		}
 	}
-	return t, nil
+	return finishBuild(net, t)
 }
 
 // LeafSpineConfig parameterises a 2-tier Clos (leaf-spine) fabric: every
@@ -379,7 +387,7 @@ func BuildLeafSpine(net *netsim.Network, cfg LeafSpineConfig) (*Topology, error)
 		}
 		t.Racks = append(t.Racks, rack)
 	}
-	return t, nil
+	return finishBuild(net, t)
 }
 
 // Validate checks structural invariants of the wired fabric: every host
