@@ -27,15 +27,17 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
 # One iteration of everything; what CI runs on every push. Includes the
-# megafleet-10000 scale gate.
+# megafleet-100000 scale gate (100k nodes under a wall-time budget) and
+# the megafleet-10000 gate it superseded.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
 
 # The benchmark trajectory: one run of every canned scenario, written as
-# BENCH_PR2.json (per-scenario sim-s/wall-s, events/s, ns/op, trace
-# digests, plus the PR 1 baseline). CI uploads it as an artifact.
+# BENCH_PR3.json (per-scenario sim-s/wall-s, events/s, ns/op, the fleet-
+# construction wall-time series, trace digests, plus the PR 1 and PR 2
+# baselines). CI uploads it as an artifact.
 bench-json:
-	$(GO) run ./cmd/piscale -bench-json BENCH_PR2.json
+	$(GO) run ./cmd/piscale -bench-json BENCH_PR3.json
 
 lint:
 	$(GO) vet ./...

@@ -10,7 +10,7 @@
 //	piscale -scenario migration-storm
 //	piscale -scenario megafleet-1000 -trace 20
 //	piscale -scenario diurnal-day -racks 10 -hosts-per-rack 30 -duration 20m
-//	piscale -bench-json BENCH_PR2.json
+//	piscale -bench-json BENCH_PR3.json
 package main
 
 import (
@@ -65,31 +65,54 @@ type benchEntry struct {
 	Racks       int     `json:"racks,omitempty"`
 	SimSeconds  float64 `json:"sim_s,omitempty"`
 	WallSeconds float64 `json:"wall_s,omitempty"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	Events      uint64  `json:"events,omitempty"`
-	EventsPerS  float64 `json:"events_per_s"`
-	SimPerWall  float64 `json:"sim_s_per_wall_s"`
-	TraceDigest string  `json:"trace_digest,omitempty"`
+	// BuildSeconds is the fleet-construction wall time (cloud assembly
+	// plus fleet spawn) — the series the PR 3 fleet builder moves.
+	BuildSeconds float64 `json:"build_s,omitempty"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	Events       uint64  `json:"events,omitempty"`
+	EventsPerS   float64 `json:"events_per_s"`
+	SimPerWall   float64 `json:"sim_s_per_wall_s"`
+	TraceDigest  string  `json:"trace_digest,omitempty"`
 }
 
 // pr1Baseline records the PR 1 numbers for the scenarios that existed
-// then, measured on the same class of machine the trajectory files are
-// generated on (Intel Xeon @ 2.10GHz, linux/amd64, -benchtime=1x).
-// Keeping them in the emitted JSON makes every BENCH_PR<N>.json
-// self-contained: the improvement claim travels with the data.
+// then. Keeping earlier baselines in the emitted JSON makes every
+// BENCH_PR<N>.json self-contained: the improvement claim travels with
+// the data.
 var pr1Baseline = map[string]benchEntry{
 	"megafleet-1000": {Name: "megafleet-1000", Nodes: 1040, NsPerOp: 2714070664, EventsPerS: 3204, SimPerWall: 71.42},
 	"flash-crowd":    {Name: "flash-crowd", Nodes: 200, NsPerOp: 713221764, EventsPerS: 18173, SimPerWall: 426.7},
 }
 
+// pr2Baseline is BENCH_PR2.json's recorded trajectory. Note ns_per_op
+// there is the run phase only — PR 2 measured wall time inside Execute,
+// after construction — so it is comparable to this file's ns_per_op but
+// NOT to build_s: no construction series existed before PR 3. Before
+// the fleet builder, megafleet construction ran one node at a time
+// through Sscanf parsing, eager per-node HTTP muxes and JSON status
+// polling per placement (~10.4 s for megafleet-10000 on the PR 3
+// reference machine, vs the build_s this file records).
+var pr2Baseline = map[string]benchEntry{
+	"brownout-fabric": {Name: "brownout-fabric", Nodes: 56, NsPerOp: 26216472, EventsPerS: 238590, SimPerWall: 11443.2},
+	"diurnal-day":     {Name: "diurnal-day", Nodes: 56, NsPerOp: 9344399, EventsPerS: 271821, SimPerWall: 64209.6},
+	"flash-crowd":     {Name: "flash-crowd", Nodes: 200, NsPerOp: 111724842, EventsPerS: 114361, SimPerWall: 2685.2},
+	"megafleet-1000":  {Name: "megafleet-1000", Nodes: 1040, NsPerOp: 68087063, EventsPerS: 79061, SimPerWall: 1762.4},
+	"megafleet-10000": {Name: "megafleet-10000", Nodes: 10000, NsPerOp: 345515660, EventsPerS: 14856, SimPerWall: 173.7},
+	"migration-storm": {Name: "migration-storm", Nodes: 56, NsPerOp: 5631652, EventsPerS: 166736, SimPerWall: 53270.3},
+	"node-churn":      {Name: "node-churn", Nodes: 56, NsPerOp: 5666202, EventsPerS: 415622, SimPerWall: 52945.5},
+	"rack-blackout":   {Name: "rack-blackout", Nodes: 56, NsPerOp: 8412538, EventsPerS: 337354, SimPerWall: 35661.1},
+}
+
 // runBenchJSON executes every canned scenario once and writes the
-// per-scenario throughput trajectory (plus the PR 1 baseline) to path.
+// per-scenario throughput trajectory (plus the PR 1 and PR 2 baselines)
+// to path.
 func runBenchJSON(path string) error {
 	type trajectory struct {
 		GeneratedBy string                `json:"generated_by"`
 		GoVersion   string                `json:"go_version"`
 		GoosGoarch  string                `json:"goos_goarch"`
 		BaselinePR1 map[string]benchEntry `json:"baseline_pr1"`
+		BaselinePR2 map[string]benchEntry `json:"baseline_pr2"`
 		Scenarios   []benchEntry          `json:"scenarios"`
 	}
 	out := trajectory{
@@ -97,6 +120,7 @@ func runBenchJSON(path string) error {
 		GoVersion:   runtime.Version(),
 		GoosGoarch:  runtime.GOOS + "/" + runtime.GOARCH,
 		BaselinePR1: pr1Baseline,
+		BaselinePR2: pr2Baseline,
 	}
 	for _, n := range scenario.Names() {
 		spec, err := scenario.Catalog(n)
@@ -109,19 +133,21 @@ func runBenchJSON(path string) error {
 		}
 		wall := rep.WallTime.Seconds()
 		out.Scenarios = append(out.Scenarios, benchEntry{
-			Name:        rep.Name,
-			Nodes:       rep.Nodes,
-			Racks:       rep.Racks,
-			SimSeconds:  rep.SimTime.Seconds(),
-			WallSeconds: wall,
-			NsPerOp:     rep.WallTime.Nanoseconds(),
-			Events:      rep.EventsFired,
-			EventsPerS:  float64(rep.EventsFired) / wall,
-			SimPerWall:  rep.SimTime.Seconds() / wall,
-			TraceDigest: rep.TraceDigest(),
+			Name:         rep.Name,
+			Nodes:        rep.Nodes,
+			Racks:        rep.Racks,
+			SimSeconds:   rep.SimTime.Seconds(),
+			WallSeconds:  wall,
+			BuildSeconds: rep.BuildWallTime.Seconds(),
+			NsPerOp:      rep.WallTime.Nanoseconds(),
+			Events:       rep.EventsFired,
+			EventsPerS:   float64(rep.EventsFired) / wall,
+			SimPerWall:   rep.SimTime.Seconds() / wall,
+			TraceDigest:  rep.TraceDigest(),
 		})
-		fmt.Printf("%-18s %6d nodes  %8.0f events/s  %9.1f sim-s/wall-s\n",
-			rep.Name, rep.Nodes, float64(rep.EventsFired)/wall, rep.SimTime.Seconds()/wall)
+		fmt.Printf("%-18s %7d nodes  built %6.2fs  %8.0f events/s  %9.1f sim-s/wall-s\n",
+			rep.Name, rep.Nodes, rep.BuildWallTime.Seconds(),
+			float64(rep.EventsFired)/wall, rep.SimTime.Seconds()/wall)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

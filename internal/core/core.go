@@ -8,103 +8,39 @@
 // This is the public entry point of the reproduction: examples, the
 // benchmark harness and the CLIs all build a Cloud and operate it through
 // pimaster's API, exactly as a user of the physical testbed would.
+//
+// Construction itself lives in the fleet subsystem (internal/fleet):
+// node templates, a per-shape construction plan, rack-sharded parallel
+// bring-up and bulk registration. New is a thin composition over it;
+// Snapshot/Restore expose warm-boot for repeated runs of one shape.
 package core
 
 import (
 	"fmt"
-	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/energy"
+	"repro/internal/fleet"
 	"repro/internal/hw"
-	"repro/internal/image"
-	"repro/internal/lxc"
 	"repro/internal/migration"
 	"repro/internal/netsim"
-	"repro/internal/openflow"
-	"repro/internal/oslinux"
 	"repro/internal/pimaster"
-	"repro/internal/placement"
-	"repro/internal/restapi"
 	"repro/internal/sdn"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
-// Config sizes and seeds a cloud. The zero value (with defaults applied)
-// is the published PiCloud: 4 racks × 14 Raspberry Pi Model B.
-type Config struct {
-	Racks        int
-	HostsPerRack int
-	// Board is the node hardware (default hw.PiModelB()).
-	Board hw.BoardSpec
-	// Fabric selects the wiring (default multi-root tree; fat-tree and
-	// leaf-spine model the paper's re-cabling).
-	Fabric topology.Fabric
-	// FatTreeK applies when Fabric is FabricFatTree (default 8).
-	FatTreeK int
-	// AggSwitches is the number of multi-root aggregation roots (default
-	// 2); scale it up with the rack count to keep bisection bandwidth.
-	AggSwitches int
-	// SpineSwitches applies when Fabric is FabricLeafSpine (default 2).
-	SpineSwitches int
-	// UplinkBps overrides the switch-to-switch link capacity (default
-	// 1 Gb/s); lowering it models an oversubscribed fabric.
-	UplinkBps float64
-	// LinkLatency overrides the per-hop store-and-forward latency.
-	LinkLatency time.Duration
-	// Seed drives all stochastic behaviour.
-	Seed int64
-	// Placer is pimaster's default placement algorithm (best-fit if nil).
-	Placer placement.Placer
-	// Policy carries overcommit settings.
-	Policy placement.Policy
-	// Images is the image registry (stock images if nil).
-	Images *image.Store
-	// RoutingPolicy is the SDN default for workload flows.
-	RoutingPolicy sdn.Policy
-	// MigrationConfig tunes pre-copy.
-	MigrationConfig migration.Config
-}
-
-func (c *Config) fillDefaults() {
-	if c.Racks == 0 {
-		c.Racks = topology.DefaultRacks
-	}
-	if c.HostsPerRack == 0 {
-		c.HostsPerRack = topology.DefaultHostsPerRack
-	}
-	if c.Board.Model == "" {
-		c.Board = hw.PiModelB()
-	}
-	if c.Fabric == 0 {
-		c.Fabric = topology.FabricMultiRoot
-	}
-	if c.FatTreeK == 0 {
-		c.FatTreeK = 8
-	}
-	if c.Images == nil {
-		c.Images = image.StockImages()
-	}
-	if c.RoutingPolicy == 0 {
-		c.RoutingPolicy = sdn.PolicyECMP
-	}
-}
+// Config sizes and seeds a cloud; it is the fleet builder's Config (see
+// fleet.Config for the field reference). The zero value (with defaults
+// applied) is the published PiCloud: 4 racks × 14 Raspberry Pi Model B.
+type Config = fleet.Config
 
 // Node bundles everything attached to one Pi.
-type Node struct {
-	Name   string
-	Host   netsim.NodeID
-	Rack   int
-	Suite  *lxc.Suite
-	Meter  *energy.Meter
-	Daemon *restapi.Daemon
-	Client *restapi.Client
-}
+type Node = fleet.Node
 
 // Cloud is a running PiCloud.
 type Cloud struct {
@@ -126,166 +62,57 @@ type Cloud struct {
 	byHost map[netsim.NodeID]*Node
 	byName map[string]*Node
 
+	fleet *fleet.Result
+
 	masterServer *httptest.Server
 }
 
-// dispatchTransport routes HTTP requests to in-process node handlers by
-// host name, so pimaster's REST traffic needs no TCP listeners.
-type dispatchTransport struct {
-	handlers map[string]http.Handler
-}
-
-// RoundTrip implements http.RoundTripper.
-func (t *dispatchTransport) RoundTrip(req *http.Request) (*http.Response, error) {
-	h, ok := t.handlers[req.URL.Host]
-	if !ok {
-		return nil, fmt.Errorf("core: no daemon for host %q", req.URL.Host)
-	}
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	resp := rec.Result()
-	resp.Request = req
-	return resp, nil
-}
-
 // New assembles and boots a cloud at virtual time zero: all boards
-// powered, fabric wired, daemons serving, pimaster populated.
+// powered, fabric wired, daemons serving, pimaster populated. Repeated
+// builds of the same fleet shape warm-boot from the fleet subsystem's
+// plan cache automatically.
 func New(cfg Config) (*Cloud, error) {
-	cfg.fillDefaults()
-	if err := cfg.Board.Validate(); err != nil {
-		return nil, err
-	}
-	engine := sim.NewEngine(cfg.Seed)
-	net := netsim.New(engine)
-
-	var topo *topology.Topology
-	var err error
-	switch cfg.Fabric {
-	case topology.FabricFatTree:
-		topo, err = topology.BuildFatTree(net, topology.FatTreeConfig{
-			K:           cfg.FatTreeK,
-			Hosts:       cfg.Racks * cfg.HostsPerRack,
-			HostLinkBps: float64(cfg.Board.NIC.BitsPerSecond),
-			UplinkBps:   cfg.UplinkBps,
-			Latency:     cfg.LinkLatency,
-		})
-	case topology.FabricLeafSpine:
-		spines := cfg.SpineSwitches
-		if spines == 0 {
-			spines = topology.DefaultSpineSwitches
-		}
-		topo, err = topology.BuildLeafSpine(net, topology.LeafSpineConfig{
-			Leaves:       cfg.Racks,
-			Spines:       spines,
-			HostsPerLeaf: cfg.HostsPerRack,
-			HostLinkBps:  float64(cfg.Board.NIC.BitsPerSecond),
-			UplinkBps:    cfg.UplinkBps,
-			Latency:      cfg.LinkLatency,
-		})
-	default:
-		mrc := topology.DefaultMultiRoot()
-		mrc.Racks = cfg.Racks
-		mrc.HostsPerRack = cfg.HostsPerRack
-		mrc.HostLinkBps = float64(cfg.Board.NIC.BitsPerSecond)
-		if cfg.AggSwitches > 0 {
-			mrc.AggSwitches = cfg.AggSwitches
-		}
-		if cfg.UplinkBps > 0 {
-			mrc.UplinkBps = cfg.UplinkBps
-		}
-		if cfg.LinkLatency > 0 {
-			mrc.Latency = cfg.LinkLatency
-		}
-		topo, err = topology.BuildMultiRoot(net, mrc)
-	}
+	c := &Cloud{}
+	res, err := fleet.Assemble(cfg, &c.Mu)
 	if err != nil {
 		return nil, err
 	}
-	if err := topology.Validate(topo, net); err != nil {
-		return nil, err
-	}
-
-	ctrl := sdn.NewController(engine, net, sdn.DefaultConfig())
-	for _, id := range topo.Switches() {
-		ctrl.RegisterSwitch(openflow.NewSwitch(id, engine))
-	}
-
-	c := &Cloud{
-		Config: cfg,
-		Engine: engine,
-		Net:    net,
-		Topo:   topo,
-		Ctrl:   ctrl,
-		Meter:  energy.NewCloudMeter(),
-		byHost: make(map[netsim.NodeID]*Node),
-		byName: make(map[string]*Node),
-	}
-	c.Mig = migration.NewManager(engine, net, ctrl, cfg.MigrationConfig)
-
-	transport := &dispatchTransport{handlers: make(map[string]http.Handler)}
-	httpClient := &http.Client{Transport: transport}
-
-	master, err := pimaster.New(pimaster.Config{
-		Engine:     engine,
-		CloudMu:    &c.Mu,
-		Ctrl:       ctrl,
-		Images:     cfg.Images,
-		Meter:      c.Meter,
-		Placer:     cfg.Placer,
-		Policy:     cfg.Policy,
-		Migrations: c.Mig,
-	})
-	if err != nil {
-		return nil, err
-	}
-	c.Master = master
-
-	// One kernel + suite + meter + daemon per host.
-	for _, host := range topo.Hosts {
-		name := string(host)
-		rack := topo.RackOf(host)
-		kernel, err := oslinux.NewKernel(engine, cfg.Board, name)
-		if err != nil {
-			return nil, err
-		}
-		meter := energy.NewMeter(cfg.Board.Power, engine.Now())
-		meter.PowerOn(engine.Now())
-		kernel.OnUtilChange(func(at sim.Time, util float64) { meter.SetUtilisation(at, util) })
-		if err := c.Meter.Attach(name, meter); err != nil {
-			return nil, err
-		}
-		suite := lxc.NewSuite(engine, kernel, cfg.Images)
-		daemon := restapi.New(&c.Mu, engine, name, rack, name, suite, meter)
-		transport.handlers[name] = daemon.Handler()
-		client := restapi.NewClient("http://"+name, httpClient)
-		node := &Node{
-			Name: name, Host: host, Rack: rack,
-			Suite: suite, Meter: meter, Daemon: daemon, Client: client,
-		}
-		c.nodes = append(c.nodes, node)
-		c.byHost[host] = node
-		c.byName[name] = node
-
-		idx := indexInRack(name)
-		if err := master.RegisterNode(&pimaster.NodeRef{
-			Name: name, Host: host, Rack: rack,
-			Client: client, Suite: suite, Meter: meter,
-		}, idx); err != nil {
-			return nil, err
-		}
-	}
+	c.adopt(res)
 	return c, nil
 }
 
-// indexInRack parses the n<idx> suffix of pi-r<rack>-n<idx>. Plain %d so
-// 3+ digit racks and indices (scale-out fleets) parse instead of
-// truncating at two digits and colliding.
-func indexInRack(name string) int {
-	var r, i int
-	if _, err := fmt.Sscanf(name, "pi-r%d-n%d", &r, &i); err == nil {
-		return i
+// Snapshot captures the booted cloud's construction state for
+// warm-booting identical clouds with Restore.
+func (c *Cloud) Snapshot() *fleet.Snapshot { return c.fleet.Snapshot() }
+
+// Restore warm-boots a fresh cloud from a snapshot. seed overrides the
+// captured seed when non-negative. The restored cloud's behaviour —
+// traces included — is byte-identical to a cold build of the same
+// config.
+func Restore(snap *fleet.Snapshot, seed int64) (*Cloud, error) {
+	c := &Cloud{}
+	res, err := snap.Restore(&c.Mu, seed)
+	if err != nil {
+		return nil, err
 	}
-	return 0
+	c.adopt(res)
+	return c, nil
+}
+
+// adopt wires an assembled fleet into the facade.
+func (c *Cloud) adopt(res *fleet.Result) {
+	c.Config = res.Config
+	c.Engine = res.Engine
+	c.Net = res.Net
+	c.Topo = res.Topo
+	c.Ctrl = res.Ctrl
+	c.Meter = res.Meter
+	c.Master = res.Master
+	c.Mig = res.Mig
+	c.nodes = res.Nodes
+	c.byHost = res.ByHost
+	c.byName = res.ByName
+	c.fleet = res
 }
 
 // Nodes returns all nodes in topology order.

@@ -120,6 +120,15 @@ func (s *Server) AddPool(name, cidr string) error {
 	return nil
 }
 
+// Pool reports whether a pool exists, returning its prefix.
+func (s *Server) Pool(name string) (netip.Prefix, bool) {
+	p, ok := s.pools[name]
+	if !ok {
+		return netip.Prefix{}, false
+	}
+	return p.prefix, true
+}
+
 // Pools lists pool names, sorted.
 func (s *Server) Pools() []string {
 	out := make([]string, 0, len(s.pools))

@@ -108,6 +108,11 @@ func (m *Meter) EnergyWh(at sim.Time) float64 { return m.EnergyJoules(at) / 3600
 type CloudMeter struct {
 	mu     sync.Mutex
 	meters map[string]*Meter
+	// sorted caches the stable summation order (see sortedNames); it is
+	// rebuilt lazily after Attach so a 10⁵-meter fleet does not re-sort
+	// on every power reading.
+	sorted      []string
+	sortedStale bool
 }
 
 // NewCloudMeter returns an empty aggregate meter.
@@ -123,6 +128,8 @@ func (c *CloudMeter) Attach(name string, m *Meter) error {
 		return fmt.Errorf("energy: meter %q already attached", name)
 	}
 	c.meters[name] = m
+	c.sorted = append(c.sorted, name)
+	c.sortedStale = true
 	return nil
 }
 
@@ -146,14 +153,14 @@ func (c *CloudMeter) Names() []string {
 
 // sortedNames returns meter names in stable order. Summation must be
 // order-stable or float rounding makes identical runs differ in the last
-// bit (map iteration order is random). Caller holds c.mu.
+// bit (map iteration order is random). The order is cached and re-sorted
+// only after new attachments. Caller holds c.mu.
 func (c *CloudMeter) sortedNames() []string {
-	names := make([]string, 0, len(c.meters))
-	for n := range c.meters {
-		names = append(names, n)
+	if c.sortedStale {
+		sort.Strings(c.sorted)
+		c.sortedStale = false
 	}
-	sort.Strings(names)
-	return names
+	return c.sorted
 }
 
 // TotalWatts returns the instantaneous aggregate draw.

@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"net/netip"
+	"sync"
+
+	"repro/internal/dhcp"
+	"repro/internal/dns"
+	"repro/internal/hw"
+	"repro/internal/pimaster"
+	"repro/internal/topology"
+)
+
+// hostPlan is one host's precomputed identity: everything registration
+// needs, derived once per fleet shape instead of once per build (the
+// seed path re-parsed every host name with Sscanf and re-formatted MAC
+// and FQDN strings on every boot).
+type hostPlan struct {
+	name string
+	rack int
+	idx  int // position within the rack; determines the static address
+	mac  dhcp.MAC
+	addr netip.Addr
+	fqdn string
+}
+
+// Plan is the immutable construction manifest for one fleet shape. It
+// is safe to share across builds: every field is a value derived purely
+// from the shape, never mutated after planFor returns.
+type Plan struct {
+	key   shapeKey
+	hosts []hostPlan
+	// rackSpans lists each rack's contiguous [start, end) index range
+	// in hosts — the shard boundaries of the parallel bring-up.
+	rackSpans [][2]int
+	// validated records that the wired fabric passed topology.Validate
+	// for this shape, so warm boots skip the whole-fabric BFS.
+	validated bool
+}
+
+// Hosts returns the number of planned hosts.
+func (p *Plan) Hosts() int { return len(p.hosts) }
+
+// shapeKey identifies a fleet shape: every Config field that influences
+// the wiring or the registration manifest. Seed, placement policy and
+// routing policy deliberately excluded — they change behaviour, not
+// shape. hw.BoardSpec is comparable (plain nested structs), so the key
+// can index a map directly.
+type shapeKey struct {
+	racks, hostsPerRack int
+	board               hw.BoardSpec
+	fabric              topology.Fabric
+	fatTreeK            int
+	aggSwitches         int
+	spineSwitches       int
+	uplinkBps           float64
+	linkLatencyNs       int64
+}
+
+// shapeOf derives the key from a defaults-filled config.
+func shapeOf(cfg Config) shapeKey {
+	return shapeKey{
+		racks:         cfg.Racks,
+		hostsPerRack:  cfg.HostsPerRack,
+		board:         cfg.Board,
+		fabric:        cfg.Fabric,
+		fatTreeK:      cfg.FatTreeK,
+		aggSwitches:   cfg.AggSwitches,
+		spineSwitches: cfg.SpineSwitches,
+		uplinkBps:     cfg.UplinkBps,
+		linkLatencyNs: int64(cfg.LinkLatency),
+	}
+}
+
+// planFor derives the manifest from a freshly wired (and validated)
+// fabric. Host order is the topology's deterministic host order; the
+// in-rack index counts position within the rack, which matches the
+// n<idx> suffix of the canonical host names for every fabric.
+func planFor(cfg Config, topo *topology.Topology) *Plan {
+	p := &Plan{
+		key:       shapeOf(cfg),
+		hosts:     make([]hostPlan, 0, len(topo.Hosts)),
+		validated: true,
+	}
+	idxInRack := make([]int, len(topo.Racks))
+	prevRack := -1
+	for _, host := range topo.Hosts {
+		rack := topo.RackOf(host)
+		idx := 0
+		if rack >= 0 && rack < len(idxInRack) {
+			idx = idxInRack[rack]
+			idxInRack[rack]++
+		}
+		p.hosts = append(p.hosts, hostPlan{
+			name: string(host),
+			rack: rack,
+			idx:  idx,
+			mac:  dhcp.NodeMAC(rack, idx),
+			addr: pimaster.NodeAddr(rack, idx),
+			fqdn: dns.NodeFQDN(rack, idx),
+		})
+		if rack != prevRack {
+			p.rackSpans = append(p.rackSpans, [2]int{len(p.hosts) - 1, len(p.hosts)})
+			prevRack = rack
+		} else {
+			p.rackSpans[len(p.rackSpans)-1][1] = len(p.hosts)
+		}
+	}
+	return p
+}
+
+// --- Warm cache ---
+
+// warmCacheCap bounds the process-wide plan cache; plans are cheap to
+// re-derive, so overflowing simply resets the cache.
+const warmCacheCap = 16
+
+var (
+	warmMu    sync.Mutex
+	warmPlans = map[shapeKey]*Plan{}
+	warmHits  uint64
+)
+
+// lookupWarmPlan returns the cached plan for the config's shape, or nil.
+func lookupWarmPlan(cfg Config) *Plan {
+	warmMu.Lock()
+	defer warmMu.Unlock()
+	p := warmPlans[shapeOf(cfg)]
+	if p != nil {
+		warmHits++
+	}
+	return p
+}
+
+// storeWarmPlan publishes a freshly derived plan.
+func storeWarmPlan(p *Plan) {
+	warmMu.Lock()
+	defer warmMu.Unlock()
+	if len(warmPlans) >= warmCacheCap {
+		warmPlans = map[shapeKey]*Plan{}
+	}
+	warmPlans[p.key] = p
+}
+
+// WarmHits reports how many Assemble calls warm-booted from a cached
+// plan (process-wide).
+func WarmHits() uint64 {
+	warmMu.Lock()
+	defer warmMu.Unlock()
+	return warmHits
+}
+
+// ResetWarmCache drops all cached plans (test isolation).
+func ResetWarmCache() {
+	warmMu.Lock()
+	defer warmMu.Unlock()
+	warmPlans = map[shapeKey]*Plan{}
+	warmHits = 0
+}
+
+// --- Snapshots ---
+
+// Snapshot captures a booted fleet's construction state so an identical
+// fleet can be warm-booted later. Simulated state (kernels, flows,
+// meters) is inherently per-run and is rebuilt fresh; what the snapshot
+// carries — and Restore skips — is everything derivable: the full
+// registration manifest, the shard layout, and the fabric-validation
+// proof. Restored fleets are byte-identical to cold-built ones, traces
+// included.
+type Snapshot struct {
+	cfg  Config
+	plan *Plan
+}
+
+// Snapshot captures this fleet's shape and construction plan.
+func (r *Result) Snapshot() *Snapshot {
+	return &Snapshot{cfg: r.Config, plan: r.plan}
+}
+
+// Config returns the captured (defaults-filled) configuration.
+func (s *Snapshot) Config() Config { return s.cfg }
+
+// Restore warm-boots a fresh fleet from the snapshot. seed overrides
+// the captured seed when non-negative, so one snapshot serves a whole
+// seed sweep.
+func (s *Snapshot) Restore(cloudMu *sync.Mutex, seed int64) (*Result, error) {
+	cfg := s.cfg
+	if seed >= 0 {
+		cfg.Seed = seed
+	}
+	return assemble(cfg, cloudMu, s.plan)
+}

@@ -123,6 +123,12 @@ type Master struct {
 
 	nodes  []*NodeRef
 	byName map[string]*NodeRef
+	byHost map[netsim.NodeID]*NodeRef
+	// nodeIdx maps node name → index in nodes, for O(1) view updates.
+	nodeIdx map[string]int
+	// rackOf is the immutable host → rack map shared (read-only) with
+	// every placement view, so views skip an O(nodes) rebuild.
+	rackOf map[netsim.NodeID]int
 
 	placer placement.Placer
 	policy placement.Policy
@@ -132,6 +138,20 @@ type Master struct {
 	// placerOverrides caches named placers requested per spawn, so
 	// stateful algorithms (round-robin) keep their cursor across calls.
 	placerOverrides map[string]placement.Placer
+
+	// Boot-batch placement-view cache. During a bulk fleet spawn the
+	// only cloud mutations are the spawns the master itself performs, so
+	// instead of re-polling every node daemon per placement the measured
+	// view is cached and only the just-placed node is re-polled. The
+	// cache is valid while the engine has neither advanced nor fired an
+	// event since it was filled; any master-side mutation drops it. Boot
+	// batches are single-threaded by contract (the caller is the fleet
+	// installer, not concurrent HTTP handlers).
+	bootBatch   bool
+	viewCache   []placement.NodeView // measured values, index-aligned with nodes
+	viewScratch []placement.NodeView
+	viewAt      sim.Time
+	viewFired   uint64
 }
 
 // New builds a master with its DHCP and DNS services initialised.
@@ -155,6 +175,9 @@ func New(cfg Config) (*Master, error) {
 		dhcp:            dhcp.NewServer(cfg.Engine, cfg.LeaseDuration),
 		dns:             dns.NewServer(),
 		byName:          make(map[string]*NodeRef),
+		byHost:          make(map[netsim.NodeID]*NodeRef),
+		nodeIdx:         make(map[string]int),
+		rackOf:          make(map[netsim.NodeID]int),
 		placer:          cfg.Placer,
 		policy:          cfg.Policy,
 		vms:             make(map[string]*VMRecord),
@@ -185,44 +208,103 @@ func (m *Master) SetPlacer(p placement.Placer) {
 	m.placer = p
 }
 
+// NodeAddr returns the static address a node at (rack, idxInRack) gets
+// under the 10.<rack>.0.0/20 addressing plan: pool base + 2 + idx.
+func NodeAddr(rack, idxInRack int) netip.Addr {
+	hostNum := 2 + idxInRack
+	return netip.AddrFrom4([4]byte{10, byte(rack), byte(hostNum >> 8), byte(hostNum)})
+}
+
+// NodeReg is one entry of a bulk registration: a node ref plus its
+// precomputed addressing, so registration is pure map inserts. The
+// fleet builder derives MAC, Addr and FQDN in parallel on its worker
+// shards; they must equal dhcp.NodeMAC(rack, idx), NodeAddr(rack, idx)
+// and dns.NodeFQDN(rack, idx) respectively.
+type NodeReg struct {
+	Ref  *NodeRef
+	Idx  int
+	MAC  dhcp.MAC
+	Addr netip.Addr
+	FQDN string
+}
+
 // RegisterNode adds a node: a DHCP pool/lease for its rack, DNS records,
 // and the REST client. Racks get pool "rack<N>" with subnet 10.<N>.0.0/20
 // — room for ~4000 addresses per rack so scale-out fleets keep the same
 // addressing plan as the published 4×14 testbed (small indices yield the
 // identical 10.<rack>.0.<2+idx> addresses).
 func (m *Master) RegisterNode(ref *NodeRef, idxInRack int) error {
+	if err := checkReg(ref, idxInRack); err != nil {
+		return err
+	}
+	return m.registerOne(NodeReg{
+		Ref:  ref,
+		Idx:  idxInRack,
+		MAC:  dhcp.NodeMAC(ref.Rack, idxInRack),
+		Addr: NodeAddr(ref.Rack, idxInRack),
+		FQDN: dns.NodeFQDN(ref.Rack, idxInRack),
+	})
+}
+
+// RegisterNodes bulk-registers nodes with precomputed addressing — the
+// fleet builder's boot path. Entries must arrive in topology (rack)
+// order; the resulting registry state is identical to calling
+// RegisterNode per entry.
+func (m *Master) RegisterNodes(regs []NodeReg) error {
+	for i := range regs {
+		if err := checkReg(regs[i].Ref, regs[i].Idx); err != nil {
+			return err
+		}
+		if err := m.registerOne(regs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkReg validates one registration's shape against the /20 plan.
+func checkReg(ref *NodeRef, idxInRack int) error {
 	if ref == nil || ref.Name == "" || ref.Client == nil {
 		return fmt.Errorf("pimaster: incomplete node ref")
-	}
-	if _, dup := m.byName[ref.Name]; dup {
-		return fmt.Errorf("pimaster: node %s already registered", ref.Name)
 	}
 	if ref.Rack < 0 || ref.Rack > 255 {
 		return fmt.Errorf("pimaster: rack %d outside the 10.<rack>.0.0/20 addressing plan", ref.Rack)
 	}
-	hostNum := 2 + idxInRack
 	// 0xFFF is the /20 broadcast address — also off limits.
-	if idxInRack < 0 || hostNum >= 0xFFF {
+	if idxInRack < 0 || 2+idxInRack >= 0xFFF {
 		return fmt.Errorf("pimaster: node index %d outside the rack /20 pool", idxInRack)
 	}
+	return nil
+}
+
+// registerOne performs the validated registration.
+func (m *Master) registerOne(reg NodeReg) error {
+	ref := reg.Ref
+	if _, dup := m.byName[ref.Name]; dup {
+		return fmt.Errorf("pimaster: node %s already registered", ref.Name)
+	}
 	pool := fmt.Sprintf("rack%d", ref.Rack)
-	cidr := fmt.Sprintf("10.%d.0.0/20", ref.Rack)
-	if err := m.dhcp.AddPool(pool, cidr); err != nil && !errors.Is(err, dhcp.ErrPoolExists) {
-		return err
+	if _, known := m.dhcp.Pool(pool); !known {
+		cidr := fmt.Sprintf("10.%d.0.0/20", ref.Rack)
+		if err := m.dhcp.AddPool(pool, cidr); err != nil && !errors.Is(err, dhcp.ErrPoolExists) {
+			return err
+		}
 	}
 	// Nodes get static reservations (the administrator's IP policy):
 	// pool base + 2 + idx, immune to lease expiry.
-	addr := netip.AddrFrom4([4]byte{10, byte(ref.Rack), byte(hostNum >> 8), byte(hostNum)})
-	lease, err := m.dhcp.Reserve(pool, dhcp.NodeMAC(ref.Rack, idxInRack), addr)
+	lease, err := m.dhcp.Reserve(pool, reg.MAC, reg.Addr)
 	if err != nil {
 		return err
 	}
-	fqdn := dns.NodeFQDN(ref.Rack, idxInRack)
-	if err := m.dns.RegisterHost(fqdn, lease.Addr); err != nil {
+	if err := m.dns.RegisterHost(reg.FQDN, lease.Addr); err != nil {
 		return err
 	}
+	m.nodeIdx[ref.Name] = len(m.nodes)
 	m.nodes = append(m.nodes, ref)
 	m.byName[ref.Name] = ref
+	m.byHost[ref.Host] = ref
+	m.rackOf[ref.Host] = ref.Rack
+	m.invalidateView()
 	return nil
 }
 
@@ -238,30 +320,88 @@ func (m *Master) Node(name string) (*NodeRef, error) {
 	return ref, nil
 }
 
-// buildView polls every node daemon's status over REST and assembles the
-// placement view.
+// BeginBootBatch enables the incremental placement-view cache for a
+// bulk spawn sequence (the scenario installer's fleet boot). Inside a
+// batch, SpawnVM re-polls only the node it just placed on instead of
+// polling the whole fleet per placement — the difference between O(VMs)
+// and O(VMs × nodes) status calls at 10⁵-node scale. The batch is
+// single-threaded by contract; any non-spawn mutation drops the cache.
+func (m *Master) BeginBootBatch() {
+	m.mu.Lock()
+	m.bootBatch = true
+	m.viewCache = nil
+	m.mu.Unlock()
+}
+
+// EndBootBatch disables the view cache and returns to poll-per-spawn.
+func (m *Master) EndBootBatch() {
+	m.mu.Lock()
+	m.bootBatch = false
+	m.viewCache = nil
+	m.viewScratch = nil
+	m.mu.Unlock()
+}
+
+// invalidateView drops the boot-batch view cache. Caller holds m.mu or
+// is single-threaded with respect to the batch.
+func (m *Master) invalidateView() { m.viewCache = nil }
+
+// pollNode converts one daemon status into the placement view row.
+func (m *Master) pollNode(ref *NodeRef) (placement.NodeView, error) {
+	st, err := ref.Client.Status()
+	if err != nil {
+		return placement.NodeView{}, fmt.Errorf("pimaster: polling %s: %w", ref.Name, err)
+	}
+	return placement.NodeView{
+		ID:            ref.Host,
+		Rack:          ref.Rack,
+		CPU:           hw.MIPS(st.CPUMIPS),
+		CPUUsed:       hw.MIPS(st.CPUUtil * st.CPUMIPS),
+		MemTotal:      st.MemTotal,
+		MemUsed:       st.MemUsed,
+		Containers:    st.Containers,
+		MaxContainers: st.MaxComfort,
+		PoweredOn:     st.PoweredOn,
+	}, nil
+}
+
+// buildView polls every node daemon's status and assembles the placement
+// view. Inside a boot batch the measured rows come from the incremental
+// cache (filled once, then patched per spawn); the reservation overlay
+// is applied to a scratch copy so the cached measurements stay pristine.
 func (m *Master) buildView() (*placement.View, error) {
 	v := &placement.View{
 		Locate: make(map[string]netsim.NodeID),
-		Rack:   make(map[netsim.NodeID]int),
+		Rack:   m.rackOf, // immutable after registration; placers only read
 	}
-	for _, ref := range m.nodes {
-		st, err := ref.Client.Status()
-		if err != nil {
-			return nil, fmt.Errorf("pimaster: polling %s: %w", ref.Name, err)
+	m.mu.Lock()
+	batch := m.bootBatch
+	cacheValid := batch && m.viewCache != nil &&
+		m.viewAt == m.engine.Now() && m.viewFired == m.engine.Fired()
+	m.mu.Unlock()
+	if cacheValid {
+		if cap(m.viewScratch) < len(m.viewCache) {
+			m.viewScratch = make([]placement.NodeView, len(m.viewCache))
 		}
-		v.Nodes = append(v.Nodes, placement.NodeView{
-			ID:            ref.Host,
-			Rack:          ref.Rack,
-			CPU:           hw.MIPS(st.CPUMIPS),
-			CPUUsed:       hw.MIPS(st.CPUUtil * st.CPUMIPS),
-			MemTotal:      st.MemTotal,
-			MemUsed:       st.MemUsed,
-			Containers:    st.Containers,
-			MaxContainers: st.MaxComfort,
-			PoweredOn:     st.PoweredOn,
-		})
-		v.Rack[ref.Host] = ref.Rack
+		m.viewScratch = m.viewScratch[:len(m.viewCache)]
+		copy(m.viewScratch, m.viewCache)
+		v.Nodes = m.viewScratch
+	} else {
+		v.Nodes = make([]placement.NodeView, 0, len(m.nodes))
+		for _, ref := range m.nodes {
+			nv, err := m.pollNode(ref)
+			if err != nil {
+				return nil, err
+			}
+			v.Nodes = append(v.Nodes, nv)
+		}
+		if batch {
+			m.mu.Lock()
+			m.viewCache = append(m.viewCache[:0], v.Nodes...)
+			m.viewAt = m.engine.Now()
+			m.viewFired = m.engine.Fired()
+			m.mu.Unlock()
+		}
 	}
 	m.mu.Lock()
 	reserved := make(map[string]hw.MIPS)
@@ -275,12 +415,37 @@ func (m *Master) buildView() (*placement.View, error) {
 	// Placement sees the larger of measured utilisation and declared
 	// reservations, so idle-but-reserved capacity is not double-booked.
 	// v.Nodes is index-aligned with m.nodes.
-	for i := range v.Nodes {
-		if res := reserved[m.nodes[i].Name]; res > v.Nodes[i].CPUUsed {
+	for name, res := range reserved {
+		if i, ok := m.nodeIdx[name]; ok && res > v.Nodes[i].CPUUsed {
 			v.Nodes[i].CPUUsed = res
 		}
 	}
 	return v, nil
+}
+
+// refreshViewNode re-polls one node into the boot-batch cache after a
+// spawn landed on it, so the next placement sees the spawn's memory and
+// container-count deltas without a fleet-wide poll.
+func (m *Master) refreshViewNode(ref *NodeRef) {
+	m.mu.Lock()
+	ok := m.bootBatch && m.viewCache != nil
+	var idx int
+	if ok {
+		idx, ok = m.nodeIdx[ref.Name]
+		ok = ok && idx < len(m.viewCache)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	nv, err := m.pollNode(ref)
+	m.mu.Lock()
+	if err != nil || !m.bootBatch || m.viewCache == nil {
+		m.viewCache = nil
+	} else {
+		m.viewCache[idx] = nv
+	}
+	m.mu.Unlock()
 }
 
 // SpawnVM places and boots a VM cloud-wide: placement, DHCP lease, DNS
@@ -377,17 +542,12 @@ func (m *Master) SpawnVM(req SpawnVMRequest) (*VMRecord, error) {
 	m.mu.Lock()
 	m.vms[req.Name] = rec
 	m.mu.Unlock()
+	// Inside a boot batch, patch just this node's cached view row.
+	m.refreshViewNode(ref)
 	return rec, nil
 }
 
-func (m *Master) refByHost(host netsim.NodeID) *NodeRef {
-	for _, ref := range m.nodes {
-		if ref.Host == host {
-			return ref
-		}
-	}
-	return nil
-}
+func (m *Master) refByHost(host netsim.NodeID) *NodeRef { return m.byHost[host] }
 
 // splitNodeName recovers (rack, index) for naming; nodes are registered
 // in rack order so index is position within the rack.
@@ -421,6 +581,7 @@ func (m *Master) DestroyVM(name string) error {
 	_ = m.dhcp.Release(dhcp.MAC(rec.MAC))
 	m.mu.Lock()
 	delete(m.vms, name)
+	m.invalidateView()
 	m.mu.Unlock()
 	return nil
 }
@@ -473,6 +634,9 @@ func (m *Master) MigrateVM(name string, req MigrateVMRequest, onDone func(migrat
 	if req.Routing == "ip" {
 		mode = migration.RoutingIP
 	}
+	m.mu.Lock()
+	m.invalidateView()
+	m.mu.Unlock()
 	m.cloudMu.Lock()
 	defer m.cloudMu.Unlock()
 	return m.mig.Migrate(migration.Request{

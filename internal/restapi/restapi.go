@@ -208,6 +208,107 @@ func (d *Daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, d.Status())
 }
 
+// --- Direct dispatch ---
+//
+// The direct methods below are the boot-path fast lane: they perform
+// exactly what the corresponding HTTP handlers do — same locking, same
+// rollback, same request accounting — but skip the HTTP framing and the
+// JSON encode/decode round trip. A Client bound with NewDirectClient
+// routes its hottest calls here; every field of every result is
+// bit-identical to what the JSON path would deliver (encoding/json
+// round-trips float64 losslessly), so traces and placement decisions do
+// not depend on which lane served a request. Management-plane fidelity
+// is preserved: the HTTP handlers remain the definition of the API, and
+// the direct methods are kept in lockstep with them.
+
+// countRequest mirrors the count middleware for direct calls, so
+// NodeStatus.APIRequests stays an honest request counter either way.
+func (d *Daemon) countRequest() {
+	d.mu.Lock()
+	d.requests++
+	d.mu.Unlock()
+}
+
+// StatusDirect is GET /status without the transport: one request
+// counted, same snapshot.
+func (d *Daemon) StatusDirect() NodeStatus {
+	d.countRequest()
+	return d.Status()
+}
+
+// SpawnDirect is POST /containers without the transport: create, start,
+// and roll back the create if the start fails, exactly like handleSpawn.
+func (d *Daemon) SpawnDirect(req SpawnRequest) (ContainerDoc, error) {
+	d.countRequest()
+	netMode, err := netModeOf(req.Net)
+	if err != nil {
+		return ContainerDoc{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.spawnLocked(req, netMode)
+}
+
+// spawnLocked is the shared create+start path. Caller holds d.mu.
+func (d *Daemon) spawnLocked(req SpawnRequest, netMode lxc.NetMode) (ContainerDoc, error) {
+	if _, err := d.suite.Create(lxc.Spec{
+		Name:          req.Name,
+		Image:         req.Image,
+		MemLimitBytes: req.MemLimitBytes,
+		CPUShares:     req.CPUShares,
+		CPUQuotaMIPS:  hw.MIPS(req.CPUQuotaMIPS),
+		Net:           netMode,
+	}); err != nil {
+		return ContainerDoc{}, err
+	}
+	if err := d.suite.Start(req.Name, nil); err != nil {
+		// Roll back the create so the API is atomic.
+		_ = d.suite.Destroy(req.Name)
+		return ContainerDoc{}, err
+	}
+	d.reg.Counter("spawns").Inc()
+	info, _ := d.suite.InfoOf(req.Name)
+	return docFromInfo(info), nil
+}
+
+// DeleteDirect is DELETE /containers/{name} without the transport.
+func (d *Daemon) DeleteDirect(name string) error {
+	d.countRequest()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.deleteLocked(name)
+}
+
+// deleteLocked is the shared stop+destroy path. Caller holds d.mu.
+func (d *Daemon) deleteLocked(name string) error {
+	c, err := d.suite.Get(name)
+	if err != nil {
+		return err
+	}
+	if c.State() != lxc.StateStopped {
+		if err := d.suite.Stop(name); err != nil {
+			return err
+		}
+	}
+	if err := d.suite.Destroy(name); err != nil {
+		return err
+	}
+	d.reg.Counter("destroys").Inc()
+	return nil
+}
+
+// netModeOf maps the wire net-mode string to lxc.NetMode.
+func netModeOf(s string) (lxc.NetMode, error) {
+	switch s {
+	case "", "bridged":
+		return lxc.NetBridged, nil
+	case "nat":
+		return lxc.NetNAT, nil
+	default:
+		return 0, fmt.Errorf("restapi: unknown net mode %q", s)
+	}
+}
+
 func (d *Daemon) handleList(w http.ResponseWriter, _ *http.Request) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -240,39 +341,20 @@ func (d *Daemon) handleSpawn(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorDoc{Error: "bad json: " + err.Error()})
 		return
 	}
-	netMode := lxc.NetBridged
-	switch req.Net {
-	case "", "bridged":
-	case "nat":
-		netMode = lxc.NetNAT
-	default:
+	netMode, err := netModeOf(req.Net)
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorDoc{Error: fmt.Sprintf("unknown net mode %q", req.Net)})
 		return
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	_, err := d.suite.Create(lxc.Spec{
-		Name:          req.Name,
-		Image:         req.Image,
-		MemLimitBytes: req.MemLimitBytes,
-		CPUShares:     req.CPUShares,
-		CPUQuotaMIPS:  hw.MIPS(req.CPUQuotaMIPS),
-		Net:           netMode,
-	})
+	doc, err := d.spawnLocked(req, netMode)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	if err := d.suite.Start(req.Name, nil); err != nil {
-		// Roll back the create so the API is atomic.
-		_ = d.suite.Destroy(req.Name)
-		writeErr(w, err)
-		return
-	}
-	d.reg.Counter("spawns").Inc()
-	info, _ := d.suite.InfoOf(req.Name)
 	// 202: the container boots asynchronously (STARTING → RUNNING).
-	writeJSON(w, http.StatusAccepted, docFromInfo(info))
+	writeJSON(w, http.StatusAccepted, doc)
 }
 
 func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -287,25 +369,13 @@ func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Daemon) handleDelete(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	c, err := d.suite.Get(name)
+	err := d.deleteLocked(r.PathValue("name"))
+	d.mu.Unlock()
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	if c.State() != lxc.StateStopped {
-		if err := d.suite.Stop(name); err != nil {
-			writeErr(w, err)
-			return
-		}
-	}
-	if err := d.suite.Destroy(name); err != nil {
-		writeErr(w, err)
-		return
-	}
-	d.reg.Counter("destroys").Inc()
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -38,16 +38,22 @@ func Names() []string {
 	return out
 }
 
-// Describe renders a one-line-per-scenario listing.
+// NodeCount returns the number of nodes a spec's cloud boots — the
+// per-scenario count `piscale -list` prints. It applies the same
+// defaulting core.New does, so the listing always agrees with what a
+// run would build.
+func NodeCount(s Spec) int {
+	cfg := s.Cloud
+	cfg.FillDefaults()
+	return cfg.Racks * cfg.HostsPerRack
+}
+
+// Describe renders a one-line-per-scenario listing with node counts.
 func Describe() string {
 	out := ""
 	for _, n := range Names() {
 		s, _ := Catalog(n)
-		nodes := s.Cloud.Racks * s.Cloud.HostsPerRack
-		if nodes == 0 {
-			nodes = topology.DefaultRacks * topology.DefaultHostsPerRack
-		}
-		out += fmt.Sprintf("  %-18s %5d nodes, %-8v %s\n", n, nodes, s.Duration, s.Description)
+		out += fmt.Sprintf("  %-18s %6d nodes, %-8v %s\n", n, NodeCount(s), s.Duration, s.Description)
 	}
 	return out
 }
@@ -153,6 +159,26 @@ func catalog() []Spec {
 				NodeChurn{Start: 15 * time.Second, Every: 15 * time.Second, Outage: 20 * time.Second},
 				Degrade{
 					At: 30 * time.Second, Outage: 20 * time.Second,
+					Shaping: netsim.Shaping{CapacityScale: 0.5, ExtraLatency: time.Millisecond, Loss: 0.01},
+				},
+			},
+		},
+		{
+			Name:        "megafleet-100000",
+			Description: "100,000 nodes in 250 racks of 400: the fleet-builder scale gate",
+			Cloud: core.Config{
+				Seed: 131, Racks: 250, HostsPerRack: 400, AggSwitches: 16,
+			},
+			Duration: 30 * time.Second,
+			Fleet:    FleetSpec{VMs: 64, Image: "webserver"},
+			Traffic: TrafficSpec{
+				OnOff:   &workload.OnOffConfig{Sources: 64},
+				Gravity: &workload.GravityConfig{EpochSeconds: 10, FlowsPerEpoch: 40},
+			},
+			Faults: []Fault{
+				NodeChurn{Start: 8 * time.Second, Every: 8 * time.Second, Outage: 10 * time.Second},
+				Degrade{
+					At: 12 * time.Second, Outage: 10 * time.Second,
 					Shaping: netsim.Shaping{CapacityScale: 0.5, ExtraLatency: time.Millisecond, Loss: 0.01},
 				},
 			},

@@ -1,0 +1,132 @@
+package scenario
+
+// Gates for the fleet-builder subsystem at scenario level:
+//
+//   - TestShardedBuildMatchesSerial runs every canned scenario twice,
+//     once on a serially constructed cloud and once on the default
+//     rack-sharded parallel build, and requires byte-identical event
+//     traces, event counts and metrics. This is the whole-system proof
+//     that parallel bring-up changes wall time only.
+//
+//   - TestWarmBootMatchesColdBoot pins the snapshot contract: a cloud
+//     restored from a fleet snapshot must replay a scenario to the
+//     byte-identical trace a cold-built cloud produces.
+//
+// Both extend solver_gate_test.go's pinned-digest pattern: any
+// divergence surfaces as a loud trace diff, not a silent drift.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+// executeOn installs and executes spec on a prepared cloud.
+func executeOn(t *testing.T, cloud *core.Cloud, spec Spec) *Report {
+	t.Helper()
+	defer cloud.Close()
+	r, err := Install(cloud, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// requireIdentical asserts two reports carry the same trace, event
+// count and metrics, diffing the first divergent trace line.
+func requireIdentical(t *testing.T, label string, a, b *Report) {
+	t.Helper()
+	if da, db := a.TraceDigest(), b.TraceDigest(); da != db {
+		la, lb := a.Trace, b.Trace
+		for i := range la {
+			if i >= len(lb) || la[i].String() != lb[i].String() {
+				t.Fatalf("%s: traces diverge at event %d:\n  a: %s\n  b: %s", label, i, la[i], lb[i])
+			}
+		}
+		t.Fatalf("%s: trace digests differ: %s vs %s (lengths %d vs %d)",
+			label, da, db, len(la), len(lb))
+	}
+	if a.EventsFired != b.EventsFired {
+		t.Fatalf("%s: event counts differ: %d vs %d", label, a.EventsFired, b.EventsFired)
+	}
+	for k, v := range a.Metrics {
+		if b.Metrics[k] != v {
+			t.Fatalf("%s: metric %s differs: %v vs %v", label, k, v, b.Metrics[k])
+		}
+	}
+}
+
+func TestShardedBuildMatchesSerial(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := Catalog(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec = shrink(spec)
+
+			serialSpec := spec
+			serialSpec.Cloud.SerialBuild = true
+			serialCloud, err := core.New(serialSpec.Cloud)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial := executeOn(t, serialCloud, serialSpec)
+
+			shardedCloud, err := core.New(spec.Cloud)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded := executeOn(t, shardedCloud, spec)
+
+			requireIdentical(t, "serial vs sharded", serial, sharded)
+		})
+	}
+}
+
+func TestWarmBootMatchesColdBoot(t *testing.T) {
+	spec, err := Catalog("megafleet-1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec = shrink(spec)
+	// A fresh shape for this test so the first build is genuinely cold.
+	spec.Cloud.HostsPerRack = 51
+	fleet.ResetWarmCache()
+
+	coldCloud, err := core.New(spec.Cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := coldCloud.Snapshot()
+	cold := executeOn(t, coldCloud, spec)
+
+	if fleet.WarmHits() != 0 {
+		t.Fatalf("first build warm-booted (%d hits), want cold", fleet.WarmHits())
+	}
+	warmCloud, err := core.Restore(snap, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := executeOn(t, warmCloud, spec)
+	requireIdentical(t, "cold vs warm", cold, warm)
+
+	// And the implicit path: a second core.New of the same shape must
+	// hit the process-wide plan cache.
+	before := fleet.WarmHits()
+	implicit, err := core.New(spec.Cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := executeOn(t, implicit, spec)
+	if fleet.WarmHits() <= before {
+		t.Fatal("second build of the same shape did not warm-boot")
+	}
+	requireIdentical(t, "cold vs implicit warm", cold, rep)
+}

@@ -126,6 +126,10 @@ func shrink(s Spec) Spec {
 		s.Cloud.Racks = 4
 		s.Duration = time.Minute
 	}
+	if s.Name == "megafleet-100000" {
+		s.Cloud.Racks = 3
+		s.Duration = 30 * time.Second
+	}
 	return s
 }
 

@@ -51,10 +51,13 @@ func TestIncrementalMatchesFullSolver(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			// The 10k fleet is too big to build twice in a unit test;
-			// a 1000-node slice of it exercises the same machinery.
-			if name == "megafleet-10000" {
+			// The megafleets are too big to build twice in a unit test;
+			// 1000-node slices of them exercise the same machinery.
+			switch name {
+			case "megafleet-10000":
 				spec.Cloud.Racks = 4
+			case "megafleet-100000":
+				spec.Cloud.Racks = 3
 			}
 			inc := executeWithMode(t, spec, false)
 			full := executeWithMode(t, spec, true)

@@ -112,6 +112,126 @@ func TestCacheHitPathAllocationFree(t *testing.T) {
 	}
 }
 
+// cappedRig builds the default 4×14 fabric under a controller whose
+// route cache holds only cap entries, so LRU behaviour is observable
+// with a small fleet: the 56-host pair set (3080 pairs) vastly exceeds
+// the cap, exactly like a 10⁵-node fleet against the production 2¹⁶.
+func cappedRig(t *testing.T, cap int) (*netsim.Network, *topology.Topology, *Controller) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	n := netsim.New(e)
+	topo, err := topology.BuildMultiRoot(n, topology.DefaultMultiRoot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.RouteCacheEntries = cap
+	ctrl := NewController(e, n, cfg)
+	for _, id := range topo.Switches() {
+		ctrl.RegisterSwitch(openflow.NewSwitch(id, e))
+	}
+	return n, topo, ctrl
+}
+
+// TestRouteCacheLRUKeepsHotPairs is the eviction-policy gate: a hot
+// working set smaller than the cap must keep hitting while a stream of
+// cold pairs larger than the cap churns through. The seed's wholesale
+// clear-at-capacity dropped the hot set with the cold tail; LRU must
+// not.
+func TestRouteCacheLRUKeepsHotPairs(t *testing.T) {
+	const cacheCap = 16
+	_, topo, ctrl := cappedRig(t, cacheCap)
+
+	// Hot set: 4 cross-rack pairs. Cold stream: every rack-0 host to
+	// every rack-2/3 host — 28×2 = far more than the cap.
+	hot := [][2]netsim.NodeID{
+		{topo.Racks[0][0], topo.Racks[1][0]},
+		{topo.Racks[0][1], topo.Racks[1][1]},
+		{topo.Racks[0][2], topo.Racks[1][2]},
+		{topo.Racks[0][3], topo.Racks[1][3]},
+	}
+	lookup := func(src, dst netsim.NodeID) {
+		t.Helper()
+		if _, err := ctrl.PathFor(src, dst, PolicyShortestPath, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the hot set.
+	for _, p := range hot {
+		lookup(p[0], p[1])
+	}
+	warmMisses := ctrl.RouteCacheMisses()
+
+	// Interleave: each round touches every hot pair, then streams a
+	// handful of cold pairs. Cold volume per round (8) stays below
+	// cap - len(hot), so LRU never needs to evict a just-touched hot
+	// entry; a wholesale clear would nuke them regardless.
+	cold := 0
+	for round := 0; round < 12; round++ {
+		for _, p := range hot {
+			lookup(p[0], p[1])
+		}
+		for i := 0; i < 8; i++ {
+			src := topo.Racks[2][cold%14]
+			dst := topo.Racks[3][(cold/14)%14]
+			cold++
+			lookup(src, dst)
+		}
+	}
+	// Every post-warmup hot lookup must have been a hit: no hot pair
+	// was ever evicted.
+	hotLookups := uint64(12 * len(hot))
+	if got := ctrl.RouteCacheHits(); got < hotLookups {
+		t.Fatalf("hot pairs evicted: %d hits, want ≥ %d", got, hotLookups)
+	}
+	// The cold stream exceeded the cap, so the LRU must have evicted.
+	if ctrl.RouteCacheEvictions() == 0 {
+		t.Fatalf("cold stream of %d pairs never evicted (cap %d)", cold, cacheCap)
+	}
+	if got := ctrl.RouteCacheSize(); got > cacheCap {
+		t.Fatalf("cache holds %d entries, cap %d", got, cacheCap)
+	}
+	// Hot-pair hit rate stays high despite the over-cap pair set.
+	misses := ctrl.RouteCacheMisses() - warmMisses
+	hits := ctrl.RouteCacheHits()
+	if rate := float64(hits) / float64(hits+misses); rate < 0.30 {
+		t.Fatalf("hit rate %.2f collapsed under cold streaming", rate)
+	}
+}
+
+// TestRouteCacheLRUEvictsColdest pins the eviction order: filling the
+// cache beyond capacity drops the least-recently-used pair, and
+// re-querying it is a miss while the most recent pair is still a hit.
+func TestRouteCacheLRUEvictsColdest(t *testing.T) {
+	_, topo, ctrl := cappedRig(t, 2)
+	a := [2]netsim.NodeID{topo.Racks[0][0], topo.Racks[1][0]}
+	b := [2]netsim.NodeID{topo.Racks[0][1], topo.Racks[1][1]}
+	c := [2]netsim.NodeID{topo.Racks[0][2], topo.Racks[1][2]}
+
+	mustPath := func(p [2]netsim.NodeID) {
+		t.Helper()
+		if _, err := ctrl.PathFor(p[0], p[1], PolicyShortestPath, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPath(a) // cache: [a]
+	mustPath(b) // cache: [b a]
+	mustPath(a) // touch a → [a b]
+	mustPath(c) // evicts b → [c a]
+	if ctrl.RouteCacheEvictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", ctrl.RouteCacheEvictions())
+	}
+	misses := ctrl.RouteCacheMisses()
+	mustPath(a) // must still be cached
+	if ctrl.RouteCacheMisses() != misses {
+		t.Fatal("recently-touched pair was evicted")
+	}
+	mustPath(b) // was evicted → miss
+	if ctrl.RouteCacheMisses() != misses+1 {
+		t.Fatal("evicted pair did not miss")
+	}
+}
+
 // benchRig is newRig without the testing.T plumbing, at a 1000-node
 // scale so the cache is amortising a genuinely expensive Dijkstra.
 func benchRig(b *testing.B) (*netsim.Network, *topology.Topology, *Controller) {

@@ -68,7 +68,16 @@ type Config struct {
 	// CongestionExponent sharpens the penalty in congestion-aware
 	// weights: weight = 1 + (8·util)^exp. Defaults to 2.
 	CongestionExponent float64
+	// RouteCacheEntries caps the (src, dst) route cache; when full the
+	// least-recently-used entry is evicted, so a hot working set of
+	// pairs survives even on fleets whose active pair set exceeds the
+	// cap. Zero means DefaultRouteCacheEntries.
+	RouteCacheEntries int
 }
+
+// DefaultRouteCacheEntries is the route-cache capacity applied when
+// Config.RouteCacheEntries is zero.
+const DefaultRouteCacheEntries = 1 << 16
 
 // DefaultConfig mirrors common reactive-OpenFlow deployments.
 func DefaultConfig() Config {
@@ -99,17 +108,26 @@ type Controller struct {
 	// change invalidates the whole cache at zero cost. Congestion-aware
 	// routing is never cached: its weights move with utilisation, which
 	// advances without an epoch bump.
-	routeCache  map[pairKey]*routeEntry
-	cacheHits   uint64
-	cacheMisses uint64
+	//
+	// Entries form an intrusive LRU list (most recent at lruHead): when
+	// the cache is at capacity the coldest pair is evicted, so fleets
+	// whose active pair set exceeds the cap keep their hot pairs cached
+	// instead of losing the whole working set to a wholesale clear.
+	routeCache       map[pairKey]*routeEntry
+	lruHead, lruTail *routeEntry
+	cacheCap         int
+	cacheHits        uint64
+	cacheMisses      uint64
+	cacheEvictions   uint64
 }
 
 // pairKey identifies one cached routing question.
 type pairKey struct{ src, dst netsim.NodeID }
 
 // routeEntry is one cached shortest-path DAG and its materialised
-// tiebreak-0 path.
+// tiebreak-0 path, threaded on the controller's LRU list.
 type routeEntry struct {
+	key   pairKey
 	epoch uint64
 	// parents holds, per reached node, the equal-cost predecessors in
 	// sorted order (ready for the deterministic ECMP walk-back).
@@ -120,18 +138,18 @@ type routeEntry struct {
 	// read-only. Returning it is what makes the cache hit path
 	// allocation-free.
 	shortest []netsim.NodeID
+	// prev/next thread the LRU list; nil at the respective end.
+	prev, next *routeEntry
 }
-
-// maxRouteCacheEntries caps cache growth on huge fleets; when full the
-// cache is cleared wholesale (deterministic, and an epoch bump would
-// drop it anyway).
-const maxRouteCacheEntries = 1 << 16
 
 // NewController returns a controller over the given network. Switches
 // must be registered before flows are admitted.
 func NewController(engine *sim.Engine, net *netsim.Network, cfg Config) *Controller {
 	if cfg.CongestionExponent == 0 {
 		cfg.CongestionExponent = 2
+	}
+	if cfg.RouteCacheEntries <= 0 {
+		cfg.RouteCacheEntries = DefaultRouteCacheEntries
 	}
 	return &Controller{
 		engine:     engine,
@@ -141,6 +159,7 @@ func NewController(engine *sim.Engine, net *netsim.Network, cfg Config) *Control
 		labels:     make(map[openflow.Label]netsim.NodeID),
 		labelName:  make(map[string]openflow.Label),
 		routeCache: make(map[pairKey]*routeEntry),
+		cacheCap:   cfg.RouteCacheEntries,
 	}
 }
 
@@ -151,9 +170,67 @@ func (c *Controller) RouteCacheHits() uint64 { return c.cacheHits }
 // RouteCacheMisses returns how many PathFor calls ran a fresh Dijkstra.
 func (c *Controller) RouteCacheMisses() uint64 { return c.cacheMisses }
 
+// RouteCacheEvictions returns how many entries the LRU policy has
+// dropped to stay under the capacity.
+func (c *Controller) RouteCacheEvictions() uint64 { return c.cacheEvictions }
+
 // RouteCacheSize returns the number of cached (src, dst) entries,
 // including any invalidated by a later epoch bump.
 func (c *Controller) RouteCacheSize() int { return len(c.routeCache) }
+
+// lruTouch moves e to the head of the LRU list (most recently used).
+func (c *Controller) lruTouch(e *routeEntry) {
+	if c.lruHead == e {
+		return
+	}
+	// Unlink.
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.lruTail == e {
+		c.lruTail = e.prev
+	}
+	// Push front.
+	e.prev = nil
+	e.next = c.lruHead
+	if c.lruHead != nil {
+		c.lruHead.prev = e
+	}
+	c.lruHead = e
+	if c.lruTail == nil {
+		c.lruTail = e
+	}
+}
+
+// lruInsert adds a fresh entry at the head, evicting the coldest entry
+// if the cache is at capacity.
+func (c *Controller) lruInsert(e *routeEntry) {
+	if len(c.routeCache) >= c.cacheCap {
+		if cold := c.lruTail; cold != nil {
+			if cold.prev != nil {
+				cold.prev.next = nil
+			}
+			c.lruTail = cold.prev
+			if c.lruHead == cold {
+				c.lruHead = nil
+			}
+			delete(c.routeCache, cold.key)
+			c.cacheEvictions++
+		}
+	}
+	c.routeCache[e.key] = e
+	e.prev, e.next = nil, c.lruHead
+	if c.lruHead != nil {
+		c.lruHead.prev = e
+	}
+	c.lruHead = e
+	if c.lruTail == nil {
+		c.lruTail = e
+	}
+}
 
 // RegisterSwitch places a switch under this controller's management.
 func (c *Controller) RegisterSwitch(sw *openflow.Switch) {
@@ -264,6 +341,7 @@ func (c *Controller) PathFor(src, dst netsim.NodeID, policy Policy, key uint64) 
 	k := pairKey{src, dst}
 	if e := c.routeCache[k]; e != nil && e.epoch == epoch {
 		c.cacheHits++
+		c.lruTouch(e)
 		if tiebreak == 0 {
 			return e.shortest, nil
 		}
@@ -278,10 +356,13 @@ func (c *Controller) PathFor(src, dst netsim.NodeID, policy Policy, key uint64) 
 	if err != nil {
 		return nil, err
 	}
-	if len(c.routeCache) >= maxRouteCacheEntries {
-		clear(c.routeCache)
+	if e := c.routeCache[k]; e != nil {
+		// Stale entry from an earlier epoch: refresh in place.
+		e.epoch, e.parents, e.visited, e.shortest = epoch, parents, visited, shortest
+		c.lruTouch(e)
+	} else {
+		c.lruInsert(&routeEntry{key: k, epoch: epoch, parents: parents, visited: visited, shortest: shortest})
 	}
-	c.routeCache[k] = &routeEntry{epoch: epoch, parents: parents, visited: visited, shortest: shortest}
 	if tiebreak == 0 {
 		return shortest, nil
 	}
