@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-megafleet bench bench-smoke bench-json lint ci
+.PHONY: all build test race race-megafleet bench bench-smoke bench-json determinism-single-core lint ci
 
 all: build
 
@@ -17,7 +17,10 @@ race:
 	$(GO) test -race ./...
 
 # The 1000-node scale gate under the race detector: the scenario engine,
-# incremental solver and route cache all run full-size with -race on.
+# incremental solver, parallel domain solving and route cache all run
+# full-size with -race on. (`go test -race ./...` additionally runs
+# TestParallelSolveMatchesSerial, which forces the solve pool on for
+# every catalog scenario — the full race coverage of the kernel.)
 race-megafleet:
 	$(GO) test -race -run='^$$' -bench='^BenchmarkScenarioMegafleet1000$$' -benchtime=1x .
 
@@ -27,21 +30,28 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
 # One iteration of everything; what CI runs on every push. Includes the
-# megafleet-100000 scale gate (100k nodes under a wall-time budget) and
-# the megafleet-10000 gate it superseded.
+# megafleet-1000000 run-phase scale gate (a million nodes under a
+# wall-time budget) plus the 100k and 10k gates it builds on.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
 
+# The determinism-vs-parallelism proof: every digest pin and every
+# serial/parallel/lazy/eager equivalence gate, executed with a single
+# scheduler thread. Together with the default-GOMAXPROCS test job this
+# shows the traces are independent of how much hardware ran them.
+determinism-single-core:
+	GOMAXPROCS=1 $(GO) test -run 'TraceDigest|MatchesSerial|MatchesEager|MatchesFullSolver|BitwiseEquivalence' ./internal/scenario ./internal/netsim
+
 # The benchmark trajectory: one run of every canned scenario, written as
-# BENCH_PR3.json (per-scenario sim-s/wall-s, events/s, ns/op, the fleet-
-# construction wall-time series, trace digests, plus the PR 1 and PR 2
-# baselines). CI uploads it as an artifact.
+# BENCH_PR4.json (per-scenario sim-s/wall-s, events/s, run-phase wall
+# series, the fleet-construction wall-time series, trace digests, plus
+# the PR 1, PR 2 and PR 3 baselines). CI uploads it as an artifact.
 bench-json:
-	$(GO) run ./cmd/piscale -bench-json BENCH_PR3.json
+	$(GO) run ./cmd/piscale -bench-json BENCH_PR4.json
 
 lint:
 	$(GO) vet ./...
 	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
-ci: build lint test race race-megafleet bench-smoke
+ci: build lint test race race-megafleet bench-smoke determinism-single-core

@@ -324,3 +324,46 @@ func BenchmarkScenarioMegafleet100000(b *testing.B) {
 	b.ReportMetric(r.BuildWallTime.Seconds(), "build-s")
 	b.ReportMetric(float64(r.Nodes), "nodes")
 }
+
+// megafleet1MBudget is the wall-time budget of the 10⁶-node scale
+// gate: construction plus the full fault-and-traffic timeline. A
+// single-core reference box builds the 1,000,192-node fleet in ~50 s
+// and runs the 20 s timeline in well under a second (lazy accounting,
+// parallel solving, hierarchical meters, synthesised routes); ten
+// minutes leaves slow shared CI runners an order of magnitude of
+// headroom while still catching a regression of the run phase back to
+// whole-fleet-per-instant costs. Override with MEGAFLEET1M_BUDGET.
+const megafleet1MBudget = 10 * time.Minute
+
+// BenchmarkScenarioMegafleet1000000 is the PR 4 scale gate for the
+// run-phase kernel: a million-plus simulated nodes (256 racks × 3907,
+// the /20 addressing plan's territory) boot through the fleet builder,
+// then survive node churn and a fabric brownout under background
+// traffic — inside a hard wall-time budget covering build and run.
+func BenchmarkScenarioMegafleet1000000(b *testing.B) {
+	budget := megafleet1MBudget
+	if s := os.Getenv("MEGAFLEET1M_BUDGET"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			b.Fatalf("bad MEGAFLEET1M_BUDGET %q: %v", s, err)
+		}
+		budget = d
+	}
+	r := runScenario(b, "megafleet-1000000")
+	if r.Nodes < 1000000 {
+		b.Fatalf("megafleet ran on %d nodes, want ≥ 1,000,000", r.Nodes)
+	}
+	if r.Metrics["faults_injected"] == 0 {
+		b.Fatal("no faults injected at scale")
+	}
+	if r.Metrics["route_synth_hits"] == 0 {
+		b.Fatal("structured route synthesis never engaged at scale")
+	}
+	if total := r.BuildWallTime + r.WallTime; total > budget {
+		b.Fatalf("scale gate blew its wall-time budget: built in %v + ran in %v > %v",
+			r.BuildWallTime.Round(time.Millisecond), r.WallTime.Round(time.Millisecond), budget)
+	}
+	b.ReportMetric(r.BuildWallTime.Seconds(), "build-s")
+	b.ReportMetric(r.WallTime.Seconds(), "run-s")
+	b.ReportMetric(float64(r.Nodes), "nodes")
+}

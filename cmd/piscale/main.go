@@ -9,8 +9,9 @@
 //	piscale -list
 //	piscale -scenario migration-storm
 //	piscale -scenario megafleet-1000 -trace 20
+//	piscale -scenario megafleet-1000000 -serial-solve -eager-advance
 //	piscale -scenario diurnal-day -racks 10 -hosts-per-rack 30 -duration 20m
-//	piscale -bench-json BENCH_PR3.json
+//	piscale -bench-json BENCH_PR4.json
 package main
 
 import (
@@ -35,6 +36,13 @@ func main() {
 	traceTail := flag.Int("trace", 0, "print the last N trace events")
 	quiet := flag.Bool("q", false, "suppress live event streaming")
 	benchJSON := flag.String("bench-json", "", "run every canned scenario once and write the benchmark trajectory to FILE")
+	// Run-phase kernel knobs, mirroring the fleet builder's serial-build
+	// escape hatch: both modes are byte-identical to the defaults (the
+	// determinism gates prove it); these exist for ablation and
+	// benchmarking.
+	solveWorkers := flag.Int("solve-workers", 0, "parallel domain-solve pool size (0 = auto with work threshold; >0 forces fan-out)")
+	serialSolve := flag.Bool("serial-solve", false, "solve dirty congestion domains serially on the engine goroutine")
+	eagerAdvance := flag.Bool("eager-advance", false, "restore the whole-fleet flow accounting sweep at every instant (seed kernel cost model)")
 	flag.Parse()
 
 	if *list {
@@ -52,10 +60,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "piscale: -scenario is required (or -list / -bench-json)")
 		os.Exit(2)
 	}
-	if err := run(*name, *seed, *duration, *racks, *hostsPerRack, *sample, *traceTail, *quiet); err != nil {
+	opts := runOpts{
+		seed: *seed, duration: *duration,
+		racks: *racks, hostsPerRack: *hostsPerRack,
+		sample: *sample, traceTail: *traceTail, quiet: *quiet,
+		solveWorkers: *solveWorkers, serialSolve: *serialSolve, eagerAdvance: *eagerAdvance,
+	}
+	if err := run(*name, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "piscale:", err)
 		os.Exit(1)
 	}
+}
+
+// runOpts carries the command-line overrides into a scenario run.
+type runOpts struct {
+	seed                int64
+	duration            time.Duration
+	racks, hostsPerRack int
+	sample              time.Duration
+	traceTail           int
+	quiet               bool
+	solveWorkers        int
+	serialSolve         bool
+	eagerAdvance        bool
 }
 
 // benchEntry is one scenario's row of the benchmark trajectory.
@@ -103,8 +130,25 @@ var pr2Baseline = map[string]benchEntry{
 	"rack-blackout":   {Name: "rack-blackout", Nodes: 56, NsPerOp: 8412538, EventsPerS: 337354, SimPerWall: 35661.1},
 }
 
+// pr3Baseline is BENCH_PR3.json's recorded trajectory: the parallel
+// fleet builder's numbers, before the PR 4 run-phase kernel (lazy flow
+// accounting, parallel domain solving, hierarchical telemetry,
+// structured route synthesis). ns_per_op and events_per_s measure the
+// run phase; build_s the construction phase.
+var pr3Baseline = map[string]benchEntry{
+	"brownout-fabric":  {Name: "brownout-fabric", Nodes: 56, NsPerOp: 20582778, BuildSeconds: 0.0013, EventsPerS: 303895, SimPerWall: 14575.3},
+	"diurnal-day":      {Name: "diurnal-day", Nodes: 56, NsPerOp: 7797693, BuildSeconds: 0.0015, EventsPerS: 325737, SimPerWall: 76945.8},
+	"flash-crowd":      {Name: "flash-crowd", Nodes: 200, NsPerOp: 106647457, BuildSeconds: 0.0015, EventsPerS: 119806, SimPerWall: 2813.0},
+	"megafleet-1000":   {Name: "megafleet-1000", Nodes: 1040, NsPerOp: 57730180, BuildSeconds: 0.0148, EventsPerS: 93244, SimPerWall: 2078.6},
+	"megafleet-10000":  {Name: "megafleet-10000", Nodes: 10000, NsPerOp: 328762373, BuildSeconds: 0.1450, EventsPerS: 15613, SimPerWall: 182.5},
+	"megafleet-100000": {Name: "megafleet-100000", Nodes: 100000, NsPerOp: 2132795391, BuildSeconds: 2.1306, EventsPerS: 746, SimPerWall: 14.1},
+	"migration-storm":  {Name: "migration-storm", Nodes: 56, NsPerOp: 3535367, BuildSeconds: 0.0017, EventsPerS: 265602, SimPerWall: 84856.8},
+	"node-churn":       {Name: "node-churn", Nodes: 56, NsPerOp: 5029564, BuildSeconds: 0.0011, EventsPerS: 468231, SimPerWall: 59647.3},
+	"rack-blackout":    {Name: "rack-blackout", Nodes: 56, NsPerOp: 6347473, BuildSeconds: 0.0012, EventsPerS: 447107, SimPerWall: 47262.9},
+}
+
 // runBenchJSON executes every canned scenario once and writes the
-// per-scenario throughput trajectory (plus the PR 1 and PR 2 baselines)
+// per-scenario throughput trajectory (plus the PR 1–PR 3 baselines)
 // to path.
 func runBenchJSON(path string) error {
 	type trajectory struct {
@@ -113,6 +157,7 @@ func runBenchJSON(path string) error {
 		GoosGoarch  string                `json:"goos_goarch"`
 		BaselinePR1 map[string]benchEntry `json:"baseline_pr1"`
 		BaselinePR2 map[string]benchEntry `json:"baseline_pr2"`
+		BaselinePR3 map[string]benchEntry `json:"baseline_pr3"`
 		Scenarios   []benchEntry          `json:"scenarios"`
 	}
 	out := trajectory{
@@ -121,6 +166,7 @@ func runBenchJSON(path string) error {
 		GoosGoarch:  runtime.GOOS + "/" + runtime.GOARCH,
 		BaselinePR1: pr1Baseline,
 		BaselinePR2: pr2Baseline,
+		BaselinePR3: pr3Baseline,
 	}
 	for _, n := range scenario.Names() {
 		spec, err := scenario.Catalog(n)
@@ -161,33 +207,55 @@ func runBenchJSON(path string) error {
 	return nil
 }
 
-func run(name string, seed int64, duration time.Duration, racks, hostsPerRack int, sample time.Duration, traceTail int, quiet bool) error {
+// kernelModeLine renders the run header's solver/advance summary.
+func kernelModeLine(o runOpts) string {
+	solver := "parallel(auto)"
+	switch {
+	case o.serialSolve:
+		solver = "serial"
+	case o.solveWorkers > 0:
+		solver = fmt.Sprintf("parallel(%d workers, forced)", o.solveWorkers)
+	}
+	advance := "lazy"
+	if o.eagerAdvance {
+		advance = "eager"
+	}
+	return fmt.Sprintf("run-phase kernel: solver=%s advance=%s", solver, advance)
+}
+
+func run(name string, o runOpts) error {
 	spec, err := scenario.Catalog(name)
 	if err != nil {
 		return err
 	}
-	if seed >= 0 {
-		spec.Cloud.Seed = seed
+	if o.seed >= 0 {
+		spec.Cloud.Seed = o.seed
 	}
-	if duration > 0 {
-		spec.Duration = duration
+	if o.duration > 0 {
+		spec.Duration = o.duration
 	}
-	if racks > 0 {
-		spec.Cloud.Racks = racks
+	if o.racks > 0 {
+		spec.Cloud.Racks = o.racks
 	}
-	if hostsPerRack > 0 {
-		spec.Cloud.HostsPerRack = hostsPerRack
+	if o.hostsPerRack > 0 {
+		spec.Cloud.HostsPerRack = o.hostsPerRack
 	}
-	if sample > 0 {
-		spec.SampleEvery = sample
+	if o.sample > 0 {
+		spec.SampleEvery = o.sample
 	}
+	spec.Cloud.SolveWorkers = o.solveWorkers
+	spec.Cloud.SerialSolve = o.serialSolve
+	spec.Cloud.EagerAdvance = o.eagerAdvance
+
+	fmt.Printf("scenario %s: %d nodes, %v simulated\n%s\n",
+		spec.Name, scenario.NodeCount(spec), spec.Duration, kernelModeLine(o))
 
 	r, err := scenario.New(spec)
 	if err != nil {
 		return err
 	}
 	defer r.Cloud.Close()
-	if !quiet {
+	if !o.quiet {
 		r.OnEvent = func(ev scenario.TraceEvent) { fmt.Println(ev) }
 	}
 	rep, err := r.Execute()
@@ -195,10 +263,10 @@ func run(name string, seed int64, duration time.Duration, racks, hostsPerRack in
 		return err
 	}
 	fmt.Print(rep.Table())
-	if traceTail > 0 {
+	if o.traceTail > 0 {
 		tail := rep.Trace
-		if len(tail) > traceTail {
-			tail = tail[len(tail)-traceTail:]
+		if len(tail) > o.traceTail {
+			tail = tail[len(tail)-o.traceTail:]
 		}
 		fmt.Printf("last %d trace events:\n", len(tail))
 		for _, ev := range tail {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hw"
 	"repro/internal/sim"
@@ -28,6 +29,19 @@ type Meter struct {
 	util    float64
 	joules  float64
 	on      bool
+	// group is the CloudMeter sub-meter this device reports under (nil
+	// until attached). State changes invalidate the group's caches.
+	group *meterGroup
+}
+
+// invalidate flags the parent sub-meter after a power-state change.
+// Called with m.mu held; the flags are atomics, so readers on other
+// goroutines (HTTP handlers polling totals) need no meter locks.
+func (m *Meter) invalidate() {
+	if m.group != nil {
+		m.group.wattsDirty.Store(true)
+		m.group.energyDirty.Store(true)
+	}
 }
 
 // NewMeter returns a meter for a device with the given power profile.
@@ -43,6 +57,7 @@ func (m *Meter) PowerOn(at sim.Time) {
 	m.accumulate(at)
 	m.on = true
 	m.util = 0
+	m.invalidate()
 }
 
 // PowerOff marks the device unpowered; it draws nothing until PowerOn.
@@ -52,6 +67,7 @@ func (m *Meter) PowerOff(at sim.Time) {
 	m.accumulate(at)
 	m.on = false
 	m.util = 0
+	m.invalidate()
 }
 
 // SetUtilisation records a change in CPU utilisation at virtual time at.
@@ -61,6 +77,7 @@ func (m *Meter) SetUtilisation(at sim.Time, util float64) {
 	defer m.mu.Unlock()
 	m.accumulate(at)
 	m.util = util
+	m.invalidate()
 }
 
 // accumulate folds the signal up to at into the running total.
@@ -105,31 +122,132 @@ func (m *Meter) EnergyWh(at sim.Time) float64 { return m.EnergyJoules(at) / 3600
 
 // CloudMeter aggregates many device meters: the PiCloud "run from a
 // single trailing power socket board".
+//
+// Aggregation is hierarchical: meters attach under an integer group —
+// the rack, for a fleet — and each group keeps a cached power sum and
+// energy anchor that a member's state change invalidates. A total is
+// therefore O(groups + members of dirty groups): on a 10⁶-node fleet
+// where a sampling tick follows a handful of container events, the old
+// flat walk touched a million meter locks per reading, the hierarchical
+// walk touches 256 cached sub-meters and the one rack that changed.
 type CloudMeter struct {
 	mu     sync.Mutex
 	meters map[string]*Meter
-	// sorted caches the stable summation order (see sortedNames); it is
-	// rebuilt lazily after Attach so a 10⁵-meter fleet does not re-sort
-	// on every power reading.
-	sorted      []string
-	sortedStale bool
+	groups map[int]*meterGroup
+	// order caches the group iteration order (ascending group id);
+	// summation must be order-stable or float rounding makes identical
+	// runs differ in the last bit.
+	order      []int
+	orderStale bool
+}
+
+// meterGroup is one sub-meter: the per-rack aggregation unit.
+type meterGroup struct {
+	members []groupMember
+	// membersStale defers the per-group name sort to the next reading
+	// after attachments.
+	membersStale bool
+	// wattsDirty / energyDirty are set by member meters on any power
+	// state change; the caches below are valid only while clear.
+	wattsDirty  atomic.Bool
+	energyDirty atomic.Bool
+	// watts is Σ member CurrentWatts as of the last clean reading.
+	watts float64
+	// joules is Σ member EnergyJoules(at); while the group stays clean
+	// the total extrapolates as joules + watts·Δt (the members are
+	// piecewise-constant and unchanged since the anchor).
+	joules float64
+	at     sim.Time
+}
+
+type groupMember struct {
+	name string
+	m    *Meter
+}
+
+// sorted returns the group's members in stable name order.
+func (g *meterGroup) sorted() []groupMember {
+	if g.membersStale {
+		sort.Slice(g.members, func(i, j int) bool { return g.members[i].name < g.members[j].name })
+		g.membersStale = false
+	}
+	return g.members
+}
+
+// recomputeWatts refreshes the cached power sum from the members.
+func (g *meterGroup) recomputeWatts() {
+	total := 0.0
+	for _, mm := range g.sorted() {
+		total += mm.m.CurrentWatts()
+	}
+	g.watts = total
+}
+
+// energyAt returns the group's aggregate energy up to at, refreshing
+// the anchor. A dirty group re-reads every member (each meter
+// self-integrates exactly, whatever happened mid-interval); a clean
+// group extrapolates from the anchor at its cached constant power. The
+// watts cache is refreshed together with the energy anchor so a clean
+// group's extrapolation can never use a power reading older than its
+// anchor.
+func (g *meterGroup) energyAt(at sim.Time) float64 {
+	if g.energyDirty.Swap(false) || at < g.at {
+		g.wattsDirty.Store(false)
+		total := 0.0
+		for _, mm := range g.sorted() {
+			total += mm.m.EnergyJoules(at)
+		}
+		g.joules = total
+		g.recomputeWatts()
+		g.at = at
+	} else if at > g.at {
+		if g.wattsDirty.Swap(false) {
+			g.recomputeWatts()
+		}
+		g.joules += g.watts * at.Sub(g.at).Seconds()
+		g.at = at
+	}
+	return g.joules
 }
 
 // NewCloudMeter returns an empty aggregate meter.
 func NewCloudMeter() *CloudMeter {
-	return &CloudMeter{meters: make(map[string]*Meter)}
+	return &CloudMeter{
+		meters: make(map[string]*Meter),
+		groups: make(map[int]*meterGroup),
+	}
 }
 
-// Attach registers a device meter under a unique name.
+// Attach registers a device meter under a unique name, in sub-meter
+// group 0. Fleets attach per rack with AttachGrouped.
 func (c *CloudMeter) Attach(name string, m *Meter) error {
+	return c.AttachGrouped(name, 0, m)
+}
+
+// AttachGrouped registers a device meter under a unique name in the
+// given sub-meter group (the rack index, for a fleet). A meter reports
+// to at most one CloudMeter.
+func (c *CloudMeter) AttachGrouped(name string, group int, m *Meter) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.meters[name]; dup {
 		return fmt.Errorf("energy: meter %q already attached", name)
 	}
 	c.meters[name] = m
-	c.sorted = append(c.sorted, name)
-	c.sortedStale = true
+	g := c.groups[group]
+	if g == nil {
+		g = &meterGroup{}
+		c.groups[group] = g
+		c.order = append(c.order, group)
+		c.orderStale = true
+	}
+	g.members = append(g.members, groupMember{name: name, m: m})
+	g.membersStale = true
+	g.wattsDirty.Store(true)
+	g.energyDirty.Store(true)
+	m.mu.Lock()
+	m.group = g
+	m.mu.Unlock()
 	return nil
 }
 
@@ -151,36 +269,41 @@ func (c *CloudMeter) Names() []string {
 	return out
 }
 
-// sortedNames returns meter names in stable order. Summation must be
-// order-stable or float rounding makes identical runs differ in the last
-// bit (map iteration order is random). The order is cached and re-sorted
-// only after new attachments. Caller holds c.mu.
-func (c *CloudMeter) sortedNames() []string {
-	if c.sortedStale {
-		sort.Strings(c.sorted)
-		c.sortedStale = false
+// sortedGroups returns the group ids in stable ascending order. Caller
+// holds c.mu.
+func (c *CloudMeter) sortedGroups() []int {
+	if c.orderStale {
+		sort.Ints(c.order)
+		c.orderStale = false
 	}
-	return c.sorted
+	return c.order
 }
 
-// TotalWatts returns the instantaneous aggregate draw.
+// TotalWatts returns the instantaneous aggregate draw: cached sub-meter
+// sums, recomputed only for groups whose members changed state.
 func (c *CloudMeter) TotalWatts() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	total := 0.0
-	for _, n := range c.sortedNames() {
-		total += c.meters[n].CurrentWatts()
+	for _, id := range c.sortedGroups() {
+		g := c.groups[id]
+		if g.wattsDirty.Swap(false) {
+			g.recomputeWatts()
+		}
+		total += g.watts
 	}
 	return total
 }
 
-// TotalEnergyJoules returns the aggregate energy consumed up to at.
+// TotalEnergyJoules returns the aggregate energy consumed up to at:
+// clean sub-meters extrapolate from their anchor, dirty ones re-read
+// their members.
 func (c *CloudMeter) TotalEnergyJoules(at sim.Time) float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	total := 0.0
-	for _, n := range c.sortedNames() {
-		total += c.meters[n].EnergyJoules(at)
+	for _, id := range c.sortedGroups() {
+		total += c.groups[id].energyAt(at)
 	}
 	return total
 }

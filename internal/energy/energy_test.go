@@ -1,7 +1,9 @@
 package energy
 
 import (
+	"fmt"
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -107,6 +109,106 @@ func TestCloudMeterAggregation(t *testing.T) {
 	}
 	if cm.Meter("a") == nil || cm.Meter("zzz") != nil {
 		t.Fatal("Meter lookup wrong")
+	}
+}
+
+// flatTotals recomputes the aggregate the pre-hierarchical way: walk
+// every meter. The reference the cached sub-meter path must match.
+func flatTotals(cm *CloudMeter, at sim.Time) (watts, joules float64) {
+	names := cm.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		watts += cm.Meter(n).CurrentWatts()
+		joules += cm.Meter(n).EnergyJoules(at)
+	}
+	return watts, joules
+}
+
+// TestCloudMeterHierarchicalTotals drives grouped meters through power
+// cycles and utilisation changes, reading totals at every step: the
+// cached sub-meter path must track the flat walk, and a member change
+// must invalidate exactly its group's caches.
+func TestCloudMeterHierarchicalTotals(t *testing.T) {
+	cm := NewCloudMeter()
+	p := hw.PowerProfile{IdleWatts: 2, PeakWatts: 4}
+	meters := make([]*Meter, 12)
+	for i := range meters {
+		m := NewMeter(p, 0)
+		m.PowerOn(0)
+		meters[i] = m
+		if err := cm.AttachGrouped(fmt.Sprintf("pi-%02d", i), i/4, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(step string, now sim.Time) {
+		t.Helper()
+		wantW, _ := flatTotals(cm, now)
+		if gotW := cm.TotalWatts(); math.Abs(gotW-wantW) > 1e-9*math.Max(wantW, 1) {
+			t.Fatalf("%s: TotalWatts = %v, flat sum %v", step, gotW, wantW)
+		}
+		_, wantJ := flatTotals(cm, now)
+		if gotJ := cm.TotalEnergyJoules(now); math.Abs(gotJ-wantJ) > 1e-9*math.Max(wantJ, 1) {
+			t.Fatalf("%s: TotalEnergyJoules = %v, flat sum %v", step, gotJ, wantJ)
+		}
+	}
+	check("initial", at(1))
+	// Utilisation spike in group 1 only.
+	for i := 4; i < 8; i++ {
+		meters[i].SetUtilisation(at(5), 1)
+	}
+	check("group-1 busy", at(10))
+	// Idle stretch: totals are extrapolated from clean caches.
+	check("idle stretch", at(100))
+	// Power-cycle one board in group 2.
+	meters[9].PowerOff(at(120))
+	check("board off", at(130))
+	meters[9].PowerOn(at(140))
+	check("board back", at(150))
+	// A fresh late attachment joins group 0.
+	late := NewMeter(p, at(150))
+	late.PowerOn(at(150))
+	if err := cm.AttachGrouped("pi-99", 0, late); err != nil {
+		t.Fatal(err)
+	}
+	check("late attach", at(160))
+}
+
+// TestCloudMeterGroupCacheStaysClean pins the O(dirty groups) claim:
+// reading totals twice with no member changes in between must not
+// re-read any meter (the group caches answer).
+func TestCloudMeterGroupCacheStaysClean(t *testing.T) {
+	cm := NewCloudMeter()
+	p := hw.PowerProfile{IdleWatts: 3, PeakWatts: 3}
+	m := NewMeter(p, 0)
+	m.PowerOn(0)
+	if err := cm.AttachGrouped("pi-00", 0, m); err != nil {
+		t.Fatal(err)
+	}
+	if got := cm.TotalWatts(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("TotalWatts = %v", got)
+	}
+	g := m.group
+	if g == nil {
+		t.Fatal("meter not wired to its group")
+	}
+	if g.wattsDirty.Load() {
+		t.Fatal("group watts cache still dirty after a read")
+	}
+	_ = cm.TotalEnergyJoules(at(10))
+	if g.energyDirty.Load() {
+		t.Fatal("group energy cache still dirty after a read")
+	}
+	// Extrapolated second read: 10 more seconds at 3 W.
+	if got := cm.TotalEnergyJoules(at(20)); math.Abs(got-60) > 1e-9 {
+		t.Fatalf("extrapolated energy = %v, want 60", got)
+	}
+	// A member change re-dirties exactly this group.
+	m.SetUtilisation(at(25), 0.5)
+	if !g.wattsDirty.Load() || !g.energyDirty.Load() {
+		t.Fatal("member change did not invalidate the group caches")
+	}
+	if got := cm.TotalEnergyJoules(at(30)); math.Abs(got-90) > 1e-9 {
+		t.Fatalf("energy after re-read = %v, want 90 (flat profile)", got)
 	}
 }
 

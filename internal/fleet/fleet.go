@@ -103,6 +103,19 @@ type Config struct {
 	// build is byte-identical by construction; this knob exists so the
 	// determinism gate can prove it (and as an escape hatch).
 	SerialBuild bool
+	// SerialSolve forces the run phase's congestion-domain solver onto
+	// the engine goroutine — the solver mirror of SerialBuild. The
+	// parallel fan-out is byte-identical by construction
+	// (TestParallelSolveMatchesSerial proves it on every build).
+	SerialSolve bool
+	// SolveWorkers sizes the parallel solve pool: 0 auto-sizes from
+	// GOMAXPROCS and fans out only when a flush carries enough dirty
+	// flows; an explicit count forces fan-out (tests, ablation).
+	SolveWorkers int
+	// EagerAdvance restores the seed kernel's whole-fleet flow
+	// accounting sweep at every time-advancing mutation (test and
+	// ablation mode; traces are byte-identical either way).
+	EagerAdvance bool
 }
 
 // FillDefaults resolves the zero-value fields to the published PiCloud.
@@ -271,6 +284,9 @@ func assemble(cfg Config, cloudMu *sync.Mutex, plan *Plan) (*Result, error) {
 	}
 	engine := sim.NewEngine(cfg.Seed)
 	net := netsim.New(engine)
+	net.SetSerialSolve(cfg.SerialSolve)
+	net.SetSolveWorkers(cfg.SolveWorkers)
+	net.SetEagerAdvance(cfg.EagerAdvance)
 
 	topo, err := buildTopology(net, cfg)
 	if err != nil {
@@ -338,7 +354,7 @@ func assemble(cfg Config, cloudMu *sync.Mutex, plan *Plan) (*Result, error) {
 	for i, node := range nodes {
 		hp := &plan.hosts[i]
 		transport.daemons[node.Name] = node.Daemon
-		if err := r.Meter.Attach(node.Name, node.Meter); err != nil {
+		if err := r.Meter.AttachGrouped(node.Name, node.Rack, node.Meter); err != nil {
 			return nil, err
 		}
 		r.Nodes = append(r.Nodes, node)

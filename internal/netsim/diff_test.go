@@ -125,7 +125,7 @@ type diffRig struct {
 	aggs  []NodeID
 }
 
-func buildDiffRig(t *testing.T, e *sim.Engine, racks, hostsPerRack, aggs int) *diffRig {
+func buildDiffRig(t testing.TB, e *sim.Engine, racks, hostsPerRack, aggs int) *diffRig {
 	t.Helper()
 	n := New(e)
 	r := &diffRig{n: n, e: e}

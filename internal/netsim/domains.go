@@ -32,8 +32,12 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -73,6 +77,20 @@ func (d *domain) find() *domain {
 		d.parent, d = root, d.parent
 	}
 	return root
+}
+
+// findRO resolves the set root without path compression. Solve workers
+// use it for membership checks: a stale entry in one domain's flow list
+// can reference a flow now owned by another domain, and compressing
+// that other domain's parent chain from a foreign goroutine would race
+// with its owner. Parent pointers are only mutated in the serial phases
+// (union, rebuild, claim), so a compression-free walk is safe while the
+// pool runs.
+func (d *domain) findRO() *domain {
+	for d.parent != d {
+		d = d.parent
+	}
+	return d
 }
 
 // unionDomains merges the sets holding a and b and returns the new
@@ -139,36 +157,147 @@ func (n *Network) adoptFlow(f *Flow, links []*Link) {
 	n.markDomainDirty(dom)
 }
 
-// solveDirty is the flush body: rebuild split-suspect domains, re-solve
-// every dirty domain, then re-arm completion events for flows whose
-// rate moved, in admission order. The worklist makes one virtual
-// instant cost O(dirty domains), not O(live flows) — the incremental
-// contract. Solve order across domains is irrelevant to the arithmetic
-// (domains are disjoint by construction) and event order is fixed by
-// the final sorted rescheduling pass, so the two allocator modes stay
-// byte-identical.
+// parallelSolveMinFlows is the auto-mode fan-out threshold: a flush
+// whose dirty domains hold fewer member flows than this is solved
+// serially — goroutine handoff costs more than rack-sized fills. The
+// threshold only bites in auto mode (SetSolveWorkers(0)); an explicit
+// worker count forces fan-out so the gates can exercise the pool on
+// small fabrics. BenchmarkParallelSolve locates the crossover.
+const parallelSolveMinFlows = 4096
+
+// solveDirty is the flush body: rebuild split-suspect domains, claim
+// the unique dirty roots, solve them — fanned out to a worker pool when
+// the flush carries enough work — then re-arm completion events for
+// flows whose rate moved, in admission order.
+//
+// The worklist makes one virtual instant cost O(dirty domains), not
+// O(live flows) — the incremental contract. Determinism under fan-out
+// rests on three facts: the claim pass is a deterministic partition
+// (admission-ordered worklist, deduped by the dirty flag); domains are
+// disjoint by construction, so each solve reads and writes only state
+// its worker owns and the arithmetic is a pure per-domain function; and
+// completion events are re-armed in one serial admission-ordered pass,
+// so the engine's event sequence is independent of which goroutine
+// solved what, and when. Serial, parallel, and any GOMAXPROCS produce
+// byte-identical traces (TestParallelSolveMatchesSerial).
 func (n *Network) solveDirty() {
 	if n.fullRecompute {
 		n.enqueueAllDomains()
 	}
-	// Rebuilds append their fresh components to the worklist, so both
-	// loops index rather than range.
+	// Rebuilds append their fresh components to the worklist, so the
+	// loop indexes rather than ranges.
 	for i := 0; i < len(n.dirtyDomains); i++ {
 		if r := n.dirtyDomains[i].find(); r.dirty && r.rebuild {
 			n.rebuildDomain(r)
 		}
 	}
+	// Claim pass: resolve the worklist to its unique dirty roots. Done
+	// serially so path compression and the dirty flags are settled
+	// before any worker touches the trees.
+	claimed := n.claimed[:0]
 	for i := 0; i < len(n.dirtyDomains); i++ {
 		if r := n.dirtyDomains[i].find(); r.dirty {
 			r.dirty = false
-			n.solveDomain(r)
+			claimed = append(claimed, r)
 		}
-	}
-	for i := range n.dirtyDomains {
 		n.dirtyDomains[i] = nil
 	}
 	n.dirtyDomains = n.dirtyDomains[:0]
+
+	now := n.engine.Now()
+	if workers := n.solveFanout(claimed); workers > 1 {
+		n.solveParallel(claimed, now, workers)
+	} else {
+		for _, d := range claimed {
+			n.passSeq++
+			n.solveDomain(d, now, n.passSeq, &n.scratch)
+		}
+		n.changedFlows = append(n.changedFlows, n.scratch.changed...)
+		clearFlows(&n.scratch.changed)
+	}
+	for i := range claimed {
+		claimed[i] = nil
+	}
+	n.claimed = claimed[:0]
 	n.rescheduleChanged()
+}
+
+// clearFlows nils and truncates a flow slice, dropping references for
+// the GC while keeping the capacity.
+func clearFlows(s *[]*Flow) {
+	for i := range *s {
+		(*s)[i] = nil
+	}
+	*s = (*s)[:0]
+}
+
+// solveFanout decides the worker count for this flush. Serial (1) when
+// forced by the knob, when fewer than two domains are dirty, or — in
+// auto mode — when the claimed domains hold too few flows for goroutine
+// handoff to pay for itself.
+func (n *Network) solveFanout(claimed []*domain) int {
+	if n.serialSolve || len(claimed) < 2 {
+		return 1
+	}
+	w := n.solveWorkers
+	if w == 0 {
+		work := 0
+		for _, d := range claimed {
+			work += len(d.flows)
+		}
+		if work < parallelSolveMinFlows {
+			return 1
+		}
+		// At least two workers even on a single-core box, so the
+		// parallel path (and its determinism) is exercised everywhere —
+		// the same policy as the fleet builder's shard pool.
+		w = runtime.GOMAXPROCS(0)
+		if w < 2 {
+			w = 2
+		}
+	}
+	if w > len(claimed) {
+		w = len(claimed)
+	}
+	if w < 2 {
+		return 1
+	}
+	return w
+}
+
+// solveParallel fans the claimed domains out to a bounded pool. Pass
+// numbers are pre-assigned per domain in claim order so the visited
+// markers are deterministic without a shared counter; workers pull the
+// next domain off an atomic cursor (assignment order is irrelevant —
+// every domain's solve is a pure function of its own state). Each
+// worker collects its changed flows privately; the merged list is
+// order-fixed by rescheduleChanged's admission-order sort.
+func (n *Network) solveParallel(claimed []*domain, now sim.Time, workers int) {
+	base := n.passSeq
+	n.passSeq += uint64(len(claimed))
+	for len(n.workerScratch) < workers {
+		n.workerScratch = append(n.workerScratch, &solveScratch{})
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(s *solveScratch) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(claimed) {
+					return
+				}
+				n.solveDomain(claimed[i], now, base+uint64(i)+1, s)
+			}
+		}(n.workerScratch[w])
+	}
+	wg.Wait()
+	for _, s := range n.workerScratch[:workers] {
+		n.changedFlows = append(n.changedFlows, s.changed...)
+		clearFlows(&s.changed)
+	}
 }
 
 // enqueueAllDomains marks every live domain dirty and lists it on the
@@ -222,17 +351,26 @@ func (n *Network) rebuildDomain(r *domain) {
 const rateReschedEps = 1e-9
 
 // solveDomain runs the progressive-filling max-min fill over one
-// domain's flows and links only. The arithmetic is a pure function of
-// the domain's own state, so solving a clean domain again yields
-// bit-identical rates — the property the incremental/full equivalence
-// rests on.
-func (n *Network) solveDomain(d *domain) {
-	n.passSeq++
-	pass := n.passSeq
-
-	flows := n.scratchFlows[:0]
+// domain's flows and links only, after committing each member flow's
+// accounting span (the rates are about to be overwritten). The
+// arithmetic is a pure function of the domain's own state, so solving a
+// clean domain again yields bit-identical rates — the property the
+// incremental/full equivalence rests on — and every flow, link and
+// scratch buffer it touches is owned by the calling worker, so solves
+// of distinct domains can run concurrently without synchronisation.
+func (n *Network) solveDomain(d *domain, now sim.Time, pass uint64, s *solveScratch) {
+	flows := s.flows[:0]
 	for _, f := range d.flows {
-		if f.ended || f.pass == pass || f.dom.find() != d {
+		if f.ended {
+			continue
+		}
+		// Membership check first: a stale entry owned by another domain
+		// must not be touched at all (its owner may be solving it on
+		// another goroutine right now).
+		if f.dom.findRO() != d {
+			continue
+		}
+		if f.pass == pass {
 			continue
 		}
 		f.pass = pass
@@ -241,7 +379,7 @@ func (n *Network) solveDomain(d *domain) {
 	// Compact the membership list while we have it in hand.
 	d.flows = append(d.flows[:0], flows...)
 
-	links := n.scratchLinks[:0]
+	links := s.links[:0]
 	for _, f := range flows {
 		for _, l := range f.path {
 			if l.pass != pass {
@@ -253,9 +391,16 @@ func (n *Network) solveDomain(d *domain) {
 		}
 	}
 
-	active := n.scratchActive[:0]
+	// The fill runs on fillRate scratch; committed state (f.rate, the
+	// flow's accounting span) is only touched afterwards, and only for
+	// flows whose allocation actually moved. Re-solving a clean domain
+	// therefore commits nothing — which is what keeps full-recompute,
+	// incremental, serial and parallel runs byte-identical: commit
+	// points depend on real rate changes, never on how often a domain
+	// happened to be re-solved.
+	active := s.active[:0]
 	for _, f := range flows {
-		f.rate = 0
+		f.fillRate = 0
 		onDownLink := false
 		for _, l := range f.path {
 			if !l.up {
@@ -282,7 +427,7 @@ func (n *Network) solveDomain(d *domain) {
 		}
 		for _, f := range active {
 			if f.Spec.RateCapBps > 0 {
-				if room := f.Spec.RateCapBps - f.rate; room < inc {
+				if room := f.Spec.RateCapBps - f.fillRate; room < inc {
 					inc = room
 				}
 			}
@@ -296,7 +441,7 @@ func (n *Network) solveDomain(d *domain) {
 			inc = 0
 		}
 		for _, f := range active {
-			f.rate += inc
+			f.fillRate += inc
 		}
 		for _, l := range links {
 			if l.up {
@@ -307,7 +452,7 @@ func (n *Network) solveDomain(d *domain) {
 		kept := active[:0]
 		for _, f := range active {
 			frozen := false
-			if f.Spec.RateCapBps > 0 && f.rate >= f.Spec.RateCapBps-1e-9 {
+			if f.Spec.RateCapBps > 0 && f.fillRate >= f.Spec.RateCapBps-1e-9 {
 				frozen = true
 			}
 			if !frozen {
@@ -344,15 +489,24 @@ func (n *Network) solveDomain(d *domain) {
 		}
 	}
 	for _, f := range flows {
+		if f.fillRate != f.rate {
+			// The allocation moved: close the span travelled at the old
+			// rate, then switch. This bitwise comparison is the commit
+			// gate — sub-ulp "changes" cannot occur (the fill is exact
+			// arithmetic over the same inputs), so a clean re-solve
+			// never commits.
+			n.commitFlow(f, now)
+			f.rate = f.fillRate
+		}
 		if rateChanged(f.schedRate, f.rate) && !f.rateDirty {
 			f.rateDirty = true
-			n.changedFlows = append(n.changedFlows, f)
+			s.changed = append(s.changed, f)
 		}
 	}
 
-	n.scratchFlows = flows[:0]
-	n.scratchLinks = links[:0]
-	n.scratchActive = active[:0]
+	s.flows = flows[:0]
+	s.links = links[:0]
+	s.active = active[:0]
 }
 
 // rateChanged reports whether a flow's allocation moved beyond the
@@ -373,10 +527,26 @@ func rateChanged(old, new float64) bool {
 // whose rate actually changed, in admission (flow-ID) order so the
 // engine's event sequence — and with it whole-run determinism — is
 // independent of which domains were solved, and in what order.
+//
+// Completion-time invariant: a flow is only ever re-armed at the
+// instant its rate changed, so f.remaining is span-committed to now and
+// now + remaining/rate is the exact finish estimate. Arming at any
+// other instant would compute now + stale_remaining/rate — and even
+// with materialised state, re-deriving the division from a different
+// anchor point shifts the nanosecond truncation by one ulp now and
+// then. That anchor sensitivity is the root cause of the 1 ns
+// migration-storm trace drift PR 2 observed: the seed's global solver
+// re-armed every finite flow at every recompute (anchoring completions
+// at arbitrary mutation instants), the domain solver re-arms only on
+// rate changes, and one pre-copy transfer's completion rounded to the
+// neighbouring nanosecond. The span-anchored kernel pins the anchor to
+// the rate-change instant by construction — the assertion below keeps
+// it that way.
 func (n *Network) rescheduleChanged() {
 	if len(n.changedFlows) == 0 {
 		return
 	}
+	now := n.engine.Now()
 	sort.Slice(n.changedFlows, func(i, j int) bool {
 		return n.changedFlows[i].ID < n.changedFlows[j].ID
 	})
@@ -391,12 +561,18 @@ func (n *Network) rescheduleChanged() {
 		if f.Spec.SizeBits <= 0 || f.rate <= 0 {
 			continue
 		}
+		if f.lastCalc != now {
+			panic(fmt.Sprintf("netsim: flow %d re-armed with a stale span anchor (%v != %v): completion times must be computed at the rate-change instant",
+				f.ID, f.lastCalc, now))
+		}
 		seconds := f.remaining / f.rate
 		d := time.Duration(seconds * float64(time.Second))
 		f := f
 		f.complete = n.engine.Schedule(d, func() {
-			n.advanceAll()
-			// Guard against float drift: clamp and finish.
+			n.advance()
+			// Commit the final span, clamp the float drift left by the
+			// event-time truncation, and finish.
+			n.commitFlow(f, n.engine.Now())
 			f.remaining = 0
 			n.endFlow(f, EndCompleted)
 			n.markDirty()

@@ -91,8 +91,27 @@ func (l *Link) Up() bool { return l.up }
 // FlowCount returns the number of flows currently routed over the link.
 func (l *Link) FlowCount() int { return len(l.flows) }
 
-// BitsCarried returns the cumulative traffic that has crossed the link.
-func (l *Link) BitsCarried() float64 { return l.bitsCarried }
+// BitsCarried returns the cumulative traffic that has crossed the link,
+// materialised to the current virtual time: the committed volume plus
+// the pending span of every live flow routed over it. Pending spans are
+// summed in flow-admission order so the float result is independent of
+// map iteration (identical runs report identical volumes).
+func (l *Link) BitsCarried() float64 {
+	if l.net == nil || len(l.flows) == 0 {
+		return l.bitsCarried
+	}
+	now := l.net.engine.Now()
+	pend := make([]*Flow, 0, len(l.flows))
+	for f := range l.flows {
+		pend = append(pend, f)
+	}
+	sort.Slice(pend, func(i, j int) bool { return pend[i].ID < pend[j].ID })
+	total := l.bitsCarried
+	for _, f := range pend {
+		total += f.pendingBits(now)
+	}
+	return total
+}
 
 // Shaped reports whether tc-style impairment is applied to the link.
 func (l *Link) Shaped() bool { return l.shaped }
@@ -153,15 +172,23 @@ type FlowSpec struct {
 
 // Flow is a live transfer.
 type Flow struct {
-	ID        int64
-	Spec      FlowSpec
-	net       *Network
-	path      []*Link
-	rate      float64 // current allocation, bps
+	ID   int64
+	Spec FlowSpec
+	net  *Network
+	path []*Link
+	rate float64 // current allocation, bps
+	// remaining and bitsDone are the committed accounting state as of
+	// lastCalc — the start of the flow's current constant-rate span.
+	// They move only at commit points (rate change, path change, flow
+	// end); between commits, readers materialise the pending span on
+	// demand (see commitFlow for the invariant).
 	remaining float64 // bits left (finite flows)
 	bitsDone  float64
 	started   sim.Time
 	lastCalc  sim.Time
+	// sweepBits is the eager-advance mode's last materialised total, used
+	// to detect a rate change that slipped past a commit (see advanceAll).
+	sweepBits float64
 	ended     bool
 	endAt     sim.Time
 	endReason EndReason
@@ -170,6 +197,11 @@ type Flow struct {
 	dom *domain
 	// pass is the solver's visited/dedup marker.
 	pass uint64
+	// fillRate is the progressive fill's scratch allocation, owned by
+	// the goroutine solving the flow's domain; f.rate (and the flow's
+	// accounting span) is only touched when the two differ at the end of
+	// a solve.
+	fillRate float64
 	// schedRate is the rate the armed completion event was computed
 	// from; comparing fresh solves against it (not against the previous
 	// solve) bounds sub-epsilon drift at one epsilon total. rateDirty
@@ -184,16 +216,35 @@ func (f *Flow) Rate() float64 {
 	return f.rate
 }
 
-// BitsTransferred returns the bits moved so far (advanced to current
-// virtual time on every allocation change).
-func (f *Flow) BitsTransferred() float64 { return f.bitsDone }
+// pendingBits materialises the bits the flow has moved since its last
+// commit — a pure read: the committed state does not move. The clamp to
+// the committed remaining mirrors commitFlow's, so a materialised read
+// and a later commit over the same span agree exactly.
+func (f *Flow) pendingBits(now sim.Time) float64 {
+	dt := now.Sub(f.lastCalc).Seconds()
+	if dt <= 0 || f.rate <= 0 {
+		return 0
+	}
+	moved := f.rate * dt
+	if f.Spec.SizeBits > 0 && moved > f.remaining {
+		moved = f.remaining
+	}
+	return moved
+}
 
-// Remaining returns the bits left for a finite flow (0 for unbounded).
+// BitsTransferred returns the bits moved up to the current virtual time
+// (committed bits plus the materialised pending span).
+func (f *Flow) BitsTransferred() float64 {
+	return f.bitsDone + f.pendingBits(f.net.engine.Now())
+}
+
+// Remaining returns the bits left for a finite flow (0 for unbounded),
+// materialised to the current virtual time.
 func (f *Flow) Remaining() float64 {
 	if f.Spec.SizeBits <= 0 {
 		return 0
 	}
-	return f.remaining
+	return f.remaining - f.pendingBits(f.net.engine.Now())
 }
 
 // Ended reports whether the flow has stopped, and why.
@@ -244,10 +295,21 @@ type Network struct {
 	// compacted out lazily. Determinism of completion-event sequence
 	// numbers depends on this ordering.
 	flowOrder []*Flow
-	active    int
-	nextID    int64
-	dirty     bool
-	// lastAdvance dedupes advanceAll within one virtual instant
+	// endedInOrder counts ended flows still occupying flowOrder slots;
+	// when they outnumber the live ones the list is compacted (amortised
+	// O(1) per ended flow — the lazy replacement for the per-instant
+	// sweep that used to compact as a side effect).
+	endedInOrder int
+	active       int
+	nextID       int64
+	dirty        bool
+	// eagerAdvance restores the seed kernel's O(live flows) sweep at
+	// every time-advancing mutation — the test/ablation mode behind
+	// SetEagerAdvance. The sweep materialises every flow (recreating the
+	// old cost model for benchmarks) and cross-checks the lazy
+	// accounting, but never commits, so both modes are byte-identical.
+	eagerAdvance bool
+	// lastAdvance dedupes the eager sweep within one virtual instant
 	// (initialised to -1 so the epoch instant is not skipped).
 	lastAdvance sim.Time
 	// topoEpoch counts topology/link-state mutations; the SDN layer
@@ -258,18 +320,40 @@ type Network struct {
 	// fullRecompute forces every domain to re-solve at each flush —
 	// the "full solver" the incremental path is byte-compared against.
 	fullRecompute bool
+	// serialSolve forces single-goroutine domain solving; the parallel
+	// fan-out is byte-identical by construction (disjoint domains,
+	// admission-ordered rescheduling), and this knob exists so the
+	// determinism gate can prove it — the solver mirror of the fleet
+	// builder's SerialBuild.
+	serialSolve bool
+	// solveWorkers sizes the solve pool: 0 auto-sizes from GOMAXPROCS
+	// and applies the parallelSolveMinFlows work threshold; an explicit
+	// count forces fan-out regardless of threshold (tests, ablation).
+	solveWorkers int
 	// flushFn is the pre-bound flush closure (no per-instant alloc).
 	flushFn func()
 	// dirtyDomains is the flush worklist: every dirty root appears here
 	// (possibly more than once; dedup is the dirty flag itself).
 	dirtyDomains []*domain
+	// claimed is the deduped per-flush list of unique dirty roots (the
+	// deterministic work partition the solve pool fans out over).
+	claimed []*domain
 	// changedFlows collects flows whose rate moved this flush, for the
 	// admission-ordered completion rescheduling pass.
 	changedFlows []*Flow
-	// scratch buffers reused across domain solves.
-	scratchFlows  []*Flow
-	scratchLinks  []*Link
-	scratchActive []*Flow
+	// scratch is the serial solver's reusable buffers; workerScratch
+	// holds one set per solve worker.
+	scratch       solveScratch
+	workerScratch []*solveScratch
+}
+
+// solveScratch is one solver goroutine's private buffers, reused across
+// domain solves to keep the hot path allocation-free.
+type solveScratch struct {
+	flows   []*Flow
+	links   []*Link
+	active  []*Flow
+	changed []*Flow
 }
 
 type linkKey struct{ from, to NodeID }
@@ -339,6 +423,28 @@ func (n *Network) BumpTopoEpoch() { n.topoEpoch++ }
 // The two modes produce byte-identical traces; the full mode exists so
 // tests can pin that equivalence and as a belt-and-braces escape hatch.
 func (n *Network) SetFullRecompute(v bool) { n.fullRecompute = v }
+
+// SetEagerAdvance restores the seed kernel's whole-fleet accounting
+// sweep at every time-advancing mutation. The sweep materialises every
+// live flow (the old O(live flows)-per-instant cost model, kept for
+// benchmarks and the differential gate) and panics if the lazy
+// accounting ever regressed a flow's materialised total — the symptom
+// of a rate change that slipped past a commit. It never commits, so
+// eager and lazy runs are byte-identical by construction.
+func (n *Network) SetEagerAdvance(v bool) { n.eagerAdvance = v }
+
+// SetSerialSolve forces dirty congestion domains to be solved on the
+// engine goroutine, one after another. Off (the default), solves fan
+// out to a bounded worker pool when the flush carries enough work; both
+// paths produce byte-identical traces (TestParallelSolveMatchesSerial).
+func (n *Network) SetSerialSolve(v bool) { n.serialSolve = v }
+
+// SetSolveWorkers sizes the parallel solve pool. Zero (the default)
+// auto-sizes from GOMAXPROCS and only fans out when a flush carries at
+// least parallelSolveMinFlows of work; an explicit count forces fan-out
+// whenever two or more domains are dirty, which is how the determinism
+// gates exercise the parallel path even on small fabrics.
+func (n *Network) SetSolveWorkers(k int) { n.solveWorkers = k }
 
 // AddNode registers a device.
 func (n *Network) AddNode(id NodeID, kind NodeKind) error {
@@ -417,7 +523,7 @@ func (n *Network) ShapeLink(a, b NodeID, s Shaping) error {
 	if scale <= 0 || scale > 1 {
 		scale = 1
 	}
-	n.advanceAll()
+	n.advance()
 	for _, l := range []*Link{la, lb} {
 		l.Capacity = l.baseCapacity * scale * (1 - s.Loss)
 		l.Latency = l.baseLatency + s.ExtraLatency
@@ -437,7 +543,7 @@ func (n *Network) ClearShaping(a, b NodeID) error {
 	if la == nil || lb == nil {
 		return fmt.Errorf("%w: %s-%s", ErrNoSuchLink, a, b)
 	}
-	n.advanceAll()
+	n.advance()
 	for _, l := range []*Link{la, lb} {
 		l.Capacity = l.baseCapacity
 		l.Latency = l.baseLatency
@@ -458,7 +564,7 @@ func (n *Network) RemoveDuplexLink(a, b NodeID) error {
 	if _, ok := n.links[ka]; !ok {
 		return fmt.Errorf("%w: %s->%s", ErrNoSuchLink, a, b)
 	}
-	n.advanceAll()
+	n.advance()
 	for _, k := range []linkKey{ka, kb} {
 		l := n.links[k]
 		n.endLinkFlows(l, EndLinkDown)
@@ -547,7 +653,7 @@ func (n *Network) SetLinkUp(a, b NodeID, up bool) error {
 	if la == nil || lb == nil {
 		return fmt.Errorf("%w: %s-%s", ErrNoSuchLink, a, b)
 	}
-	n.advanceAll()
+	n.advance()
 	la.up, lb.up = up, up
 	if !up {
 		n.endLinkFlows(la, EndLinkDown)
@@ -572,7 +678,7 @@ func (n *Network) StartFlow(spec FlowSpec) (*Flow, error) {
 				ErrBadPath, spec.Path[0], spec.Path[len(spec.Path)-1], spec.Src, spec.Dst)
 		}
 	}
-	n.advanceAll()
+	n.advance()
 	n.nextID++
 	// Copy the hop list: callers may hand us a shared slice (the SDN
 	// route cache does), and Spec.Path is exported for the flow's
@@ -638,7 +744,10 @@ func (n *Network) SetPath(f *Flow, path []NodeID) error {
 	if err != nil {
 		return err
 	}
-	n.advanceAll()
+	n.advance()
+	// Commit the span travelled on the old path at the old rate before
+	// the path (and the per-link volume attribution) changes.
+	n.commitFlow(f, n.engine.Now())
 	// The old domain loses a member: flag it for component rebuild. The
 	// flow's entry in its flows list goes stale and is compacted there.
 	if f.dom != nil {
@@ -668,7 +777,7 @@ func (n *Network) CancelFlow(f *Flow) error {
 	if f.ended {
 		return ErrFlowEnded
 	}
-	n.advanceAll()
+	n.advance()
 	n.endFlow(f, EndCanceled)
 	n.markDirty()
 	return nil
@@ -677,12 +786,13 @@ func (n *Network) CancelFlow(f *Flow) error {
 // ActiveFlows returns the number of live flows.
 func (n *Network) ActiveFlows() int { return n.active }
 
-// endFlow finalises a flow, dirties its congestion domain for rebuild,
-// and fires its callback.
+// endFlow finalises a flow — committing its last accounting span,
+// dirtying its congestion domain for rebuild — and fires its callback.
 func (n *Network) endFlow(f *Flow, reason EndReason) {
 	if f.ended {
 		return
 	}
+	n.commitFlow(f, n.engine.Now())
 	f.ended = true
 	f.endReason = reason
 	f.endAt = n.engine.Now()
@@ -699,6 +809,8 @@ func (n *Network) endFlow(f *Flow, reason EndReason) {
 		}
 	}
 	n.active--
+	n.endedInOrder++
+	n.compactFlowOrder()
 	if f.dom != nil {
 		r := f.dom.find()
 		r.rebuild = true
@@ -709,10 +821,58 @@ func (n *Network) endFlow(f *Flow, reason EndReason) {
 	}
 }
 
-// advanceAll credits every live flow with the bits moved since the last
-// allocation change, compacting ended flows out of the admission-order
-// list as it goes. Repeat calls within one virtual instant are no-ops,
-// so a burst of same-instant mutations costs one pass, not one each.
+// commitFlow credits the flow with the bits moved over its current
+// constant-rate span and re-anchors the span at now.
+//
+// Commit points are the heart of the lazy accounting contract: a flow
+// is committed exactly when its rate is about to change (its domain is
+// being re-solved), its path changes, or it ends — never at unrelated
+// instants. Because the span arithmetic is one multiply per span, the
+// committed state is a pure function of the flow's rate-change history,
+// independent of how many mutations elsewhere in the fabric advanced
+// time in between. That independence is what makes lazy, eager, serial
+// and parallel runs byte-identical; the seed kernel's per-instant sweep
+// instead chunked each span at every fleet-wide mutation, making its
+// float rounding (and occasionally a completion event's nanosecond)
+// depend on unrelated traffic.
+//
+// During a parallel solve, commitFlow is called from the worker that
+// owns the flow's domain; it touches only the flow and its path links,
+// which belong to that domain alone, so no synchronisation is needed.
+func (n *Network) commitFlow(f *Flow, now sim.Time) {
+	dt := now.Sub(f.lastCalc).Seconds()
+	if dt > 0 && f.rate > 0 {
+		moved := f.rate * dt
+		if f.Spec.SizeBits > 0 && moved > f.remaining {
+			moved = f.remaining
+		}
+		f.bitsDone += moved
+		if f.Spec.SizeBits > 0 {
+			f.remaining -= moved
+		}
+		for _, l := range f.path {
+			l.bitsCarried += moved
+		}
+	}
+	f.lastCalc = now
+}
+
+// advance is the mutation-time accounting hook. In the default lazy
+// mode it does nothing — idle flows cost nothing per instant, and each
+// flow is committed when its own rate changes. In eager mode it runs
+// the seed kernel's whole-fleet sweep (advanceAll).
+func (n *Network) advance() {
+	if n.eagerAdvance {
+		n.advanceAll()
+	}
+}
+
+// advanceAll is the eager sweep: once per time-advancing instant it
+// materialises every live flow, verifies the lazy accounting invariant
+// (a flow's materialised total never decreases — a decrease means a
+// rate change was applied without committing the preceding span), and
+// compacts ended flows eagerly. It exists as the SetEagerAdvance test
+// and ablation mode; the lazy path compacts on a counter instead.
 func (n *Network) advanceAll() {
 	now := n.engine.Now()
 	if now == n.lastAdvance {
@@ -725,26 +885,39 @@ func (n *Network) advanceAll() {
 			continue
 		}
 		live = append(live, f)
-		dt := now.Sub(f.lastCalc).Seconds()
-		if dt > 0 && f.rate > 0 {
-			moved := f.rate * dt
-			if f.Spec.SizeBits > 0 && moved > f.remaining {
-				moved = f.remaining
-			}
-			f.bitsDone += moved
-			if f.Spec.SizeBits > 0 {
-				f.remaining -= moved
-			}
-			for _, l := range f.path {
-				l.bitsCarried += moved
-			}
+		total := f.bitsDone + f.pendingBits(now)
+		if total < f.sweepBits-1e-6 {
+			panic(fmt.Sprintf("netsim: flow %d materialised total regressed %v -> %v (rate change without a span commit?)",
+				f.ID, f.sweepBits, total))
 		}
-		f.lastCalc = now
+		f.sweepBits = total
 	}
 	for i := len(live); i < len(n.flowOrder); i++ {
 		n.flowOrder[i] = nil
 	}
 	n.flowOrder = live
+	n.endedInOrder = 0
+}
+
+// compactFlowOrder drops ended flows from the admission-order list once
+// they outnumber the live ones. Triggered from endFlow, so the lazy
+// mode's bookkeeping stays O(1) amortised per flow without any
+// per-instant sweep.
+func (n *Network) compactFlowOrder() {
+	if n.endedInOrder < 64 || n.endedInOrder*2 < len(n.flowOrder) {
+		return
+	}
+	live := n.flowOrder[:0]
+	for _, f := range n.flowOrder {
+		if !f.ended {
+			live = append(live, f)
+		}
+	}
+	for i := len(live); i < len(n.flowOrder); i++ {
+		n.flowOrder[i] = nil
+	}
+	n.flowOrder = live
+	n.endedInOrder = 0
 }
 
 // reallocate forces a full re-solve of every congestion domain now. The

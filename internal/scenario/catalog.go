@@ -184,6 +184,32 @@ func catalog() []Spec {
 			},
 		},
 		{
+			Name:        "megafleet-1000000",
+			Description: "1,000,192 nodes in 256 racks of 3907: the run-phase kernel scale gate",
+			// The /20-per-rack addressing plan carries at most 256 racks
+			// of 4093 hosts (fleet.MaxRacks × fleet.MaxHostsPerRack);
+			// 256 × 3907 crosses the million-node line with headroom in
+			// every rack pool. 32 aggregation roots keep the ECMP fan
+			// wide enough that the structured route synthesis, not the
+			// fabric, decides cold-routing cost.
+			Cloud: core.Config{
+				Seed: 151, Racks: 256, HostsPerRack: 3907, AggSwitches: 32,
+			},
+			Duration: 20 * time.Second,
+			Fleet:    FleetSpec{VMs: 48, Image: "webserver"},
+			Traffic: TrafficSpec{
+				OnOff:   &workload.OnOffConfig{Sources: 48},
+				Gravity: &workload.GravityConfig{EpochSeconds: 10, FlowsPerEpoch: 32},
+			},
+			Faults: []Fault{
+				NodeChurn{Start: 6 * time.Second, Every: 6 * time.Second, Outage: 8 * time.Second},
+				Degrade{
+					At: 9 * time.Second, Outage: 6 * time.Second,
+					Shaping: netsim.Shaping{CapacityScale: 0.5, ExtraLatency: time.Millisecond, Loss: 0.01},
+				},
+			},
+		},
+		{
 			Name:        "megafleet-1000",
 			Description: "1040 nodes in 20 racks: mixed load, churn, and a fabric brownout",
 			Cloud: core.Config{

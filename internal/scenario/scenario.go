@@ -492,6 +492,9 @@ func (r *Run) report(wall time.Duration) *Report {
 	// shaping change and re-cable bumps it (invalidating the SDN route
 	// cache), so it doubles as a fault-plumbing check.
 	rep.Metrics["topo_epoch"] = float64(c.Net.TopoEpoch())
+	// Cold-routing telemetry: how many route-cache misses the
+	// structured synthesis fast path answered without a Dijkstra.
+	rep.Metrics["route_synth_hits"] = float64(c.Ctrl.RouteSynthHits())
 	if r.onoff != nil {
 		rep.Metrics["onoff_flows_done"] = float64(r.onoff.FlowsDone)
 		rep.Metrics["onoff_flows_failed"] = float64(r.onoff.FlowsFailed)

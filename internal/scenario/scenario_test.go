@@ -111,23 +111,23 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 }
 
 // shrink returns a catalog spec cut down so the full end-to-end suite
-// stays fast, while still crossing every fault's inject and recover edge.
+// stays fast, while still crossing every fault's inject and recover
+// edge. The megafleet fleet sizes come from shrinkForGate (shared with
+// the kernel and solver gates); this adds duration cuts on top.
 func shrink(s Spec) Spec {
 	if s.Duration > 2*time.Minute {
 		s.Duration = 2 * time.Minute
 	}
 	// The megafleets are exercised at full node count by the benchmarks;
 	// end-to-end here runs cut-down fleets to keep `go test` snappy.
-	if s.Name == "megafleet-1000" {
+	s = shrinkForGate(s)
+	switch s.Name {
+	case "megafleet-1000":
 		s.Cloud.Racks = 5
 		s.Duration = time.Minute
-	}
-	if s.Name == "megafleet-10000" {
-		s.Cloud.Racks = 4
+	case "megafleet-10000":
 		s.Duration = time.Minute
-	}
-	if s.Name == "megafleet-100000" {
-		s.Cloud.Racks = 3
+	case "megafleet-100000":
 		s.Duration = 30 * time.Second
 	}
 	return s

@@ -52,13 +52,8 @@ func TestIncrementalMatchesFullSolver(t *testing.T) {
 				t.Fatal(err)
 			}
 			// The megafleets are too big to build twice in a unit test;
-			// 1000-node slices of them exercise the same machinery.
-			switch name {
-			case "megafleet-10000":
-				spec.Cloud.Racks = 4
-			case "megafleet-100000":
-				spec.Cloud.Racks = 3
-			}
+			// ~1000-node slices of them exercise the same machinery.
+			spec = shrinkForGate(spec)
 			inc := executeWithMode(t, spec, false)
 			full := executeWithMode(t, spec, true)
 			if a, b := inc.TraceDigest(), full.TraceDigest(); a != b {

@@ -68,6 +68,12 @@ type Config struct {
 	// CongestionExponent sharpens the penalty in congestion-aware
 	// weights: weight = 1 + (8·util)^exp. Defaults to 2.
 	CongestionExponent float64
+	// DisableRouteSynthesis turns off the structured route synthesis
+	// fast path on cache misses, forcing every cold pair through the
+	// full Dijkstra (ablation and belt-and-braces escape hatch; the
+	// synthesised DAGs are provably identical where the fast path
+	// answers — see synthDAG).
+	DisableRouteSynthesis bool
 	// RouteCacheEntries caps the (src, dst) route cache; when full the
 	// least-recently-used entry is evicted, so a hot working set of
 	// pairs survives even on fleets whose active pair set exceeds the
@@ -119,6 +125,9 @@ type Controller struct {
 	cacheHits        uint64
 	cacheMisses      uint64
 	cacheEvictions   uint64
+	// synthHits counts cache misses answered by structured route
+	// synthesis instead of a full Dijkstra.
+	synthHits uint64
 }
 
 // pairKey identifies one cached routing question.
@@ -177,6 +186,10 @@ func (c *Controller) RouteCacheEvictions() uint64 { return c.cacheEvictions }
 // RouteCacheSize returns the number of cached (src, dst) entries,
 // including any invalidated by a later epoch bump.
 func (c *Controller) RouteCacheSize() int { return len(c.routeCache) }
+
+// RouteSynthHits returns how many cache misses were answered by the
+// structured route synthesis fast path instead of a full Dijkstra.
+func (c *Controller) RouteSynthHits() uint64 { return c.synthHits }
 
 // lruTouch moves e to the head of the LRU list (most recently used).
 func (c *Controller) lruTouch(e *routeEntry) {
@@ -348,9 +361,15 @@ func (c *Controller) PathFor(src, dst netsim.NodeID, policy Policy, key uint64) 
 		return materialisePath(e.parents, src, dst, tiebreak, e.visited)
 	}
 	c.cacheMisses++
-	parents, visited, err := c.shortestDAG(src, dst, weightHops)
-	if err != nil {
-		return nil, err
+	parents, visited, ok := c.synthDAG(src, dst)
+	if ok {
+		c.synthHits++
+	} else {
+		var err error
+		parents, visited, err = c.shortestDAG(src, dst, weightHops)
+		if err != nil {
+			return nil, err
+		}
 	}
 	shortest, err := materialisePath(parents, src, dst, 0, visited)
 	if err != nil {
@@ -367,6 +386,123 @@ func (c *Controller) PathFor(src, dst netsim.NodeID, policy Policy, key uint64) 
 		return shortest, nil
 	}
 	return materialisePath(parents, src, dst, tiebreak, visited)
+}
+
+// soleUplink returns the single up link leaving host h, or nil when h
+// is not a host with exactly one live uplink to a switch.
+func (c *Controller) soleUplink(h netsim.NodeID) *netsim.Link {
+	node := c.net.Node(h)
+	if node == nil || node.Kind != netsim.KindHost {
+		return nil
+	}
+	var up *netsim.Link
+	for _, l := range c.net.NeighborLinks(h) {
+		if !l.Up() {
+			continue
+		}
+		if up != nil {
+			return nil
+		}
+		up = l
+	}
+	if up == nil || up.DstKind() != netsim.KindSwitch {
+		return nil
+	}
+	return up
+}
+
+// upLink reports the directed link a→b when it exists and is up.
+func (c *Controller) upLink(a, b netsim.NodeID) bool {
+	l := c.net.Link(a, b)
+	return l != nil && l.Up()
+}
+
+// synthDAG is the structured route synthesis fast path: for host pairs
+// whose edge switches are at most one middle tier apart — the same-rack
+// and rack-to-rack cases of the multi-root tree and leaf-spine fabrics,
+// and the pod-local cases of a fat-tree — the hop-count shortest-path
+// DAG is written down directly from the local wiring instead of running
+// Dijkstra over the whole fabric. At 10⁵–10⁶ nodes a cold cross-rack
+// Dijkstra settles every host in the fleet before reaching dst; the
+// synthesised answer touches one adjacency list.
+//
+// The fast path must be invisible: where it answers (ok=true), the DAG
+// is provably the one shortestDAG would compute — same parent sets,
+// same sorted order, so the tiebreak-0 path and every ECMP choice are
+// identical and cached traces cannot depend on which path built the
+// entry. The proof sketch, relying on hosts never relaying traffic and
+// each host having one uplink:
+//
+//   - same edge (eA == eB): [src eA dst] is the unique 2-hop path; no
+//     shorter or equal-cost alternative exists.
+//   - adjacent edges (eA→eB up): dst settles at 3 hops with parents
+//     {dst:[eB], eB:[eA], eA:[src]}; eB cannot be reached in one hop
+//     (src's only neighbour is eA), and any other 3-hop route would
+//     need another eB predecessor at distance 2, i.e. another common
+//     neighbour path — those are 4 hops, not equal cost.
+//   - one middle tier (some switch m with eA→m and m→eB up): dst
+//     settles at 4 hops; the distance-2 predecessors of eB are exactly
+//     the common switch neighbours of eA and eB (hosts at distance 2
+//     never relay), which is the mids list. If no such m exists, eB is
+//     at distance ≥ 4 and the fabric shape is beyond the fast path —
+//     fall back (ok=false), e.g. fat-tree cross-pod pairs, or a
+//     multi-root fabric whose agg tier is down and detours via the
+//     gateway.
+//
+// Link state is read live (l.Up), so a synthesised entry is exactly as
+// valid as a Dijkstra one for the topology epoch it is cached under.
+func (c *Controller) synthDAG(src, dst netsim.NodeID) (map[netsim.NodeID][]netsim.NodeID, int, bool) {
+	if c.cfg.DisableRouteSynthesis || src == dst {
+		return nil, 0, false
+	}
+	upA := c.soleUplink(src)
+	upB := c.soleUplink(dst)
+	if upA == nil || upB == nil {
+		return nil, 0, false
+	}
+	eA, eB := upA.To, upB.To
+	// The return legs of the duplex cables (SetLinkUp fails both
+	// directions together, but verify — the DAG walks src→dst).
+	if !c.upLink(eB, dst) {
+		return nil, 0, false
+	}
+	if eA == eB {
+		parents := map[netsim.NodeID][]netsim.NodeID{
+			dst: {eA},
+			eA:  {src},
+		}
+		return parents, len(parents) + 1, true
+	}
+	if c.upLink(eA, eB) {
+		parents := map[netsim.NodeID][]netsim.NodeID{
+			dst: {eB},
+			eB:  {eA},
+			eA:  {src},
+		}
+		return parents, len(parents) + 1, true
+	}
+	var mids []netsim.NodeID
+	for _, l := range c.net.NeighborLinks(eA) {
+		if !l.Up() || l.DstKind() != netsim.KindSwitch {
+			continue
+		}
+		if c.upLink(l.To, eB) {
+			mids = append(mids, l.To)
+		}
+	}
+	if len(mids) == 0 {
+		return nil, 0, false
+	}
+	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
+	parents := map[netsim.NodeID][]netsim.NodeID{
+		dst: {eB},
+		eB:  mids,
+		eA:  {src},
+	}
+	for _, m := range mids {
+		parents[m] = []netsim.NodeID{eA}
+	}
+	return parents, len(parents) + 1, true
 }
 
 // pqItem is a priority-queue element for Dijkstra.

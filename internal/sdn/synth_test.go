@@ -1,0 +1,195 @@
+package sdn
+
+// Equivalence gate for the structured route synthesis fast path: for
+// every host pair of every structured fabric — multi-root tree,
+// leaf-spine, fat-tree — and under shortest-path and ECMP with several
+// flow keys, a controller with synthesis enabled must return exactly
+// the path a Dijkstra-only controller returns, in healthy fabrics and
+// across link failures and shaping. The fast path is a pure
+// optimisation: any divergence here would silently change admission
+// paths (and with them every scenario trace) at scale.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// synthRig is one wired fabric with a synthesising and a Dijkstra-only
+// controller side by side.
+type synthRig struct {
+	net   *netsim.Network
+	topo  *topology.Topology
+	fast  *Controller
+	slow  *Controller
+	hosts []netsim.NodeID
+}
+
+func buildSynthRig(t *testing.T, build func(*netsim.Network) (*topology.Topology, error)) *synthRig {
+	t.Helper()
+	engine := sim.NewEngine(1)
+	net := netsim.New(engine)
+	topo, err := build(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowCfg := DefaultConfig()
+	slowCfg.DisableRouteSynthesis = true
+	return &synthRig{
+		net:   net,
+		topo:  topo,
+		fast:  NewController(engine, net, DefaultConfig()),
+		slow:  NewController(engine, net, slowCfg),
+		hosts: topo.Hosts,
+	}
+}
+
+// comparePairs asserts fast and slow agree on every host pair for
+// shortest-path and a handful of ECMP keys.
+func (r *synthRig) comparePairs(t *testing.T, label string) {
+	t.Helper()
+	keys := []uint64{0, 1, 7, 0xdeadbeef, 1 << 40}
+	for _, src := range r.hosts {
+		for _, dst := range r.hosts {
+			if src == dst {
+				continue
+			}
+			for _, policy := range []Policy{PolicyShortestPath, PolicyECMP} {
+				for _, key := range keys {
+					fastPath, fastErr := r.fast.PathFor(src, dst, policy, key)
+					slowPath, slowErr := r.slow.PathFor(src, dst, policy, key)
+					if (fastErr == nil) != (slowErr == nil) {
+						t.Fatalf("%s: %s->%s %v key %d: errors differ: synth %v, dijkstra %v",
+							label, src, dst, policy, key, fastErr, slowErr)
+					}
+					if fastErr != nil {
+						if !errors.Is(fastErr, ErrNoPath) || !errors.Is(slowErr, ErrNoPath) {
+							t.Fatalf("%s: %s->%s: unexpected errors %v / %v", label, src, dst, fastErr, slowErr)
+						}
+						continue
+					}
+					if fmt.Sprint(fastPath) != fmt.Sprint(slowPath) {
+						t.Fatalf("%s: %s->%s %v key %d:\n  synth:    %v\n  dijkstra: %v",
+							label, src, dst, policy, key, fastPath, slowPath)
+					}
+				}
+			}
+		}
+	}
+}
+
+func synthFabrics() map[string]func(*netsim.Network) (*topology.Topology, error) {
+	return map[string]func(*netsim.Network) (*topology.Topology, error){
+		"multi-root": func(n *netsim.Network) (*topology.Topology, error) {
+			cfg := topology.DefaultMultiRoot()
+			cfg.Racks, cfg.HostsPerRack, cfg.AggSwitches = 4, 5, 3
+			return topology.BuildMultiRoot(n, cfg)
+		},
+		"leaf-spine": func(n *netsim.Network) (*topology.Topology, error) {
+			return topology.BuildLeafSpine(n, topology.LeafSpineConfig{
+				Leaves: 4, Spines: 3, HostsPerLeaf: 5,
+			})
+		},
+		"fat-tree": func(n *netsim.Network) (*topology.Topology, error) {
+			return topology.BuildFatTree(n, topology.FatTreeConfig{K: 4})
+		},
+	}
+}
+
+func TestRouteSynthesisMatchesDijkstra(t *testing.T) {
+	for name, build := range synthFabrics() {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			rig := buildSynthRig(t, build)
+			rig.comparePairs(t, "healthy")
+			if rig.fast.RouteSynthHits() == 0 {
+				t.Fatal("synthesis fast path never engaged on a healthy structured fabric")
+			}
+
+			// Fail one edge uplink: synthesised mids shrink (multi-root,
+			// leaf-spine) or the fast path falls back; either way the
+			// answers must keep matching.
+			edge := rig.topo.Edge[0]
+			var mid netsim.NodeID
+			for _, l := range rig.net.NeighborLinks(edge) {
+				if l.Up() && l.DstKind() == netsim.KindSwitch {
+					mid = l.To
+					break
+				}
+			}
+			if err := rig.net.SetLinkUp(edge, mid, false); err != nil {
+				t.Fatal(err)
+			}
+			rig.comparePairs(t, "uplink down")
+
+			// Restore the link, then shape it: shaping changes weights
+			// for the congestion policy only; hop-count answers (and the
+			// synthesised DAGs) must not move.
+			if err := rig.net.SetLinkUp(edge, mid, true); err != nil {
+				t.Fatal(err)
+			}
+			if err := rig.net.ShapeLink(edge, mid, netsim.Shaping{CapacityScale: 0.5, ExtraLatency: time.Millisecond, Loss: 0.05}); err != nil {
+				t.Fatal(err)
+			}
+			rig.comparePairs(t, "shaped")
+
+			// Isolate rack 0 entirely: every cross pair involving it must
+			// fail identically on both controllers.
+			for _, l := range rig.net.NeighborLinks(edge) {
+				if l.DstKind() == netsim.KindSwitch && l.Up() {
+					if err := rig.net.SetLinkUp(edge, l.To, false); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			rig.comparePairs(t, "rack isolated")
+		})
+	}
+}
+
+// TestSynthesisFallsBackCrossPod pins the fast path's scope on a
+// fat-tree: pod-local pairs are synthesised, cross-pod pairs (two
+// middle tiers apart) fall back to Dijkstra.
+func TestSynthesisFallsBackCrossPod(t *testing.T) {
+	rig := buildSynthRig(t, synthFabrics()["fat-tree"])
+	podOf := rig.topo.HostRack
+
+	var local, cross [2]netsim.NodeID
+	foundLocal, foundCross := false, false
+	for _, a := range rig.hosts {
+		for _, b := range rig.hosts {
+			if a == b {
+				continue
+			}
+			if podOf[a] == podOf[b] && !foundLocal {
+				local = [2]netsim.NodeID{a, b}
+				foundLocal = true
+			}
+			if podOf[a] != podOf[b] && !foundCross {
+				cross = [2]netsim.NodeID{a, b}
+				foundCross = true
+			}
+		}
+	}
+	if !foundLocal || !foundCross {
+		t.Fatal("fat-tree rig lacks pod-local or cross-pod pairs")
+	}
+
+	if _, err := rig.fast.PathFor(local[0], local[1], PolicyShortestPath, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rig.fast.RouteSynthHits() != 1 {
+		t.Fatalf("pod-local pair: synth hits = %d, want 1", rig.fast.RouteSynthHits())
+	}
+	if _, err := rig.fast.PathFor(cross[0], cross[1], PolicyShortestPath, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rig.fast.RouteSynthHits() != 1 {
+		t.Fatalf("cross-pod pair: synth hits = %d, want 1 (must fall back to Dijkstra)", rig.fast.RouteSynthHits())
+	}
+}
