@@ -36,18 +36,21 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
 
 # The determinism-vs-parallelism proof: every digest pin and every
-# serial/parallel/lazy/eager equivalence gate, executed with a single
-# scheduler thread. Together with the default-GOMAXPROCS test job this
-# shows the traces are independent of how much hardware ran them.
+# serial/parallel/lazy/eager/calendar-vs-heap equivalence gate, plus the
+# checkpoint-resume byte-identity and study-digest gates, executed with
+# a single scheduler thread. Together with the default-GOMAXPROCS test
+# job this shows the traces are independent of how much hardware ran
+# them.
 determinism-single-core:
-	GOMAXPROCS=1 $(GO) test -run 'TraceDigest|MatchesSerial|MatchesEager|MatchesFullSolver|BitwiseEquivalence' ./internal/scenario ./internal/netsim
+	GOMAXPROCS=1 $(GO) test -run 'TraceDigest|MatchesSerial|MatchesEager|MatchesFullSolver|BitwiseEquivalence|MatchesClassicHeap|CheckpointResume|StudyDigests' ./internal/scenario ./internal/netsim ./internal/sim
 
 # The benchmark trajectory: one run of every canned scenario, written as
-# BENCH_PR4.json (per-scenario sim-s/wall-s, events/s, run-phase wall
-# series, the fleet-construction wall-time series, trace digests, plus
-# the PR 1, PR 2 and PR 3 baselines). CI uploads it as an artifact.
+# BENCH_PR5.json (per-scenario sim-s/wall-s, events/s, run-phase wall
+# series, the fleet-construction wall-time series, trace digests, the
+# classic-vs-calendar scheduler events/s series at 10k/100k/1M nodes,
+# plus the PR 1–PR 4 baselines). CI uploads it as an artifact.
 bench-json:
-	$(GO) run ./cmd/piscale -bench-json BENCH_PR4.json
+	$(GO) run ./cmd/piscale -bench-json BENCH_PR5.json
 
 lint:
 	$(GO) vet ./...

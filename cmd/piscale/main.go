@@ -9,9 +9,12 @@
 //	piscale -list
 //	piscale -scenario migration-storm
 //	piscale -scenario megafleet-1000 -trace 20
-//	piscale -scenario megafleet-1000000 -serial-solve -eager-advance
+//	piscale -scenario megafleet-1000000 -serial-solve -eager-advance -classic-heap
 //	piscale -scenario diurnal-day -racks 10 -hosts-per-rack 30 -duration 20m
-//	piscale -bench-json BENCH_PR4.json
+//	piscale -scenario rack-blackout -checkpoint-at 45s
+//	piscale -resume-from rack-blackout.ckpt.json
+//	piscale -study bisect-blackout
+//	piscale -bench-json BENCH_PR5.json
 package main
 
 import (
@@ -26,8 +29,9 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list canned scenarios and exit")
+	list := flag.Bool("list", false, "list canned scenarios and studies, then exit")
 	name := flag.String("scenario", "", "canned scenario to run (see -list)")
+	study := flag.String("study", "", "canned checkpoint study to run (see -list)")
 	seed := flag.Int64("seed", -1, "override the scenario's RNG seed")
 	duration := flag.Duration("duration", 0, "override the simulated duration")
 	racks := flag.Int("racks", 0, "override the rack count")
@@ -37,16 +41,24 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress live event streaming")
 	benchJSON := flag.String("bench-json", "", "run every canned scenario once and write the benchmark trajectory to FILE")
 	// Run-phase kernel knobs, mirroring the fleet builder's serial-build
-	// escape hatch: both modes are byte-identical to the defaults (the
+	// escape hatch: all modes are byte-identical to the defaults (the
 	// determinism gates prove it); these exist for ablation and
 	// benchmarking.
 	solveWorkers := flag.Int("solve-workers", 0, "parallel domain-solve pool size (0 = auto with work threshold; >0 forces fan-out)")
 	serialSolve := flag.Bool("serial-solve", false, "solve dirty congestion domains serially on the engine goroutine")
 	eagerAdvance := flag.Bool("eager-advance", false, "restore the whole-fleet flow accounting sweep at every instant (seed kernel cost model)")
+	classicHeap := flag.Bool("classic-heap", false, "restore the seed binary event heap in place of the calendar scheduler")
+	// Checkpointing: pause the run at an instant, record the cross-layer
+	// kernel fingerprint to a file, continue; a later -resume-from run
+	// replays to that instant and proves byte-identity before carrying on.
+	checkpointAt := flag.Duration("checkpoint-at", 0, "pause the scenario at this offset and write a checkpoint file before continuing")
+	checkpointFile := flag.String("checkpoint-file", "", "checkpoint file path (default <scenario>.ckpt.json)")
+	resumeFrom := flag.String("resume-from", "", "resume a scenario from a checkpoint file, verifying the kernel fingerprint at the capture instant")
 	flag.Parse()
 
 	if *list {
 		fmt.Print("canned scenarios:\n" + scenario.Describe())
+		fmt.Print("checkpoint studies:\n" + scenario.DescribeStudies())
 		return
 	}
 	if *benchJSON != "" {
@@ -56,15 +68,33 @@ func main() {
 		}
 		return
 	}
-	if *name == "" {
-		fmt.Fprintln(os.Stderr, "piscale: -scenario is required (or -list / -bench-json)")
-		os.Exit(2)
+	if *study != "" {
+		rep, err := scenario.RunStudy(*study)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "piscale:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Table())
+		return
 	}
 	opts := runOpts{
 		seed: *seed, duration: *duration,
 		racks: *racks, hostsPerRack: *hostsPerRack,
 		sample: *sample, traceTail: *traceTail, quiet: *quiet,
-		solveWorkers: *solveWorkers, serialSolve: *serialSolve, eagerAdvance: *eagerAdvance,
+		solveWorkers: *solveWorkers, serialSolve: *serialSolve,
+		eagerAdvance: *eagerAdvance, classicHeap: *classicHeap,
+		checkpointAt: *checkpointAt, checkpointFile: *checkpointFile,
+	}
+	if *resumeFrom != "" {
+		if err := resume(*resumeFrom, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "piscale:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "piscale: -scenario is required (or -list / -study / -resume-from / -bench-json)")
+		os.Exit(2)
 	}
 	if err := run(*name, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "piscale:", err)
@@ -83,6 +113,9 @@ type runOpts struct {
 	solveWorkers        int
 	serialSolve         bool
 	eagerAdvance        bool
+	classicHeap         bool
+	checkpointAt        time.Duration
+	checkpointFile      string
 }
 
 // benchEntry is one scenario's row of the benchmark trajectory.
@@ -147,9 +180,25 @@ var pr3Baseline = map[string]benchEntry{
 	"rack-blackout":    {Name: "rack-blackout", Nodes: 56, NsPerOp: 6347473, BuildSeconds: 0.0012, EventsPerS: 447107, SimPerWall: 47262.9},
 }
 
-// runBenchJSON executes every canned scenario once and writes the
-// per-scenario throughput trajectory (plus the PR 1–PR 3 baselines)
-// to path.
+// schedulerSeriesScenarios are the megafleets the classic-vs-calendar
+// scheduler comparison reruns: the scales where the event scheduler is
+// a measurable share of the run phase.
+var schedulerSeriesScenarios = []string{"megafleet-10000", "megafleet-100000", "megafleet-1000000"}
+
+// schedEntry is one arm of the scheduler comparison series.
+type schedEntry struct {
+	benchEntry
+	Scheduler string `json:"scheduler"`
+}
+
+// runBenchJSON executes every canned scenario once (the calendar
+// scheduler is the default), reruns the megafleets on the classic heap
+// for the scheduler events/s series, and writes the whole trajectory —
+// plus the PR 1–PR 3 baselines; the classic arm doubles as the PR 4
+// kernel baseline, since the scheduler is the only run-phase change —
+// to path. The emitted series also records each arm's trace digest, so
+// the artifact itself witnesses that both schedulers produced identical
+// runs.
 func runBenchJSON(path string) error {
 	type trajectory struct {
 		GeneratedBy string                `json:"generated_by"`
@@ -158,7 +207,13 @@ func runBenchJSON(path string) error {
 		BaselinePR1 map[string]benchEntry `json:"baseline_pr1"`
 		BaselinePR2 map[string]benchEntry `json:"baseline_pr2"`
 		BaselinePR3 map[string]benchEntry `json:"baseline_pr3"`
+		// BaselinePR4 is the classic-heap (PR 4 kernel) rerun of the
+		// megafleets, recorded in the same run on the same machine.
+		BaselinePR4 map[string]benchEntry `json:"baseline_pr4"`
 		Scenarios   []benchEntry          `json:"scenarios"`
+		// SchedulerSeries is the classic-vs-calendar events/s comparison
+		// at 10k/100k/1M nodes.
+		SchedulerSeries []schedEntry `json:"scheduler_series"`
 	}
 	out := trajectory{
 		GeneratedBy: "piscale -bench-json",
@@ -167,18 +222,15 @@ func runBenchJSON(path string) error {
 		BaselinePR1: pr1Baseline,
 		BaselinePR2: pr2Baseline,
 		BaselinePR3: pr3Baseline,
+		BaselinePR4: map[string]benchEntry{},
 	}
-	for _, n := range scenario.Names() {
-		spec, err := scenario.Catalog(n)
-		if err != nil {
-			return err
-		}
+	execute := func(spec scenario.Spec) (benchEntry, error) {
 		rep, err := scenario.Execute(spec)
 		if err != nil {
-			return fmt.Errorf("scenario %s: %w", n, err)
+			return benchEntry{}, fmt.Errorf("scenario %s: %w", spec.Name, err)
 		}
 		wall := rep.WallTime.Seconds()
-		out.Scenarios = append(out.Scenarios, benchEntry{
+		return benchEntry{
 			Name:         rep.Name,
 			Nodes:        rep.Nodes,
 			Racks:        rep.Racks,
@@ -190,10 +242,44 @@ func runBenchJSON(path string) error {
 			EventsPerS:   float64(rep.EventsFired) / wall,
 			SimPerWall:   rep.SimTime.Seconds() / wall,
 			TraceDigest:  rep.TraceDigest(),
-		})
+		}, nil
+	}
+	calendar := map[string]benchEntry{}
+	for _, n := range scenario.Names() {
+		spec, err := scenario.Catalog(n)
+		if err != nil {
+			return err
+		}
+		e, err := execute(spec)
+		if err != nil {
+			return err
+		}
+		out.Scenarios = append(out.Scenarios, e)
+		calendar[n] = e
 		fmt.Printf("%-18s %7d nodes  built %6.2fs  %8.0f events/s  %9.1f sim-s/wall-s\n",
-			rep.Name, rep.Nodes, rep.BuildWallTime.Seconds(),
-			float64(rep.EventsFired)/wall, rep.SimTime.Seconds()/wall)
+			e.Name, e.Nodes, e.BuildSeconds, e.EventsPerS, e.SimPerWall)
+	}
+	for _, n := range schedulerSeriesScenarios {
+		spec, err := scenario.Catalog(n)
+		if err != nil {
+			return err
+		}
+		spec.Cloud.ClassicHeap = true
+		classic, err := execute(spec)
+		if err != nil {
+			return err
+		}
+		cal := calendar[n]
+		if classic.TraceDigest != cal.TraceDigest {
+			return fmt.Errorf("scenario %s: classic-heap trace digest %s differs from calendar %s",
+				n, classic.TraceDigest, cal.TraceDigest)
+		}
+		out.SchedulerSeries = append(out.SchedulerSeries,
+			schedEntry{benchEntry: cal, Scheduler: "calendar"},
+			schedEntry{benchEntry: classic, Scheduler: "classic-heap"})
+		out.BaselinePR4[n] = classic
+		fmt.Printf("%-18s classic-heap rerun: %8.0f events/s (calendar %8.0f), digests identical\n",
+			n, classic.EventsPerS, cal.EventsPerS)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -203,12 +289,17 @@ func runBenchJSON(path string) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d scenarios)\n", path, len(out.Scenarios))
+	fmt.Printf("wrote %s (%d scenarios, %d scheduler-series arms)\n", path, len(out.Scenarios), len(out.SchedulerSeries))
 	return nil
 }
 
-// kernelModeLine renders the run header's solver/advance summary.
+// kernelModeLine renders the run header's scheduler/solver/advance
+// summary.
 func kernelModeLine(o runOpts) string {
+	scheduler := "calendar"
+	if o.classicHeap {
+		scheduler = "classic-heap"
+	}
 	solver := "parallel(auto)"
 	switch {
 	case o.serialSolve:
@@ -220,13 +311,17 @@ func kernelModeLine(o runOpts) string {
 	if o.eagerAdvance {
 		advance = "eager"
 	}
-	return fmt.Sprintf("run-phase kernel: solver=%s advance=%s", solver, advance)
+	return fmt.Sprintf("run-phase kernel: scheduler=%s solver=%s advance=%s", scheduler, solver, advance)
 }
 
-func run(name string, o runOpts) error {
+// specFor resolves a catalog scenario with the command-line overrides
+// applied — shared by run, checkpointing and resume (a checkpoint file
+// records exactly these overrides, so the resuming process rebuilds the
+// identical spec).
+func specFor(name string, o runOpts) (scenario.Spec, error) {
 	spec, err := scenario.Catalog(name)
 	if err != nil {
-		return err
+		return scenario.Spec{}, err
 	}
 	if o.seed >= 0 {
 		spec.Cloud.Seed = o.seed
@@ -246,7 +341,42 @@ func run(name string, o runOpts) error {
 	spec.Cloud.SolveWorkers = o.solveWorkers
 	spec.Cloud.SerialSolve = o.serialSolve
 	spec.Cloud.EagerAdvance = o.eagerAdvance
+	spec.Cloud.ClassicHeap = o.classicHeap
+	return spec, nil
+}
 
+// checkpointPayload is the on-disk checkpoint: the replay recipe (the
+// scenario plus the overrides that shaped it) and the captured
+// cross-layer kernel fingerprint a resume must reproduce bit-for-bit.
+// Construction snapshots are process-local; what crosses processes is
+// the proof obligation.
+type checkpointPayload struct {
+	Scenario     string        `json:"scenario"`
+	Seed         int64         `json:"seed"`
+	Duration     time.Duration `json:"duration_ns,omitempty"`
+	Racks        int           `json:"racks,omitempty"`
+	HostsPerRack int           `json:"hosts_per_rack,omitempty"`
+	Sample       time.Duration `json:"sample_ns,omitempty"`
+	SolveWorkers int           `json:"solve_workers,omitempty"`
+	SerialSolve  bool          `json:"serial_solve,omitempty"`
+	EagerAdvance bool          `json:"eager_advance,omitempty"`
+	ClassicHeap  bool          `json:"classic_heap,omitempty"`
+
+	At           time.Duration `json:"at_ns"`
+	KernelNow    int64         `json:"kernel_now_ns"`
+	KernelSeq    uint64        `json:"kernel_seq"`
+	KernelFired  uint64        `json:"kernel_fired"`
+	KernelPend   int           `json:"kernel_pending"`
+	KernelDigest string        `json:"kernel_digest"`
+	TraceLen     int           `json:"trace_len"`
+	TraceDigest  string        `json:"trace_digest"`
+}
+
+func run(name string, o runOpts) error {
+	spec, err := specFor(name, o)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("scenario %s: %d nodes, %v simulated\n%s\n",
 		spec.Name, scenario.NodeCount(spec), spec.Duration, kernelModeLine(o))
 
@@ -255,6 +385,118 @@ func run(name string, o runOpts) error {
 		return err
 	}
 	defer r.Cloud.Close()
+	if !o.quiet {
+		r.OnEvent = func(ev scenario.TraceEvent) { fmt.Println(ev) }
+	}
+	if o.checkpointAt > 0 {
+		if err := r.RunTo(o.checkpointAt); err != nil {
+			return err
+		}
+		chk := r.Checkpoint()
+		st := chk.Core.State()
+		payload := checkpointPayload{
+			Scenario: name,
+			Seed:     o.seed, Duration: o.duration,
+			Racks: o.racks, HostsPerRack: o.hostsPerRack, Sample: o.sample,
+			SolveWorkers: o.solveWorkers, SerialSolve: o.serialSolve,
+			EagerAdvance: o.eagerAdvance, ClassicHeap: o.classicHeap,
+			At:        chk.At,
+			KernelNow: int64(st.Now), KernelSeq: st.Seq, KernelFired: st.Fired,
+			KernelPend: st.Pending, KernelDigest: st.Digest,
+			TraceLen: chk.TraceLen, TraceDigest: chk.TraceDigest,
+		}
+		path := o.checkpointFile
+		if path == "" {
+			path = name + ".ckpt.json"
+		}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint at %v written to %s (kernel digest %s)\n", chk.At, path, st.Digest)
+	}
+	rep, err := r.Execute()
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Table())
+	if o.traceTail > 0 {
+		tail := rep.Trace
+		if len(tail) > o.traceTail {
+			tail = tail[len(tail)-o.traceTail:]
+		}
+		fmt.Printf("last %d trace events:\n", len(tail))
+		for _, ev := range tail {
+			fmt.Println(" ", ev)
+		}
+	}
+	return nil
+}
+
+// resume rebuilds a checkpointed scenario, replays it to the capture
+// instant, proves the restored kernel matches the recorded fingerprint
+// byte-for-byte, and finishes the run.
+func resume(path string, o runOpts) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var p checkpointPayload
+	if err := json.Unmarshal(data, &p); err != nil {
+		return fmt.Errorf("reading checkpoint %s: %w", path, err)
+	}
+	ro := runOpts{
+		seed: p.Seed, duration: p.Duration,
+		racks: p.Racks, hostsPerRack: p.HostsPerRack, sample: p.Sample,
+		solveWorkers: p.SolveWorkers, serialSolve: p.SerialSolve,
+		eagerAdvance: p.EagerAdvance, classicHeap: p.ClassicHeap,
+	}
+	// Kernel knobs passed on the resume command line win over the
+	// recorded ones: all four modes are byte-identical by construction,
+	// so ablating the resume (e.g. -classic-heap) is safe and the
+	// verification below still must pass.
+	if o.classicHeap {
+		ro.classicHeap = true
+	}
+	if o.serialSolve {
+		ro.serialSolve = true
+	}
+	if o.eagerAdvance {
+		ro.eagerAdvance = true
+	}
+	if o.solveWorkers > 0 {
+		ro.solveWorkers = o.solveWorkers
+	}
+	spec, err := specFor(p.Scenario, ro)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resuming %s from %s: replaying to %v\n%s\n",
+		spec.Name, path, p.At, kernelModeLine(ro))
+	r, err := scenario.New(spec)
+	if err != nil {
+		return err
+	}
+	defer r.Cloud.Close()
+	if err := r.RunTo(p.At); err != nil {
+		return err
+	}
+	st := r.Cloud.KernelState()
+	trace := r.Trace()
+	switch {
+	case st.Digest != p.KernelDigest || int64(st.Now) != p.KernelNow ||
+		st.Seq != p.KernelSeq || st.Fired != p.KernelFired || st.Pending != p.KernelPend:
+		return fmt.Errorf("kernel state at %v does not match the checkpoint: got now=%v seq=%d fired=%d pending=%d digest=%s, want now=%v seq=%d fired=%d pending=%d digest=%s",
+			p.At, st.Now, st.Seq, st.Fired, st.Pending, st.Digest,
+			time.Duration(p.KernelNow), p.KernelSeq, p.KernelFired, p.KernelPend, p.KernelDigest)
+	case len(trace) != p.TraceLen || scenario.DigestTrace(trace) != p.TraceDigest:
+		return fmt.Errorf("trace prefix at %v does not match the checkpoint (%d events, digest %s; want %d, %s)",
+			p.At, len(trace), scenario.DigestTrace(trace), p.TraceLen, p.TraceDigest)
+	}
+	fmt.Printf("resume verified: kernel state at %v byte-identical to the checkpoint (digest %s)\n", p.At, st.Digest)
 	if !o.quiet {
 		r.OnEvent = func(ev scenario.TraceEvent) { fmt.Println(ev) }
 	}

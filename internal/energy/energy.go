@@ -7,6 +7,8 @@ package energy
 
 import (
 	"fmt"
+	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -22,6 +24,14 @@ const DefaultCoolingShare = 0.33
 // Meter integrates the energy drawn by one device. Power is treated as
 // piecewise-constant between SetUtilisation calls on the virtual clock.
 // Meter is safe for concurrent use so HTTP handlers can read it.
+//
+// The integral is span-anchored, like the network layer's flow
+// accounting: the committed total moves only at the device's own power
+// state changes (on/off, utilisation), and reads materialise the
+// pending constant-power span on demand without committing it. The
+// committed floats are therefore a pure function of the power-state
+// history — queries never shift the chunking — which is what lets the
+// kernel checkpoint fingerprint include energy state exactly.
 type Meter struct {
 	mu      sync.Mutex
 	profile hw.PowerProfile
@@ -80,16 +90,25 @@ func (m *Meter) SetUtilisation(at sim.Time, util float64) {
 	m.invalidate()
 }
 
-// accumulate folds the signal up to at into the running total.
-// Caller holds m.mu.
+// accumulate commits the span travelled at the current constant power
+// and re-anchors it at at — called only from power-state changes, never
+// from reads, so the committed total is independent of who observed the
+// meter when. Caller holds m.mu.
 func (m *Meter) accumulate(at sim.Time) {
-	dt := at.Sub(m.lastAt).Seconds()
-	if dt > 0 && m.on {
-		m.joules += m.profile.At(m.util) * dt
-	}
+	m.joules += m.pendingJoules(at)
 	if at > m.lastAt {
 		m.lastAt = at
 	}
+}
+
+// pendingJoules materialises the energy of the span since the last
+// commit — a pure read. Caller holds m.mu.
+func (m *Meter) pendingJoules(at sim.Time) float64 {
+	dt := at.Sub(m.lastAt).Seconds()
+	if dt <= 0 || !m.on {
+		return 0
+	}
+	return m.profile.At(m.util) * dt
 }
 
 // CurrentWatts returns the instantaneous draw.
@@ -109,12 +128,13 @@ func (m *Meter) On() bool {
 	return m.on
 }
 
-// EnergyJoules returns the total energy consumed up to virtual time at.
+// EnergyJoules returns the total energy consumed up to virtual time at:
+// the committed total plus the materialised pending span. Reading is
+// pure — it never re-anchors the integral.
 func (m *Meter) EnergyJoules(at sim.Time) float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.accumulate(at)
-	return m.joules
+	return m.joules + m.pendingJoules(at)
 }
 
 // EnergyWh returns the total energy in watt-hours up to at.
@@ -306,6 +326,32 @@ func (c *CloudMeter) TotalEnergyJoules(at sim.Time) float64 {
 		total += c.groups[id].energyAt(at)
 	}
 	return total
+}
+
+// WriteState writes the power-accounting state up to virtual time at in
+// a deterministic text form — one layer of the cross-layer kernel
+// fingerprint behind core's Checkpoint/Resume. The capture is pure and
+// exact: it sums each group's members directly (meters materialise
+// their pending span without committing it), bypassing the extrapolating
+// group caches, whose anchors legitimately depend on when totals were
+// sampled. Two clouds that executed the same power-state history write
+// the same bytes — per-group energy and draw as raw IEEE-754 bits, in
+// stable ascending group order — regardless of who read what in
+// between.
+func (c *CloudMeter) WriteState(w io.Writer, at sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(w, "energy meters=%d groups=%d at=%d\n", len(c.meters), len(c.groups), int64(at))
+	for _, id := range c.sortedGroups() {
+		g := c.groups[id]
+		joules, watts := 0.0, 0.0
+		for _, mm := range g.sorted() {
+			joules += mm.m.EnergyJoules(at)
+			watts += mm.m.CurrentWatts()
+		}
+		fmt.Fprintf(w, "group %d joules=%016x watts=%016x members=%d\n",
+			id, math.Float64bits(joules), math.Float64bits(watts), len(g.members))
+	}
 }
 
 // Cooling models data-centre power/cooling overhead as a share of total

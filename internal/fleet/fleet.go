@@ -116,6 +116,12 @@ type Config struct {
 	// accounting sweep at every time-advancing mutation (test and
 	// ablation mode; traces are byte-identical either way).
 	EagerAdvance bool
+	// ClassicHeap restores the seed engine's single binary event heap
+	// in place of the default two-level calendar scheduler — the
+	// scheduler mirror of SerialSolve/EagerAdvance: byte-identical
+	// traces by construction (TestCalendarMatchesClassicHeap), kept for
+	// ablation benchmarks and as an escape hatch.
+	ClassicHeap bool
 }
 
 // FillDefaults resolves the zero-value fields to the published PiCloud.
@@ -283,6 +289,7 @@ func assemble(cfg Config, cloudMu *sync.Mutex, plan *Plan) (*Result, error) {
 		return nil, err
 	}
 	engine := sim.NewEngine(cfg.Seed)
+	engine.SetClassicHeap(cfg.ClassicHeap)
 	net := netsim.New(engine)
 	net.SetSerialSolve(cfg.SerialSolve)
 	net.SetSolveWorkers(cfg.SolveWorkers)

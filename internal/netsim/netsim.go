@@ -72,6 +72,10 @@ type Link struct {
 	// toKind caches the destination node's kind so routing loops skip a
 	// node-map lookup per edge.
 	toKind NodeKind
+	// grp is the telemetry group this link reports under (nil until
+	// tagged): the per-rack traffic sub-total, mirroring the energy
+	// layer's per-rack sub-meters.
+	grp *linkGroup
 	// dom resolves to the congestion domain of this link's flows; only
 	// meaningful while the link carries at least one live flow.
 	dom *domain
@@ -345,6 +349,14 @@ type Network struct {
 	// holds one set per solve worker.
 	scratch       solveScratch
 	workerScratch []*solveScratch
+	// groups are the hierarchical traffic-telemetry sub-totals (see
+	// groups.go); groupOrder caches the stable ascending-id iteration
+	// order the grand total sums in. removedTags remembers the group of
+	// removed tagged links so a re-wired cable rejoins it.
+	groups      map[int]*linkGroup
+	groupOrder  []int
+	groupStale  bool
+	removedTags map[linkKey]int
 }
 
 // solveScratch is one solver goroutine's private buffers, reused across
@@ -490,6 +502,10 @@ func (n *Network) AddDuplexLink(a, b NodeID, capacityBps float64, latency time.D
 		n.links[k] = l
 		n.linkList = append(n.linkList, l)
 		n.adjacency[k.from] = append(n.adjacency[k.from], l)
+		if id, ok := n.removedTags[k]; ok {
+			delete(n.removedTags, k)
+			n.tagLink(l, id)
+		}
 	}
 	n.topoEpoch++
 	return nil
@@ -568,6 +584,16 @@ func (n *Network) RemoveDuplexLink(a, b NodeID) error {
 	for _, k := range []linkKey{ka, kb} {
 		l := n.links[k]
 		n.endLinkFlows(l, EndLinkDown)
+		if l.grp != nil {
+			// A removed link takes its carried volume out of the
+			// telemetry, exactly as it leaves the direct link walk; the
+			// tag is remembered so a re-wired cable rejoins its group.
+			if n.removedTags == nil {
+				n.removedTags = make(map[linkKey]int)
+			}
+			n.removedTags[k] = l.grp.id
+			n.untagLink(l)
+		}
 		delete(n.links, k)
 		adj := n.adjacency[k.from][:0]
 		for _, al := range n.adjacency[k.from] {
@@ -695,6 +721,7 @@ func (n *Network) StartFlow(spec FlowSpec) (*Flow, error) {
 	}
 	for _, l := range links {
 		l.flows[f] = struct{}{}
+		linkGainedFlow(l)
 	}
 	n.flowOrder = append(n.flowOrder, f)
 	n.active++
@@ -757,6 +784,7 @@ func (n *Network) SetPath(f *Flow, path []NodeID) error {
 	}
 	for _, l := range f.path {
 		delete(l.flows, f)
+		linkLostFlow(l)
 		if len(l.flows) == 0 {
 			// Abandoned links are never re-solved; zero the allocation
 			// so utilisation reads don't see a phantom load.
@@ -767,6 +795,7 @@ func (n *Network) SetPath(f *Flow, path []NodeID) error {
 	f.Spec.Path = append([]NodeID(nil), path...)
 	for _, l := range links {
 		l.flows[f] = struct{}{}
+		linkGainedFlow(l)
 	}
 	n.adoptFlow(f, links)
 	return nil
@@ -802,6 +831,7 @@ func (n *Network) endFlow(f *Flow, reason EndReason) {
 	f.complete = sim.Event{}
 	for _, l := range f.path {
 		delete(l.flows, f)
+		linkLostFlow(l)
 		if len(l.flows) == 0 {
 			// No solver pass will visit this link again until a new
 			// flow claims it; zero its allocation for utilisation reads.
@@ -852,6 +882,11 @@ func (n *Network) commitFlow(f *Flow, now sim.Time) {
 		}
 		for _, l := range f.path {
 			l.bitsCarried += moved
+			if l.grp != nil {
+				// Atomic store only — the worker that owns this domain
+				// never touches the group's cached floats.
+				l.grp.dirty.Store(true)
+			}
 		}
 	}
 	f.lastCalc = now

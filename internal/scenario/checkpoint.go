@@ -1,0 +1,113 @@
+// Mid-scenario restore points and branching, built on core's
+// full-kernel Checkpoint/Resume. A scenario checkpoint pairs the
+// kernel-level capture (construction snapshot + cross-layer state
+// fingerprint) with the replay recipe — the spec and the timeline
+// offset — so a fresh, independent Run can be forked at the captured
+// instant as many times as wanted: the shared prefix is byte-identical
+// (core.Checkpoint.Verify proves it on every fork), and each fork's
+// future can then diverge via Run.Inject. That is the primitive behind
+// the study catalog's fault bisection (bisect-blackout) and A/B fault
+// injection (abtest-faults), and behind piscale's -checkpoint-at /
+// -resume-from flags.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Checkpoint is a forkable mid-scenario restore point.
+type Checkpoint struct {
+	// Spec is the scenario driving the run, including any faults
+	// injected before the capture (they are part of the replayed
+	// prefix).
+	Spec Spec
+	// At is the timeline offset the capture was taken at.
+	At time.Duration
+	// Core is the kernel-level capture: construction snapshot plus the
+	// cross-layer state fingerprint every fork must reproduce.
+	Core *core.Checkpoint
+	// TraceLen/TraceDigest fingerprint the recorded trace prefix; a
+	// fork's replayed trace must match before its future may diverge.
+	TraceLen    int
+	TraceDigest string
+}
+
+// Checkpoint captures the run at its current offset as a forkable
+// restore point. The run is paused (between RunTo slices); capture is
+// read-only, so the checkpointed run continues byte-identically to an
+// unobserved one — TestCheckpointResumeByteIdentical pins both halves
+// of that claim.
+func (r *Run) Checkpoint() *Checkpoint {
+	spec := r.Spec
+	// The fault list must not share backing storage with the live run
+	// or with other forks: each fork Injects its own divergent future,
+	// and a shared array would let one fork's append overwrite
+	// another's recorded fault.
+	spec.Faults = append([]Fault(nil), r.Spec.Faults...)
+	return &Checkpoint{
+		Spec:        spec,
+		At:          r.offset,
+		Core:        r.Cloud.Checkpoint(),
+		TraceLen:    len(r.trace),
+		TraceDigest: DigestTrace(r.trace),
+	}
+}
+
+// Fork warm-boots a fresh cloud from the checkpoint and replays the
+// scenario to the capture offset, then proves the restore: the replayed
+// trace prefix and the full cross-layer kernel fingerprint must match
+// the capture byte-for-byte. The returned run is independent of the
+// original and of every other fork — inject divergent faults with
+// Inject, then Execute to finish its timeline.
+func (c *Checkpoint) Fork() (*Run, error) {
+	var r *Run
+	buildStart := time.Now()
+	spec := c.Spec
+	// Fresh fault-list storage per fork (see Checkpoint): a fork's
+	// Inject must never write into the checkpoint's — or a sibling
+	// fork's — array.
+	spec.Faults = append([]Fault(nil), c.Spec.Faults...)
+	_, err := core.Resume(c.Core, func(cloud *core.Cloud) error {
+		rr, err := Install(cloud, spec)
+		if err != nil {
+			return err
+		}
+		rr.buildWall = time.Since(buildStart)
+		r = rr
+		if err := r.RunTo(c.At); err != nil {
+			return err
+		}
+		if got := DigestTrace(r.trace); len(r.trace) != c.TraceLen || got != c.TraceDigest {
+			return fmt.Errorf("scenario %s: replayed trace prefix diverged (%d events, digest %s; want %d, %s)",
+				c.Spec.Name, len(r.trace), got, c.TraceLen, c.TraceDigest)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Branch builds the spec's cloud, drives the scenario to the given
+// offset, and returns both the paused run and a checkpoint forked
+// futures can restart from — the one-call entry point for bisection
+// and A/B experiments. The returned run owns the cloud; close it when
+// done.
+func Branch(spec Spec, at time.Duration) (*Run, *Checkpoint, error) {
+	if at < 0 || at > spec.Duration {
+		return nil, nil, fmt.Errorf("scenario %s: branch offset %v outside the run duration %v", spec.Name, at, spec.Duration)
+	}
+	r, err := New(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := r.RunTo(at); err != nil {
+		r.Cloud.Close()
+		return nil, nil, err
+	}
+	return r, r.Checkpoint(), nil
+}

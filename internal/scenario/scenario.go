@@ -167,9 +167,13 @@ type Report struct {
 // fingerprint the determinism regression gate pins: same spec, same
 // seed, same build ⇒ same digest, and any change to event ordering or
 // solver arithmetic shows up as a digest change.
-func (r *Report) TraceDigest() string {
+func (r *Report) TraceDigest() string { return DigestTrace(r.Trace) }
+
+// DigestTrace returns the SHA-256 fingerprint of a rendered event
+// trace — shared by reports, checkpoint prefixes and the study diffs.
+func DigestTrace(evs []TraceEvent) string {
 	h := sha256.New()
-	for _, ev := range r.Trace {
+	for _, ev := range evs {
 		fmt.Fprintln(h, ev.String())
 	}
 	return hex.EncodeToString(h.Sum(nil))
@@ -215,8 +219,14 @@ type Run struct {
 	base      sim.Time // engine time when the run was installed
 	buildWall time.Duration
 	actions   []timedAction
-	trace     []TraceEvent
-	samples   []Sample
+	// cursor/offset track timeline progress: actions[:cursor] have run
+	// and virtual time stands at base+offset. RunTo advances both, so a
+	// run can pause at any instant (checkpoints, branching) and carry on.
+	cursor  int
+	offset  time.Duration
+	runWall time.Duration
+	trace   []TraceEvent
+	samples []Sample
 
 	onoff   *workload.OnOffGenerator
 	gravity *workload.GravityGenerator
@@ -398,33 +408,82 @@ func (r *Run) startSampler() {
 	c.Engine.Schedule(r.Spec.SampleEvery, tick)
 }
 
-// Execute runs the whole timeline in virtual time and returns the report.
-// Master-level actions (migrations, crashes) run between engine slices so
-// pimaster's REST plumbing can take the cloud lock itself.
-func (r *Run) Execute() (*Report, error) {
+// RunTo advances the run to the given offset into its timeline (clamped
+// to the spec duration): every action due by then executes in order,
+// interleaved with engine slices, and virtual time lands on exactly the
+// target instant. Calling it repeatedly resumes where the previous call
+// stopped — the pause points are where checkpoints are captured and
+// branches fork. Master-level actions (migrations, crashes) run between
+// engine slices so pimaster's REST plumbing can take the cloud lock
+// itself.
+func (r *Run) RunTo(target time.Duration) error {
 	wallStart := time.Now()
-	offset := time.Duration(0)
-	for _, a := range r.actions {
-		if a.at > r.Spec.Duration {
+	defer func() { r.runWall += time.Since(wallStart) }()
+	if target > r.Spec.Duration {
+		target = r.Spec.Duration
+	}
+	for r.cursor < len(r.actions) {
+		a := r.actions[r.cursor]
+		if a.at > target {
 			break
 		}
-		if a.at > offset {
-			if err := r.Cloud.RunFor(a.at - offset); err != nil {
-				return nil, fmt.Errorf("scenario %s: %w", r.Spec.Name, err)
+		if a.at > r.offset {
+			if err := r.Cloud.RunFor(a.at - r.offset); err != nil {
+				return fmt.Errorf("scenario %s: %w", r.Spec.Name, err)
 			}
-			offset = a.at
+			r.offset = a.at
 		}
+		r.cursor++
 		if err := a.run(r); err != nil {
-			return nil, fmt.Errorf("scenario %s: action %s at %v: %w", r.Spec.Name, a.name, a.at, err)
+			return fmt.Errorf("scenario %s: action %s at %v: %w", r.Spec.Name, a.name, a.at, err)
 		}
 	}
-	if offset < r.Spec.Duration {
-		if err := r.Cloud.RunFor(r.Spec.Duration - offset); err != nil {
-			return nil, fmt.Errorf("scenario %s: %w", r.Spec.Name, err)
+	if r.offset < target {
+		if err := r.Cloud.RunFor(target - r.offset); err != nil {
+			return fmt.Errorf("scenario %s: %w", r.Spec.Name, err)
 		}
+		r.offset = target
+	}
+	return nil
+}
+
+// Offset returns the run's current position on its timeline.
+func (r *Run) Offset() time.Duration { return r.offset }
+
+// Inject adds a fault to an installed run's remaining timeline — the
+// branch-divergence primitive: runs forked from one checkpoint inject
+// different futures on top of a byte-identical shared prefix. Every
+// action the fault resolves to must lie at or after the run's current
+// offset; ties with already-scheduled actions keep the existing actions
+// first (stable order), so injection is as deterministic as
+// installation.
+func (r *Run) Inject(f Fault) error {
+	if err := f.validate(&r.Spec); err != nil {
+		return fmt.Errorf("scenario %s: inject: %w", r.Spec.Name, err)
+	}
+	acts := f.actions(r)
+	for _, a := range acts {
+		if a.at < r.offset {
+			return fmt.Errorf("scenario %s: inject: action %s at %v is before the run's offset %v",
+				r.Spec.Name, a.name, a.at, r.offset)
+		}
+	}
+	r.Spec.Faults = append(r.Spec.Faults, f)
+	r.actions = append(r.actions, acts...)
+	rest := r.actions[r.cursor:]
+	sort.SliceStable(rest, func(i, j int) bool { return rest[i].at < rest[j].at })
+	return nil
+}
+
+// Execute runs the rest of the timeline in virtual time and returns the
+// report. On a fresh run that is the whole scenario; after RunTo (or on
+// a forked run) it finishes from the current offset.
+func (r *Run) Execute() (*Report, error) {
+	if err := r.RunTo(r.Spec.Duration); err != nil {
+		return nil, err
 	}
 	r.stopTraffic()
-	return r.report(time.Since(wallStart)), nil
+	return r.report(r.runWall), nil
 }
 
 // DriveActions replays the fault timeline against a live cloud in wall
@@ -495,6 +554,10 @@ func (r *Run) report(wall time.Duration) *Report {
 	// Cold-routing telemetry: how many route-cache misses the
 	// structured synthesis fast path answered without a Dijkstra.
 	rep.Metrics["route_synth_hits"] = float64(c.Ctrl.RouteSynthHits())
+	// Cross-rack volume from the hierarchical per-rack sub-totals —
+	// O(racks + disturbed racks), so it is affordable even at megafleet
+	// scale.
+	rep.Metrics["cross_rack_bytes"] = workload.CrossRackBytes(c.Net, c.Topo.Edge)
 	if r.onoff != nil {
 		rep.Metrics["onoff_flows_done"] = float64(r.onoff.FlowsDone)
 		rep.Metrics["onoff_flows_failed"] = float64(r.onoff.FlowsFailed)

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// studyDigests pins the findings fingerprint of every canned study —
+// the branching analogue of scenarioDigests: a study re-runs its base
+// scenario many ways (checkpoint forks, divergent injections), so any
+// drift in the scheduler, the kernel, the checkpoint machinery or the
+// bisection logic lands here as a loud diff. Update an entry only for
+// an intentional behaviour change, and explain the mechanism in the
+// commit.
+var studyDigests = map[string]string{
+	"abtest-faults":   "e86c82c43c45116dda06d6dacda2fb38c588500630ac9c09206a5689b43c1475",
+	"bisect-blackout": "0cf555617ef0f48d8520caacbdd885d4d15d594026b7edc23c04717252fc083f",
+}
+
+func TestStudyDigests(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		// Same caveat as the scenario digests: the pinned constants are
+		// the amd64 float rounding CI runs on.
+		t.Skipf("digests pinned for amd64 rounding; GOARCH=%s", runtime.GOARCH)
+	}
+	if len(StudyNames()) != len(studyDigests) {
+		t.Fatalf("study catalog has %d entries, digest table %d — pin the new study", len(StudyNames()), len(studyDigests))
+	}
+	for name, want := range studyDigests {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			rep, err := RunStudy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rep.Digest(); got != want {
+				t.Fatalf("%s study digest drifted:\n  got  %s\n  want %s\nfindings:\n%s\n"+
+					"If this change is intentional, update studyDigests and explain why.",
+					name, got, want, rep.Table())
+			}
+		})
+	}
+}
+
+// TestBisectStudyFindsBoundary sanity-checks the study beyond the pin:
+// the bisection must converge to a boundary (monotone SLO landscape on
+// this base), and every probe line must carry a distinct trace digest —
+// distinct injected futures produce distinct runs.
+func TestBisectStudyFindsBoundary(t *testing.T) {
+	rep, err := RunStudy("bisect-blackout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var boundary bool
+	seen := map[string]bool{}
+	for _, l := range rep.Lines {
+		if strings.HasPrefix(l, "boundary: blackout at") {
+			boundary = true
+		}
+		if strings.HasPrefix(l, "probe:") {
+			key := l[strings.LastIndex(l, "trace "):]
+			if seen[key] {
+				t.Fatalf("two probes share a trace digest: %s", l)
+			}
+			seen[key] = true
+		}
+	}
+	if !boundary {
+		t.Fatalf("bisection found no SLO boundary:\n%s", rep.Table())
+	}
+	if len(seen) < 3 {
+		t.Fatalf("expected ≥3 probes, saw %d:\n%s", len(seen), rep.Table())
+	}
+}

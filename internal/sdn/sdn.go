@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math"
 	"sort"
 	"time"
@@ -190,6 +191,28 @@ func (c *Controller) RouteCacheSize() int { return len(c.routeCache) }
 // RouteSynthHits returns how many cache misses were answered by the
 // structured route synthesis fast path instead of a full Dijkstra.
 func (c *Controller) RouteSynthHits() uint64 { return c.synthHits }
+
+// WriteState writes the control plane's simulated state in a
+// deterministic text form — one layer of the cross-layer kernel
+// fingerprint behind core's Checkpoint/Resume: the label bindings (the
+// IP-less forwarding table, sorted by endpoint name), the reactive-rule
+// counters, and the route-cache epoch/occupancy statistics. Two
+// controllers that served the same admission history write the same
+// bytes.
+func (c *Controller) WriteState(w io.Writer) {
+	fmt.Fprintf(w, "sdn switches=%d packetIns=%d rules=%d epoch=%d cache=%d hits=%d misses=%d evictions=%d synth=%d nextLabel=%d\n",
+		len(c.switches), c.packetIns, c.rulesInstalled, c.net.TopoEpoch(),
+		len(c.routeCache), c.cacheHits, c.cacheMisses, c.cacheEvictions, c.synthHits, c.nextLabel)
+	names := make([]string, 0, len(c.labelName))
+	for name := range c.labelName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		l := c.labelName[name]
+		fmt.Fprintf(w, "label %s=%d@%s\n", name, l, c.labels[l])
+	}
+}
 
 // lruTouch moves e to the head of the LRU list (most recently used).
 func (c *Controller) lruTouch(e *routeEntry) {

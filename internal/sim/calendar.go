@@ -1,0 +1,395 @@
+// The calendar scheduler: the engine's default pending-event store since
+// the two-level refactor. The seed engine kept every pending event in one
+// binary min-heap, so at megafleet event rates each schedule/fire paid
+// O(log N) pointer-chasing compares over the whole fleet's future — the
+// dominant serial cost once flow accounting went lazy and domain solves
+// went parallel. The calendar replaces it with a two-level structure:
+//
+//   - Top level, the "ladder": virtual time is cut into fixed-width
+//     days (a power-of-two number of nanoseconds); day d maps to bucket
+//     d mod B over a power-of-two bucket array. The queue drains one day
+//     at a time, so only the bucket of the day in progress is ever
+//     organised.
+//   - Second level, the lazily organised bucket: arrivals land in an
+//     unordered insertion buffer (O(1) push — events scheduled into a
+//     future day stay raw until their day comes). When the drain
+//     reaches the bucket, the buffer is organised: a buffer meeting a
+//     fully drained bucket bulk-sorts into the bucket's sorted run (the
+//     common mass — work scheduled ahead), while stragglers arriving
+//     into a day already being drained (zero-delay flushes, completion
+//     re-arms) go to a small per-bucket min-heap instead, so a straggler
+//     costs O(log stragglers-in-bucket) — never a merge over the run.
+//     The bucket's earliest event is the cheaper of run head and heap
+//     top.
+//
+// The structure is an explicit, walkable value — the pending set can be
+// enumerated without disturbing it (forEach), which is what the kernel
+// checkpoint fingerprint builds on.
+//
+// Ordering contract: pops follow the exact (time, sequence) total order
+// of the seed heap, so every pinned scenario trace digest is preserved
+// bit for bit. The proof obligation is the day invariant — the drain
+// cursor never passes a pending event:
+//
+//   - push rewinds the cursor to the event's day when it lands earlier
+//     (count==0 resets it outright);
+//   - the drain advances a day only after the day's bucket is organised
+//     and its earliest entry provably belongs to a later day;
+//   - a bucket only holds events whose day is congruent to its index,
+//     so "earliest entry of the day's bucket is later" implies every
+//     pending event everywhere is later.
+//
+// Under the invariant, the earliest entry of the cursor-day's organised
+// bucket is the global (time, sequence) minimum: any equal-day rival
+// lives in the same bucket (same residue) and compares later.
+//
+// Cancelled events are tombstones: they keep their slot until the drain
+// reaches them, exactly like the seed heap kept cancelled nodes until
+// they surfaced at the top, and the engine releases them on the same
+// pop-and-discard path. Resizes re-bucket all pending nodes and pick a
+// fresh width from the pending span, so the structure tracks both load
+// (bucket count ~ pending count) and time scale (a "year" covers about
+// twice the pending span). Every operation is a pure function of the
+// schedule/cancel history — no clocks, no randomness — so runs are as
+// deterministic as the heap they replaced.
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+const (
+	// calMinBuckets is the smallest ladder; also the empty-queue size.
+	calMinBuckets = 16
+	// calMaxBuckets bounds the ladder so a pathological pending count
+	// cannot allocate an absurd bucket array.
+	calMaxBuckets = 1 << 20
+	// calMaxWidthLog caps the day width at 2^40 ns (~18 min): beyond
+	// that the modulo mapping stops helping and a flat sorted run is
+	// effectively what remains.
+	calMaxWidthLog = 40
+	// calInitWidthLog is the day width before the first resize has any
+	// pending-span statistics to work from: 2^20 ns ≈ 1 ms, the natural
+	// granularity of the simulated fabrics.
+	calInitWidthLog = 20
+)
+
+// calBucket is one second-level bucket. sorted is the bulk run (drained
+// from head), strag the min-heap of same-day stragglers, insert the raw
+// arrival buffer organised when the drain reaches this bucket.
+// insMinAt/insMinSeq track the buffer's earliest entry so the ladder
+// can locate the global minimum without organising anything.
+type calBucket struct {
+	sorted    []*eventNode
+	head      int
+	strag     []*eventNode
+	insert    []*eventNode
+	insMinAt  Time
+	insMinSeq uint64
+}
+
+// minAt returns the earliest pending time in the bucket — across run,
+// straggler heap and raw buffer — without organising anything.
+func (b *calBucket) minAt() (Time, bool) {
+	var at Time
+	has := false
+	if b.head < len(b.sorted) {
+		at, has = b.sorted[b.head].at, true
+	}
+	if len(b.strag) > 0 && (!has || b.strag[0].at < at) {
+		at, has = b.strag[0].at, true
+	}
+	if len(b.insert) > 0 && (!has || b.insMinAt < at) {
+		at, has = b.insMinAt, true
+	}
+	return at, has
+}
+
+// organise files the raw arrival buffer: into the sorted run when the
+// run is fully drained (the bulk path — one sort for everything that
+// accumulated while the day lay in the future), otherwise into the
+// straggler heap (same-day arrivals while the run is mid-drain), so no
+// arrival ever pays a merge over the remaining run.
+func (b *calBucket) organise() {
+	if len(b.insert) == 0 {
+		return
+	}
+	if b.head == len(b.sorted) {
+		b.sorted = append(b.sorted[:0], b.insert...)
+		b.head = 0
+		if len(b.sorted) > 1 {
+			sort.Slice(b.sorted, func(i, j int) bool { return eventLess(b.sorted[i], b.sorted[j]) })
+		}
+	} else {
+		for _, n := range b.insert {
+			b.strag = append(b.strag, n)
+			stragUp(b.strag, len(b.strag)-1)
+		}
+	}
+	for i := range b.insert {
+		b.insert[i] = nil
+	}
+	b.insert = b.insert[:0]
+}
+
+// min returns the earliest organised entry (run head vs heap top).
+// Caller must have organised the bucket.
+func (b *calBucket) min() *eventNode {
+	var n *eventNode
+	if b.head < len(b.sorted) {
+		n = b.sorted[b.head]
+	}
+	if len(b.strag) > 0 && (n == nil || eventLess(b.strag[0], n)) {
+		n = b.strag[0]
+	}
+	return n
+}
+
+// pop removes the earliest organised entry.
+func (b *calBucket) pop() *eventNode {
+	if b.head < len(b.sorted) {
+		n := b.sorted[b.head]
+		if len(b.strag) == 0 || eventLess(n, b.strag[0]) {
+			b.sorted[b.head] = nil
+			b.head++
+			if b.head == len(b.sorted) {
+				b.sorted, b.head = b.sorted[:0], 0
+			}
+			return n
+		}
+	}
+	n := b.strag[0]
+	last := len(b.strag) - 1
+	b.strag[0] = b.strag[last]
+	b.strag[last] = nil
+	b.strag = b.strag[:last]
+	if len(b.strag) > 1 {
+		stragDown(b.strag, 0)
+	}
+	return n
+}
+
+// stragUp/stragDown are the straggler heap's sift operations (min-heap
+// under eventLess).
+func stragUp(h []*eventNode, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func stragDown(h []*eventNode, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < len(h) && eventLess(h[l], h[least]) {
+			least = l
+		}
+		if r < len(h) && eventLess(h[r], h[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// eventLess is the engine's total order: (time, sequence) ascending.
+func eventLess(a, b *eventNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// calendarQueue implements the scheduler interface over the two-level
+// ladder.
+type calendarQueue struct {
+	buckets  []calBucket
+	mask     uint64
+	widthLog uint
+	// day is the drain cursor: the day currently being emptied. The
+	// invariant day ≤ (earliest pending event).day holds at all times.
+	day   uint64
+	count int
+	// grewAt/shrankAt are the rebuild thresholds derived from the
+	// current bucket count (hysteresis keeps resize amortised O(1)).
+	grewAt, shrankAt int
+}
+
+func newCalendarQueue() *calendarQueue {
+	c := &calendarQueue{}
+	c.reshape(0, 0, 0)
+	return c
+}
+
+func (c *calendarQueue) size() int { return c.count }
+
+// dayOf maps a time to its ladder day.
+func (c *calendarQueue) dayOf(at Time) uint64 { return uint64(at) >> c.widthLog }
+
+func (c *calendarQueue) push(n *eventNode) {
+	n.index = 0 // stored marker; -1 means out of the queue
+	d := c.dayOf(n.at)
+	if c.count == 0 || d < c.day {
+		c.day = d
+	}
+	b := &c.buckets[d&c.mask]
+	if len(b.insert) == 0 || n.at < b.insMinAt || (n.at == b.insMinAt && n.seq < b.insMinSeq) {
+		b.insMinAt, b.insMinSeq = n.at, n.seq
+	}
+	b.insert = append(b.insert, n)
+	c.count++
+	if c.count > c.grewAt {
+		c.rebuild()
+	}
+}
+
+// peekMin returns the (time, sequence)-earliest pending node — cancelled
+// tombstones included — advancing the drain cursor as needed. nil when
+// empty.
+func (c *calendarQueue) peekMin() *eventNode {
+	if c.count == 0 {
+		return nil
+	}
+	for scanned := 0; ; scanned++ {
+		if scanned > len(c.buckets) {
+			// A whole year of empty days: jump the cursor straight to
+			// the earliest pending event instead of walking to it.
+			c.day = c.minDay()
+		}
+		b := &c.buckets[c.day&c.mask]
+		b.organise()
+		if n := b.min(); n != nil && c.dayOf(n.at) == c.day {
+			return n
+		}
+		c.day++
+	}
+}
+
+// popMin removes and returns the earliest pending node.
+func (c *calendarQueue) popMin() *eventNode {
+	n := c.peekMin()
+	if n == nil {
+		return nil
+	}
+	b := &c.buckets[c.day&c.mask]
+	if b.pop() != n {
+		panic("sim: calendar pop does not match peek")
+	}
+	n.index = -1
+	c.count--
+	if c.count < c.shrankAt {
+		c.rebuild()
+	}
+	return n
+}
+
+// minDay locates the day of the earliest pending event by scanning every
+// bucket's cheap minimum — the O(B) fallback behind the cursor jump.
+func (c *calendarQueue) minDay() uint64 {
+	best := Time(math.MaxInt64)
+	for i := range c.buckets {
+		if at, ok := c.buckets[i].minAt(); ok && at < best {
+			best = at
+		}
+	}
+	return c.dayOf(best)
+}
+
+// forEach visits every stored node (cancelled tombstones included) in
+// unspecified order without disturbing the structure.
+func (c *calendarQueue) forEach(fn func(*eventNode)) {
+	for i := range c.buckets {
+		b := &c.buckets[i]
+		for _, n := range b.sorted[b.head:] {
+			fn(n)
+		}
+		for _, n := range b.strag {
+			fn(n)
+		}
+		for _, n := range b.insert {
+			fn(n)
+		}
+	}
+}
+
+// drain removes and returns every stored node in unspecified order.
+func (c *calendarQueue) drain() []*eventNode {
+	out := make([]*eventNode, 0, c.count)
+	c.forEach(func(n *eventNode) { out = append(out, n) })
+	c.reshape(0, 0, 0)
+	return out
+}
+
+// reshape resets the ladder for n pending events spanning [lo, hi]:
+// bucket count tracks the load (next power of two ≥ n) and the day width
+// spreads a "year" over about twice the span, so the busy window lands a
+// handful of events per bucket whatever the workload's time scale.
+func (c *calendarQueue) reshape(n int, lo, hi Time) {
+	nb := calMinBuckets
+	for nb < n && nb < calMaxBuckets {
+		nb <<= 1
+	}
+	wl := uint(calInitWidthLog)
+	if n > 0 {
+		span := int64(hi-lo) + 1
+		want := 2 * span / int64(nb)
+		wl = 0
+		for (int64(1)<<wl) < want && wl < calMaxWidthLog {
+			wl++
+		}
+	}
+	c.buckets = make([]calBucket, nb)
+	c.mask = uint64(nb - 1)
+	c.widthLog = wl
+	c.day = uint64(lo) >> wl
+	c.count = 0
+	c.grewAt = 4 * nb
+	if nb >= calMaxBuckets {
+		// The ladder is as wide as it gets: growing again would make
+		// every push rebuild the whole pending set. Buckets just run
+		// deeper from here.
+		c.grewAt = math.MaxInt
+	}
+	c.shrankAt = 0
+	if nb > calMinBuckets {
+		c.shrankAt = nb / 4
+	}
+}
+
+// rebuild re-buckets every pending node under a fresh shape. Triggered
+// by the count crossing the hysteresis thresholds, so its O(n) cost is
+// amortised O(1) per operation.
+func (c *calendarQueue) rebuild() {
+	nodes := make([]*eventNode, 0, c.count)
+	c.forEach(func(n *eventNode) { nodes = append(nodes, n) })
+	lo, hi := Time(math.MaxInt64), Time(0)
+	for _, n := range nodes {
+		if n.at < lo {
+			lo = n.at
+		}
+		if n.at > hi {
+			hi = n.at
+		}
+	}
+	if len(nodes) == 0 {
+		lo = 0
+	}
+	c.reshape(len(nodes), lo, hi)
+	for _, n := range nodes {
+		b := &c.buckets[c.dayOf(n.at)&c.mask]
+		if len(b.insert) == 0 || n.at < b.insMinAt || (n.at == b.insMinAt && n.seq < b.insMinSeq) {
+			b.insMinAt, b.insMinSeq = n.at, n.seq
+		}
+		b.insert = append(b.insert, n)
+	}
+	c.count = len(nodes)
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// engineScript drives two engines — calendar (default) and classic heap —
+// through an identical randomized schedule/cancel/run workload and
+// requires the fire sequences to match exactly. The workload mixes the
+// patterns the kernel produces: same-instant bursts (zero-delay flush
+// events), short rack-local delays, far-future outliers (completion
+// events and tickers, which exercise the ladder's cursor jump), and
+// heavy cancel-then-reschedule churn (completion re-arms). Volume is
+// chosen to push the calendar through grow and shrink rebuilds.
+func TestCalendarMatchesClassicHeapRandomOps(t *testing.T) {
+	type rec struct {
+		at  Time
+		id  int
+		seq uint64
+	}
+	run := func(classic bool) ([]rec, Time, int, uint64) {
+		e := NewEngine(1)
+		e.SetClassicHeap(classic)
+		// Script decisions come from a private RNG, not the engine's, so
+		// both runs see the same script.
+		script := rand.New(rand.NewSource(99))
+		var fired []rec
+		var pendingEvs []Event
+		id := 0
+		schedule := func(d Duration) {
+			id := id
+			pendingEvs = append(pendingEvs, e.Schedule(d, func() {
+				fired = append(fired, rec{at: e.Now(), id: id, seq: e.Seq()})
+			}))
+		}
+		for round := 0; round < 60; round++ {
+			n := 20 + script.Intn(400)
+			for i := 0; i < n; i++ {
+				id++
+				switch script.Intn(10) {
+				case 0: // same-instant burst
+					schedule(0)
+				case 1, 2: // far-future outlier
+					schedule(time.Duration(script.Intn(5000)) * time.Millisecond)
+				default: // near-term
+					schedule(time.Duration(script.Intn(2000)) * time.Microsecond)
+				}
+			}
+			// Cancel a random subset — including, sometimes, the earliest
+			// pending event, so the cancelled-on-top compaction path runs.
+			for i := 0; i < n/4; i++ {
+				k := script.Intn(len(pendingEvs))
+				pendingEvs[k].Cancel()
+			}
+			// Drain a bounded slice of virtual time, then occasionally
+			// everything (shrink rebuild + empty-queue restart).
+			if script.Intn(7) == 0 {
+				if err := e.Run(); err != nil {
+					t.Fatal(err)
+				}
+				pendingEvs = pendingEvs[:0]
+			} else {
+				if err := e.RunFor(time.Duration(script.Intn(800)) * time.Microsecond); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fired, e.Now(), e.Pending(), e.Fired()
+	}
+
+	calFired, calNow, calPending, calCount := run(false)
+	heapFired, heapNow, heapPending, heapCount := run(true)
+	if len(calFired) != len(heapFired) {
+		t.Fatalf("fire counts differ: calendar %d, heap %d", len(calFired), len(heapFired))
+	}
+	for i := range calFired {
+		if calFired[i] != heapFired[i] {
+			t.Fatalf("fire sequences diverge at %d: calendar %+v, heap %+v", i, calFired[i], heapFired[i])
+		}
+	}
+	if calNow != heapNow || calPending != heapPending || calCount != heapCount {
+		t.Fatalf("end state differs: calendar (now=%v pending=%d fired=%d), heap (now=%v pending=%d fired=%d)",
+			calNow, calPending, calCount, heapNow, heapPending, heapCount)
+	}
+}
+
+// TestSchedulerSwitchMidRun migrates a half-drained queue between the
+// two schedulers and requires the remaining fire order to be unaffected.
+func TestSchedulerSwitchMidRun(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 200; i++ {
+		i := i
+		e.Schedule(time.Duration(i%37)*time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := e.RunFor(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	e.SetClassicHeap(true)
+	if !e.ClassicHeap() {
+		t.Fatal("ClassicHeap() = false after SetClassicHeap(true)")
+	}
+	if err := e.RunFor(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	e.SetClassicHeap(false)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 200 {
+		t.Fatalf("fired %d events, want 200", len(got))
+	}
+	// The fire order must equal a straight single-scheduler run.
+	want := make([]int, 0, 200)
+	ref := NewEngine(1)
+	for i := 0; i < 200; i++ {
+		i := i
+		ref.Schedule(time.Duration(i%37)*time.Millisecond, func() { want = append(want, i) })
+	}
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order diverged at %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCancelThenRescheduleSameHandle is the tombstone regression for the
+// bucket structure: the completion re-arm pattern (cancel the pending
+// event, schedule the replacement, repeatedly) must leave exactly one
+// live event, stale handles from earlier generations must never cancel
+// the replacement even after the engine recycles the node storage, and
+// the cancelled-on-top compaction must release tombstones exactly once.
+func TestCancelThenRescheduleSameHandle(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	var ev Event
+	arm := func(d Duration) {
+		ev.Cancel()
+		ev = e.Schedule(d, func() { fired++ })
+	}
+	stale := make([]Event, 0, 64)
+	for i := 0; i < 64; i++ {
+		arm(time.Duration(10+i) * time.Millisecond)
+		stale = append(stale, ev)
+	}
+	// Drain the head tombstones via peek (NextEventAt discards cancelled
+	// nodes at the front and returns them to the free list).
+	if at, ok := e.NextEventAt(); !ok || at != Time(73*time.Millisecond) {
+		t.Fatalf("NextEventAt = %v,%v; want 73ms,true", at, ok)
+	}
+	// Nodes released by the compaction are recycled for new events with a
+	// bumped generation: every stale handle must now be inert.
+	marker := e.Schedule(time.Millisecond, func() { fired += 100 })
+	for i, s := range stale[:63] {
+		if s.Cancel() {
+			t.Fatalf("stale handle %d cancelled a recycled node", i)
+		}
+	}
+	if !marker.Cancel() {
+		t.Fatal("live marker handle failed to cancel")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want exactly 1 (the last re-arm)", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", e.Pending())
+	}
+}
+
+// TestPendingEventsSnapshotIsNonDestructive pins the state-capture
+// contract: PendingEvents lists live events in fire order, skips
+// tombstones, and reading it twice (or firing afterwards) behaves as if
+// it was never called.
+func TestPendingEventsSnapshotIsNonDestructive(t *testing.T) {
+	e := NewEngine(1)
+	var keep []Event
+	for i := 1; i <= 10; i++ {
+		keep = append(keep, e.Schedule(time.Duration(i)*time.Second, func() {}))
+	}
+	keep[3].Cancel()
+	keep[7].Cancel()
+	a := e.PendingEvents()
+	b := e.PendingEvents()
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("snapshot lengths = %d, %d; want 8 (tombstones skipped)", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("snapshots differ at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && (a[i].At < a[i-1].At || (a[i].At == a[i-1].At && a[i].Seq <= a[i-1].Seq)) {
+			t.Fatalf("snapshot not in (time, seq) order at %d: %+v after %+v", i, a[i], a[i-1])
+		}
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d after snapshots, want 10 (capture must not discard)", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Fired() != 8 {
+		t.Fatalf("Fired = %d, want 8", e.Fired())
+	}
+}
+
+// schedulerChurn is the BenchmarkSchedulerChurn body: a steady-state mix
+// of schedule, cancel-then-reschedule (the completion re-arm pattern)
+// and fire over a standing population of pending events.
+func schedulerChurn(b *testing.B, classic bool) {
+	e := NewEngine(1)
+	e.SetClassicHeap(classic)
+	const standing = 16384
+	evs := make([]Event, standing)
+	for i := range evs {
+		evs[i] = e.Schedule(time.Duration(1+i%997)*time.Millisecond, func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % standing
+		evs[k].Cancel()
+		evs[k] = e.Schedule(time.Duration(1+(i*31)%997)*time.Millisecond, func() {})
+		e.Step()
+	}
+}
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	b.Run("calendar", func(b *testing.B) { schedulerChurn(b, false) })
+	b.Run("classic-heap", func(b *testing.B) { schedulerChurn(b, true) })
+}

@@ -1,18 +1,26 @@
 // Package sim provides the deterministic discrete-event simulation engine
-// that drives every simulated subsystem of the PiCloud: virtual time, an
-// event heap, cancellable timers and a seeded random source.
+// that drives every simulated subsystem of the PiCloud: virtual time, a
+// pending-event scheduler, cancellable timers and a seeded random source.
 //
 // All simulated activity (CPU scheduling, network flows, migrations,
 // workload arrivals) is expressed as events on a single Engine so that a
 // whole-cloud run is a totally ordered, reproducible sequence. Wall-clock
 // time never enters simulation results.
+//
+// Two schedulers implement the same exact (time, sequence) total order:
+// the default two-level calendar ladder (calendar.go), whose pending set
+// is an explicit walkable value, and the seed binary heap kept behind
+// SetClassicHeap as the ablation and cross-check mode. Event traces are
+// byte-identical under either.
 package sim
 
 import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"sort"
 	"time"
 )
 
@@ -75,10 +83,29 @@ func (e Event) Cancel() bool {
 type eventNode struct {
 	at       Time
 	seq      uint64
-	index    int // heap index, -1 once removed
+	index    int // scheduler slot (heap index / calendar stored marker), -1 once removed
 	gen      uint64
 	canceled bool
 	fn       func()
+}
+
+// scheduler is the engine's pending-event store. Implementations must
+// surface nodes in exact (time, sequence) order — cancelled tombstones
+// included, which the engine discards on the pop path — and support
+// non-destructive iteration for state capture.
+type scheduler interface {
+	push(n *eventNode)
+	// peekMin returns the earliest stored node without removing it, or
+	// nil when empty.
+	peekMin() *eventNode
+	// popMin removes and returns the earliest stored node, or nil.
+	popMin() *eventNode
+	size() int
+	// forEach visits every stored node in unspecified order.
+	forEach(fn func(*eventNode))
+	// drain removes and returns every stored node in unspecified order
+	// (scheduler migration).
+	drain() []*eventNode
 }
 
 // eventQueue is a min-heap of events ordered by (time, sequence).
@@ -115,13 +142,52 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// heapQueue adapts the seed binary heap to the scheduler interface —
+// the SetClassicHeap ablation mode.
+type heapQueue struct{ q eventQueue }
+
+func (h *heapQueue) push(n *eventNode) { heap.Push(&h.q, n) }
+
+func (h *heapQueue) peekMin() *eventNode {
+	if len(h.q) == 0 {
+		return nil
+	}
+	return h.q[0]
+}
+
+func (h *heapQueue) popMin() *eventNode {
+	if len(h.q) == 0 {
+		return nil
+	}
+	return heap.Pop(&h.q).(*eventNode)
+}
+
+func (h *heapQueue) size() int { return len(h.q) }
+
+func (h *heapQueue) forEach(fn func(*eventNode)) {
+	for _, n := range h.q {
+		fn(n)
+	}
+}
+
+func (h *heapQueue) drain() []*eventNode {
+	out := append([]*eventNode(nil), h.q...)
+	for i := range h.q {
+		h.q[i] = nil
+		out[i].index = -1
+	}
+	h.q = h.q[:0]
+	return out
+}
+
 // Engine is a deterministic discrete-event simulator. The zero value is
 // not usable; construct with NewEngine. Engine is not safe for concurrent
 // use: external goroutines (e.g. HTTP handlers) must serialise access via
 // their own lock, which is how the management plane integrates.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	sched   scheduler
+	classic bool
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
@@ -130,13 +196,45 @@ type Engine struct {
 }
 
 // NewEngine returns an engine at the epoch using the given RNG seed.
-// The same seed always yields the same event interleaving.
+// The same seed always yields the same event interleaving. The pending
+// set lives in the two-level calendar scheduler; SetClassicHeap restores
+// the seed binary heap.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: rand.New(rand.NewSource(seed)), sched: newCalendarQueue()}
 }
+
+// SetClassicHeap switches the pending-event store between the default
+// calendar ladder (false) and the seed binary min-heap (true), migrating
+// any queued events. Both schedulers realise the identical (time,
+// sequence) total order, so traces are byte-identical either way — the
+// knob exists for ablation benchmarks and the differential gates, the
+// scheduler mirror of the solver's SerialSolve and the accounting's
+// EagerAdvance.
+func (e *Engine) SetClassicHeap(v bool) {
+	if v == e.classic {
+		return
+	}
+	var ns scheduler
+	if v {
+		ns = &heapQueue{}
+	} else {
+		ns = newCalendarQueue()
+	}
+	for _, n := range e.sched.drain() {
+		ns.push(n)
+	}
+	e.sched, e.classic = ns, v
+}
+
+// ClassicHeap reports whether the seed binary heap is in use.
+func (e *Engine) ClassicHeap() bool { return e.classic }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// Seq returns the number of events scheduled so far (the sequence
+// counter behind the total order) — part of the engine's explicit state.
+func (e *Engine) Seq() uint64 { return e.seq }
 
 // Rand returns the engine's deterministic random source. All stochastic
 // model decisions must draw from this source to preserve reproducibility.
@@ -147,7 +245,46 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events waiting in the queue, including
 // cancelled events not yet discarded.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.sched.size() }
+
+// PendingEvent is the externally visible identity of one queued event:
+// its fire time and sequence number — everything the (time, sequence)
+// total order is built from.
+type PendingEvent struct {
+	At  Time
+	Seq uint64
+}
+
+// PendingEvents returns the live (non-cancelled) queued events in fire
+// order. The walk is non-destructive — cancelled tombstones are skipped,
+// not discarded — so capturing the pending set never perturbs a run.
+func (e *Engine) PendingEvents() []PendingEvent {
+	out := make([]PendingEvent, 0, e.sched.size())
+	e.sched.forEach(func(n *eventNode) {
+		if !n.canceled {
+			out = append(out, PendingEvent{At: n.at, Seq: n.seq})
+		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// WriteState writes the engine's explicit time state — clock, sequence
+// counter, fired count and the (time, sequence) identity of every live
+// pending event — in a deterministic text form. It is one layer of the
+// cross-layer kernel fingerprint behind core's Checkpoint/Resume: two
+// engines that executed the same event history write the same bytes.
+func (e *Engine) WriteState(w io.Writer) {
+	fmt.Fprintf(w, "sim now=%d seq=%d fired=%d\n", int64(e.now), e.seq, e.fired)
+	for _, p := range e.PendingEvents() {
+		fmt.Fprintf(w, "ev %d %d\n", int64(p.At), p.Seq)
+	}
+}
 
 // Schedule queues fn to run after delay d. A negative delay is treated as
 // zero (fires at the current time, after already-queued events at that
@@ -181,7 +318,7 @@ func (e *Engine) ScheduleAt(t Time, fn func()) Event {
 	n.seq = e.seq
 	n.canceled = false
 	n.fn = fn
-	heap.Push(&e.queue, n)
+	e.sched.push(n)
 	return Event{n: n, gen: n.gen, at: t}
 }
 
@@ -202,8 +339,11 @@ func (e *Engine) Stop() { e.stopped = true }
 // It reports whether an event was executed (false when the queue is
 // empty). Cancelled events are discarded without executing.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*eventNode)
+	for {
+		ev := e.sched.popMin()
+		if ev == nil {
+			return false
+		}
 		if ev.canceled {
 			e.release(ev)
 			continue
@@ -218,7 +358,6 @@ func (e *Engine) Step() bool {
 		fn()
 		return true
 	}
-	return false
 }
 
 // Run executes events until the queue drains or Stop is called. It
@@ -239,9 +378,6 @@ func (e *Engine) Run() error {
 func (e *Engine) RunUntil(t Time) error {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 {
-			break
-		}
 		next := e.peek()
 		if next == nil {
 			break
@@ -264,17 +400,20 @@ func (e *Engine) RunUntil(t Time) error {
 func (e *Engine) RunFor(d Duration) error { return e.RunUntil(e.now.Add(d)) }
 
 // peek returns the earliest non-cancelled event without removing it,
-// discarding cancelled events it encounters on top of the heap.
+// discarding cancelled tombstones it encounters at the front of the
+// schedule (the cancelled-on-top compaction both schedulers share).
 func (e *Engine) peek() *eventNode {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
+	for {
+		ev := e.sched.peekMin()
+		if ev == nil {
+			return nil
+		}
 		if !ev.canceled {
 			return ev
 		}
-		heap.Pop(&e.queue)
+		e.sched.popMin()
 		e.release(ev)
 	}
-	return nil
 }
 
 // NextEventAt returns the time of the earliest pending event and true, or

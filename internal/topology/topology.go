@@ -204,10 +204,23 @@ func BuildMultiRoot(net *netsim.Network, cfg MultiRootConfig) (*Topology, error)
 	return finishBuild(net, t)
 }
 
-// finishBuild seals a wired fabric: the topology epoch is bumped once
-// more so SDN route caches keyed on it can never survive a build or
-// re-cable, whatever mix of netsim mutations produced the fabric.
+// finishBuild seals a wired fabric: every edge switch's uplinks are
+// tagged into a traffic-telemetry group keyed by the edge index (the
+// rack, pod edge or leaf), so cross-rack volume queries read per-rack
+// sub-totals instead of walking every link; then the topology epoch is
+// bumped once more so SDN route caches keyed on it can never survive a
+// build or re-cable, whatever mix of netsim mutations produced the
+// fabric.
 func finishBuild(net *netsim.Network, t *Topology) (*Topology, error) {
+	for i, e := range t.Edge {
+		for _, l := range net.NeighborLinks(e) {
+			if l.DstKind() == netsim.KindSwitch {
+				if err := net.TagLinkGroup(e, l.To, i); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
 	net.BumpTopoEpoch()
 	return t, nil
 }

@@ -83,14 +83,34 @@ func (f *Fabric) Send(src, dst netsim.NodeID, bytes int64, port uint16, onDone f
 
 // CrossRackBytes sums traffic that crossed any ToR uplink — the metric
 // the network-aware placement experiment compares.
+//
+// On a fabric built by the topology package the answer comes from the
+// hierarchical telemetry groups (each rack's uplinks are tagged at
+// build time), costing O(racks + members of disturbed racks) instead of
+// O(edges × links); idle racks are one cached read each. The direct
+// walk remains for hand-wired networks and accumulates per-edge
+// subtotals in the same order the grouped path does (float addition is
+// not associative, so the summation *shape* — per-rack partials, then
+// the rack totals in edge order — must match for the two paths to
+// report identical bytes).
+// The grouped fast path answers for the whole fabric, so it only
+// engages when the caller asked for every edge; a subset query takes
+// the walk.
 func CrossRackBytes(net *netsim.Network, edges []netsim.NodeID) float64 {
-	total := 0.0
-	for _, e := range edges {
-		for _, l := range net.Links() {
-			if l.From == e && net.Node(l.To) != nil && net.Node(l.To).Kind == netsim.KindSwitch {
-				total += l.BitsCarried() / 8
-			}
+	if len(edges) == net.LinkGroupCount() {
+		if bits, ok := net.GroupedBitsCarried(); ok {
+			return bits / 8
 		}
 	}
-	return total
+	total := 0.0
+	for _, e := range edges {
+		sub := 0.0
+		for _, l := range net.NeighborLinks(e) {
+			if l.DstKind() == netsim.KindSwitch {
+				sub += l.BitsCarried()
+			}
+		}
+		total += sub
+	}
+	return total / 8
 }
