@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-megafleet bench bench-smoke bench-json determinism-single-core lint ci
+.PHONY: all build test race race-megafleet bench bench-smoke bench-json determinism-single-core service-smoke lint ci
 
 all: build
 
@@ -52,9 +52,17 @@ determinism-single-core:
 bench-json:
 	$(GO) run ./cmd/piscale -bench-json BENCH_PR5.json
 
+# The session-service HTTP gate: piscaled boots its API on a loopback
+# listener and drives create image → fork session → advance → inject →
+# checkpoint → fork → run both arms out over real HTTP; the forks'
+# trace digests must be bit-identical to each other and to the same
+# history on a bare in-process run, inside the wall budget.
+service-smoke:
+	$(GO) run ./cmd/piscaled -smoke -smoke-budget 120s
+
 lint:
 	$(GO) vet ./...
 	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
-ci: build lint test race race-megafleet bench-smoke determinism-single-core
+ci: build lint test race race-megafleet bench-smoke determinism-single-core service-smoke

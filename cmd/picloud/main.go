@@ -20,9 +20,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cliconfig"
 	"repro/internal/core"
 	"repro/internal/placement"
 	"repro/internal/scenario"
@@ -32,46 +34,51 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address for pimaster")
 	speed := flag.Float64("speed", 1.0, "virtual seconds per wall second")
-	racks := flag.Int("racks", topology.DefaultRacks, "number of racks")
-	hostsPerRack := flag.Int("hosts-per-rack", topology.DefaultHostsPerRack, "Pis per rack")
-	fabric := flag.String("fabric", "multi-root-tree", "fabric: multi-root-tree, fat-tree, leaf-spine")
 	placer := flag.String("placer", "best-fit", "default placement algorithm")
 	scen := flag.String("scenario", "", "canned scenario to replay against the live cloud (see -scenarios)")
 	listScen := flag.Bool("scenarios", false, "list canned scenarios and exit")
+	// The fleet shape, fabric and kernel-mode knobs are the cliconfig
+	// surface shared with piscale and piscaled; picloud's defaults stay
+	// the published 56-node PiCloud.
+	common := cliconfig.Common{
+		Racks:        topology.DefaultRacks,
+		HostsPerRack: topology.DefaultHostsPerRack,
+		Fabric:       "multi-root-tree",
+		Seed:         -1,
+	}
+	common.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *listScen {
 		fmt.Print("canned scenarios:\n" + scenario.Describe())
 		return
 	}
-	if err := run(*addr, *speed, *racks, *hostsPerRack, *fabric, *placer, *scen); err != nil {
+	if err := run(*addr, *speed, common, *placer, *scen); err != nil {
 		fmt.Fprintln(os.Stderr, "picloud:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, speed float64, racks, hostsPerRack int, fabricName, placerName, scenarioName string) error {
-	var fabric topology.Fabric
-	switch fabricName {
-	case "multi-root-tree":
-		fabric = topology.FabricMultiRoot
-	case "fat-tree":
-		fabric = topology.FabricFatTree
-	case "leaf-spine":
-		fabric = topology.FabricLeafSpine
-	default:
-		return fmt.Errorf("unknown fabric %q", fabricName)
+func run(addr string, speed float64, common cliconfig.Common, placerName, scenarioName string) error {
+	fabric, err := cliconfig.ParseFabric(common.Fabric)
+	if err != nil {
+		return err
 	}
 	pl, err := placement.ByName(placerName)
 	if err != nil {
 		return err
 	}
-	cloud, err := core.New(core.Config{
-		Racks:        racks,
-		HostsPerRack: hostsPerRack,
+	cfg := core.Config{
+		Racks:        common.Racks,
+		HostsPerRack: common.HostsPerRack,
 		Fabric:       fabric,
 		Placer:       pl,
-	})
+		Kernel:       common.Kernel(),
+	}
+	if common.Seed >= 0 {
+		cfg.Seed = common.Seed
+	}
+	cloud, err := core.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -87,9 +94,13 @@ func run(addr string, speed float64, racks, hostsPerRack int, fabricName, placer
 	cloud.Mu.Unlock()
 
 	fmt.Printf("PiCloud up: %d nodes in %d racks on a %s fabric\n",
-		len(cloud.Nodes()), racks, fabric)
+		len(cloud.Nodes()), common.Racks, fabric)
 	fmt.Printf("idle power draw: %.1f W\n", cloud.PowerDraw())
-	fmt.Printf("pimaster: http://localhost%s/panel\n", addr)
+	host := addr
+	if strings.HasPrefix(host, ":") {
+		host = "localhost" + host
+	}
+	fmt.Printf("pimaster: http://%s/panel\n", host)
 
 	stop := make(chan struct{})
 

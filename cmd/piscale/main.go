@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/cliconfig"
 	"repro/internal/scenario"
 )
 
@@ -32,22 +33,15 @@ func main() {
 	list := flag.Bool("list", false, "list canned scenarios and studies, then exit")
 	name := flag.String("scenario", "", "canned scenario to run (see -list)")
 	study := flag.String("study", "", "canned checkpoint study to run (see -list)")
-	seed := flag.Int64("seed", -1, "override the scenario's RNG seed")
-	duration := flag.Duration("duration", 0, "override the simulated duration")
-	racks := flag.Int("racks", 0, "override the rack count")
-	hostsPerRack := flag.Int("hosts-per-rack", 0, "override Pis per rack")
-	sample := flag.Duration("sample", 0, "override the metrics sampling cadence")
 	traceTail := flag.Int("trace", 0, "print the last N trace events")
 	quiet := flag.Bool("q", false, "suppress live event streaming")
 	benchJSON := flag.String("bench-json", "", "run every canned scenario once and write the benchmark trajectory to FILE")
-	// Run-phase kernel knobs, mirroring the fleet builder's serial-build
-	// escape hatch: all modes are byte-identical to the defaults (the
-	// determinism gates prove it); these exist for ablation and
-	// benchmarking.
-	solveWorkers := flag.Int("solve-workers", 0, "parallel domain-solve pool size (0 = auto with work threshold; >0 forces fan-out)")
-	serialSolve := flag.Bool("serial-solve", false, "solve dirty congestion domains serially on the engine goroutine")
-	eagerAdvance := flag.Bool("eager-advance", false, "restore the whole-fleet flow accounting sweep at every instant (seed kernel cost model)")
-	classicHeap := flag.Bool("classic-heap", false, "restore the seed binary event heap in place of the calendar scheduler")
+	// The shared surface — fleet shape, fabric, sampling and the run-phase
+	// kernel knobs (all modes byte-identical to the defaults; the
+	// determinism gates prove it) — registers through cliconfig, so
+	// piscale, picloud and piscaled parse identically.
+	common := cliconfig.Common{Seed: -1}
+	common.Register(flag.CommandLine)
 	// Checkpointing: pause the run at an instant, record the cross-layer
 	// kernel fingerprint to a file, continue; a later -resume-from run
 	// replays to that instant and proves byte-identity before carrying on.
@@ -78,11 +72,8 @@ func main() {
 		return
 	}
 	opts := runOpts{
-		seed: *seed, duration: *duration,
-		racks: *racks, hostsPerRack: *hostsPerRack,
-		sample: *sample, traceTail: *traceTail, quiet: *quiet,
-		solveWorkers: *solveWorkers, serialSolve: *serialSolve,
-		eagerAdvance: *eagerAdvance, classicHeap: *classicHeap,
+		common:    common,
+		traceTail: *traceTail, quiet: *quiet,
 		checkpointAt: *checkpointAt, checkpointFile: *checkpointFile,
 	}
 	if *resumeFrom != "" {
@@ -102,20 +93,14 @@ func main() {
 	}
 }
 
-// runOpts carries the command-line overrides into a scenario run.
+// runOpts carries the command-line overrides into a scenario run: the
+// shared cliconfig surface plus piscale's own knobs.
 type runOpts struct {
-	seed                int64
-	duration            time.Duration
-	racks, hostsPerRack int
-	sample              time.Duration
-	traceTail           int
-	quiet               bool
-	solveWorkers        int
-	serialSolve         bool
-	eagerAdvance        bool
-	classicHeap         bool
-	checkpointAt        time.Duration
-	checkpointFile      string
+	common         cliconfig.Common
+	traceTail      int
+	quiet          bool
+	checkpointAt   time.Duration
+	checkpointFile string
 }
 
 // benchEntry is one scenario's row of the benchmark trajectory.
@@ -295,20 +280,20 @@ func runBenchJSON(path string) error {
 
 // kernelModeLine renders the run header's scheduler/solver/advance
 // summary.
-func kernelModeLine(o runOpts) string {
+func kernelModeLine(c cliconfig.Common) string {
 	scheduler := "calendar"
-	if o.classicHeap {
+	if c.ClassicHeap {
 		scheduler = "classic-heap"
 	}
 	solver := "parallel(auto)"
 	switch {
-	case o.serialSolve:
+	case c.SerialSolve:
 		solver = "serial"
-	case o.solveWorkers > 0:
-		solver = fmt.Sprintf("parallel(%d workers, forced)", o.solveWorkers)
+	case c.SolveWorkers > 0:
+		solver = fmt.Sprintf("parallel(%d workers, forced)", c.SolveWorkers)
 	}
 	advance := "lazy"
-	if o.eagerAdvance {
+	if c.EagerAdvance {
 		advance = "eager"
 	}
 	return fmt.Sprintf("run-phase kernel: scheduler=%s solver=%s advance=%s", scheduler, solver, advance)
@@ -319,48 +304,17 @@ func kernelModeLine(o runOpts) string {
 // records exactly these overrides, so the resuming process rebuilds the
 // identical spec).
 func specFor(name string, o runOpts) (scenario.Spec, error) {
-	spec, err := scenario.Catalog(name)
-	if err != nil {
-		return scenario.Spec{}, err
-	}
-	if o.seed >= 0 {
-		spec.Cloud.Seed = o.seed
-	}
-	if o.duration > 0 {
-		spec.Duration = o.duration
-	}
-	if o.racks > 0 {
-		spec.Cloud.Racks = o.racks
-	}
-	if o.hostsPerRack > 0 {
-		spec.Cloud.HostsPerRack = o.hostsPerRack
-	}
-	if o.sample > 0 {
-		spec.SampleEvery = o.sample
-	}
-	spec.Cloud.SolveWorkers = o.solveWorkers
-	spec.Cloud.SerialSolve = o.serialSolve
-	spec.Cloud.EagerAdvance = o.eagerAdvance
-	spec.Cloud.ClassicHeap = o.classicHeap
-	return spec, nil
+	return o.common.SpecRequest(name).Resolve()
 }
 
 // checkpointPayload is the on-disk checkpoint: the replay recipe (the
-// scenario plus the overrides that shaped it) and the captured
+// scenario plus the overrides that shaped it — cliconfig's wire spec,
+// the same decoding the session API speaks) and the captured
 // cross-layer kernel fingerprint a resume must reproduce bit-for-bit.
 // Construction snapshots are process-local; what crosses processes is
 // the proof obligation.
 type checkpointPayload struct {
-	Scenario     string        `json:"scenario"`
-	Seed         int64         `json:"seed"`
-	Duration     time.Duration `json:"duration_ns,omitempty"`
-	Racks        int           `json:"racks,omitempty"`
-	HostsPerRack int           `json:"hosts_per_rack,omitempty"`
-	Sample       time.Duration `json:"sample_ns,omitempty"`
-	SolveWorkers int           `json:"solve_workers,omitempty"`
-	SerialSolve  bool          `json:"serial_solve,omitempty"`
-	EagerAdvance bool          `json:"eager_advance,omitempty"`
-	ClassicHeap  bool          `json:"classic_heap,omitempty"`
+	cliconfig.SpecRequest
 
 	At           time.Duration `json:"at_ns"`
 	KernelNow    int64         `json:"kernel_now_ns"`
@@ -378,7 +332,7 @@ func run(name string, o runOpts) error {
 		return err
 	}
 	fmt.Printf("scenario %s: %d nodes, %v simulated\n%s\n",
-		spec.Name, scenario.NodeCount(spec), spec.Duration, kernelModeLine(o))
+		spec.Name, scenario.NodeCount(spec), spec.Duration, kernelModeLine(o.common))
 
 	r, err := scenario.New(spec)
 	if err != nil {
@@ -395,13 +349,9 @@ func run(name string, o runOpts) error {
 		chk := r.Checkpoint()
 		st := chk.Core.State()
 		payload := checkpointPayload{
-			Scenario: name,
-			Seed:     o.seed, Duration: o.duration,
-			Racks: o.racks, HostsPerRack: o.hostsPerRack, Sample: o.sample,
-			SolveWorkers: o.solveWorkers, SerialSolve: o.serialSolve,
-			EagerAdvance: o.eagerAdvance, ClassicHeap: o.classicHeap,
-			At:        chk.At,
-			KernelNow: int64(st.Now), KernelSeq: st.Seq, KernelFired: st.Fired,
+			SpecRequest: o.common.SpecRequest(name),
+			At:          chk.At,
+			KernelNow:   int64(st.Now), KernelSeq: st.Seq, KernelFired: st.Fired,
 			KernelPend: st.Pending, KernelDigest: st.Digest,
 			TraceLen: chk.TraceLen, TraceDigest: chk.TraceDigest,
 		}
@@ -448,34 +398,32 @@ func resume(path string, o runOpts) error {
 	if err := json.Unmarshal(data, &p); err != nil {
 		return fmt.Errorf("reading checkpoint %s: %w", path, err)
 	}
-	ro := runOpts{
-		seed: p.Seed, duration: p.Duration,
-		racks: p.Racks, hostsPerRack: p.HostsPerRack, sample: p.Sample,
-		solveWorkers: p.SolveWorkers, serialSolve: p.SerialSolve,
-		eagerAdvance: p.EagerAdvance, classicHeap: p.ClassicHeap,
-	}
+	req := p.SpecRequest
 	// Kernel knobs passed on the resume command line win over the
 	// recorded ones: all four modes are byte-identical by construction,
 	// so ablating the resume (e.g. -classic-heap) is safe and the
 	// verification below still must pass.
-	if o.classicHeap {
-		ro.classicHeap = true
+	if o.common.ClassicHeap {
+		req.ClassicHeap = true
 	}
-	if o.serialSolve {
-		ro.serialSolve = true
+	if o.common.SerialSolve {
+		req.SerialSolve = true
 	}
-	if o.eagerAdvance {
-		ro.eagerAdvance = true
+	if o.common.EagerAdvance {
+		req.EagerAdvance = true
 	}
-	if o.solveWorkers > 0 {
-		ro.solveWorkers = o.solveWorkers
+	if o.common.SolveWorkers > 0 {
+		req.SolveWorkers = o.common.SolveWorkers
 	}
-	spec, err := specFor(p.Scenario, ro)
+	spec, err := req.Resolve()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("resuming %s from %s: replaying to %v\n%s\n",
-		spec.Name, path, p.At, kernelModeLine(ro))
+		spec.Name, path, p.At, kernelModeLine(cliconfig.Common{
+			ClassicHeap: req.ClassicHeap, SerialSolve: req.SerialSolve,
+			EagerAdvance: req.EagerAdvance, SolveWorkers: req.SolveWorkers,
+		}))
 	r, err := scenario.New(spec)
 	if err != nil {
 		return err

@@ -1,0 +1,108 @@
+// Command piscaled is the simulator's service mode: a long-running
+// multi-tenant session daemon serving the versioned REST+SSE API over
+// shared base images and forkable live sessions (see internal/session).
+// Where piscale runs one scenario per process, piscaled holds many
+// researchers' what-if branches at once: build a base image from a
+// catalog scenario, fork as many sessions off it as wanted, inject
+// divergent faults into each, and stream per-rack telemetry while
+// virtual time advances — every session bit-identical to the same
+// scenario run standalone.
+//
+// Usage:
+//
+//	piscaled -addr :9090
+//	piscaled -addr :9090 -image base=megafleet-1000@30s
+//	piscaled -smoke -smoke-budget 120s
+//
+// The -smoke flag runs the CI gate instead of serving: it starts the
+// API on a loopback listener and drives create → advance → inject →
+// checkpoint → fork → digest-compare over real HTTP, failing on any
+// divergence or on blowing the wall budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cliconfig"
+	"repro/internal/session"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address for the session API")
+	image := flag.String("image", "", "pre-build a base image at startup: name=scenario@offset (e.g. base=megafleet-1000@30s)")
+	smoke := flag.Bool("smoke", false, "run the HTTP smoke gate against an in-process server, then exit")
+	smokeBudget := flag.Duration("smoke-budget", 2*time.Minute, "wall budget for -smoke")
+	common := cliconfig.Common{Seed: -1}
+	common.Register(flag.CommandLine)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*smokeBudget); err != nil {
+			fmt.Fprintln(os.Stderr, "piscaled: smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := serve(*addr, *image, common); err != nil {
+		fmt.Fprintln(os.Stderr, "piscaled:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(addr, image string, common cliconfig.Common) error {
+	mgr := session.NewManager()
+	defer mgr.Close()
+
+	if image != "" {
+		name, req, at, err := parseImageFlag(image, common)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		img, err := mgr.CreateImage(name, req, at)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("base image %q ready: %s@%v, fingerprint %s (built in %v)\n",
+			img.Name, img.Scenario, img.At, img.Fingerprint[:16], time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := &http.Server{Addr: addr, Handler: mgr.Handler()}
+	fmt.Printf("piscaled: session API on %s (try GET /v1/healthz)\n", addr)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sig:
+		fmt.Println("\nshutting down")
+		return srv.Close()
+	}
+}
+
+// parseImageFlag decodes name=scenario@offset, applying the shared
+// command-line overrides to the scenario.
+func parseImageFlag(s string, common cliconfig.Common) (string, cliconfig.SpecRequest, time.Duration, error) {
+	name, rest, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return "", cliconfig.SpecRequest{}, 0, fmt.Errorf("-image wants name=scenario@offset, got %q", s)
+	}
+	scen, offset, ok := strings.Cut(rest, "@")
+	if !ok {
+		return "", cliconfig.SpecRequest{}, 0, fmt.Errorf("-image wants name=scenario@offset, got %q", s)
+	}
+	at, err := time.ParseDuration(offset)
+	if err != nil {
+		return "", cliconfig.SpecRequest{}, 0, fmt.Errorf("-image offset: %w", err)
+	}
+	return name, common.SpecRequest(scen), at, nil
+}

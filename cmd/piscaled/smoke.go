@@ -1,0 +1,194 @@
+// The -smoke gate: a self-contained end-to-end exercise of the session
+// API over real HTTP, used by CI. It boots the daemon on a loopback
+// listener, builds a base image from megafleet-1000, forks a session,
+// advances it, injects a divergent fault, checkpoints, forks a sibling
+// mid-flight and runs both to the end — then proves the service kept
+// the determinism contract: both forks' trace digests must be
+// bit-identical to each other AND to the same history performed on a
+// bare scenario.Run in-process (cold build, run to the fork point,
+// inject the same fault, finish). The whole drive must finish inside
+// the wall budget.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cliconfig"
+	"repro/internal/scenario"
+	"repro/internal/session"
+)
+
+func runSmoke(budget time.Duration) error {
+	start := time.Now()
+	left := func() time.Duration { return budget - time.Since(start) }
+
+	mgr := session.NewManager()
+	defer mgr.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mgr.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("smoke: session API on %s (budget %v)\n", base, budget)
+
+	const (
+		scen     = "megafleet-1000"
+		imageAt  = 30 * time.Second
+		forkAt   = 60 * time.Second
+		faultAt  = 70 * time.Second
+		faultOut = 20 * time.Second
+	)
+	fault := cliconfig.FaultRequest{
+		Kind: "rack-fail", Rack: 3,
+		At: cliconfig.Duration(faultAt), Outage: cliconfig.Duration(faultOut),
+	}
+
+	// 1. Base image: the catalog scenario driven to 30s and captured.
+	var img struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := postJSON(base+"/v1/images", map[string]any{
+		"name": "smoke-base", "at_ns": int64(imageAt),
+		"spec": map[string]any{"scenario": scen},
+	}, &img); err != nil {
+		return fmt.Errorf("create image: %w", err)
+	}
+	fmt.Printf("smoke: image smoke-base ready (fingerprint %s…) t+%v\n", img.Fingerprint[:16], time.Since(start).Round(time.Millisecond))
+
+	// 2. Session from the image; stream its SSE feed concurrently.
+	var st session.Status
+	if err := postJSON(base+"/v1/sessions", map[string]any{"base_image": "smoke-base"}, &st); err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	sseEvents := make(chan int, 1)
+	go func() { sseEvents <- countSSE(base+"/v1/sessions/"+st.ID+"/events", 3*time.Second) }()
+
+	// 3. Advance to the fork point, inject the divergent fault.
+	if err := postJSON(base+"/v1/sessions/"+st.ID+"/advance", map[string]any{"to_ns": int64(forkAt)}, &st); err != nil {
+		return fmt.Errorf("advance: %w", err)
+	}
+	var injected map[string]any
+	if err := postJSON(base+"/v1/sessions/"+st.ID+"/inject", fault, &injected); err != nil {
+		return fmt.Errorf("inject: %w", err)
+	}
+
+	// 4. Checkpoint, then fork a sibling carrying the same future.
+	var chk session.CheckpointInfo
+	if err := postJSON(base+"/v1/sessions/"+st.ID+"/checkpoint", map[string]any{}, &chk); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	var sibling session.Status
+	if err := postJSON(base+"/v1/sessions/"+st.ID+"/fork", map[string]any{}, &sibling); err != nil {
+		return fmt.Errorf("fork: %w", err)
+	}
+	fmt.Printf("smoke: session %s checkpointed at %v (kernel %s…), forked %s t+%v\n",
+		st.ID, chk.At, chk.KernelDigest[:16], sibling.ID, time.Since(start).Round(time.Millisecond))
+
+	// 5. Run both to the end of the timeline and compare digests.
+	digests := map[string]string{}
+	for _, id := range []string{st.ID, sibling.ID} {
+		var fin session.Status
+		if err := postJSON(base+"/v1/sessions/"+id+"/advance", map[string]any{"to_ns": int64(24 * time.Hour)}, &fin); err != nil {
+			return fmt.Errorf("final advance %s: %w", id, err)
+		}
+		if !fin.Finished {
+			return fmt.Errorf("session %s not finished at %v", id, fin.Offset)
+		}
+		digests[id] = fin.TraceDigest
+	}
+	if digests[st.ID] != digests[sibling.ID] {
+		return fmt.Errorf("fork diverged: %s got %s, %s got %s", st.ID, digests[st.ID], sibling.ID, digests[sibling.ID])
+	}
+
+	// 6. The standalone arm: the same history performed on a raw Run
+	// in-process — cold build, run to the fork point, inject, finish.
+	// The service must add nothing to and lose nothing from what the
+	// identical API calls on a bare scenario.Run produce.
+	spec, err := cliconfig.SpecRequest{Scenario: scen}.Resolve()
+	if err != nil {
+		return err
+	}
+	f, err := fault.Fault()
+	if err != nil {
+		return err
+	}
+	arm, err := scenario.New(spec)
+	if err != nil {
+		return fmt.Errorf("standalone arm: %w", err)
+	}
+	defer arm.Cloud.Close()
+	if err := arm.RunTo(forkAt); err != nil {
+		return fmt.Errorf("standalone arm: %w", err)
+	}
+	if err := arm.Inject(f); err != nil {
+		return fmt.Errorf("standalone arm: %w", err)
+	}
+	rep, err := arm.Execute()
+	if err != nil {
+		return fmt.Errorf("standalone arm: %w", err)
+	}
+	if got := rep.TraceDigest(); got != digests[st.ID] {
+		return fmt.Errorf("service trace digest %s != standalone %s", digests[st.ID], got)
+	}
+
+	if n := <-sseEvents; n < 1 {
+		return fmt.Errorf("SSE feed delivered no events")
+	}
+	if left() < 0 {
+		return fmt.Errorf("wall budget exceeded: %v over %v", time.Since(start), budget)
+	}
+	fmt.Printf("smoke: PASS — both forks and the standalone run share digest %s… in %v (budget %v)\n",
+		digests[st.ID][:16], time.Since(start).Round(time.Millisecond), budget)
+	return nil
+}
+
+// countSSE reads the session event stream for up to window and returns
+// how many SSE events arrived.
+func countSSE(url string, window time.Duration) int {
+	client := &http.Client{Timeout: window}
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	n := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: ") {
+			n++
+		}
+	}
+	return n
+}
+
+// postJSON posts body and decodes the 2xx response into out.
+func postJSON(url string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

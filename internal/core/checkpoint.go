@@ -92,6 +92,15 @@ func (k *Checkpoint) At() sim.Time { return k.state.Now }
 // State returns the captured kernel fingerprint.
 func (k *Checkpoint) State() KernelState { return k.state }
 
+// Fingerprint identifies the checkpoint for caching and sharing: the
+// fleet shape key composed with the kernel state digest. Two
+// checkpoints with equal fingerprints warm-boot the same fabric and
+// restore the same simulated machine, so a base-image registry can key
+// on it directly.
+func (k *Checkpoint) Fingerprint() string {
+	return k.snap.Config().ShapeKey() + "@" + k.state.Digest
+}
+
 // Verify proves a cloud's simulated state matches the checkpoint
 // bit-for-bit, layer by layer. It is the correctness bar of every
 // restore: a replay that drifted by so much as one committed float or

@@ -299,6 +299,30 @@ func (c *CloudMeter) sortedGroups() []int {
 	return c.order
 }
 
+// Groups returns the sub-meter group ids in ascending order.
+func (c *CloudMeter) Groups() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, len(c.sortedGroups()))
+	copy(out, c.order)
+	return out
+}
+
+// GroupWatts returns the instantaneous draw of one sub-meter group
+// (a rack, for a fleet), or 0 for an unknown group.
+func (c *CloudMeter) GroupWatts(group int) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.groups[group]
+	if g == nil {
+		return 0
+	}
+	if g.wattsDirty.Swap(false) {
+		g.recomputeWatts()
+	}
+	return g.watts
+}
+
 // TotalWatts returns the instantaneous aggregate draw: cached sub-meter
 // sums, recomputed only for groups whose members changed state.
 func (c *CloudMeter) TotalWatts() float64 {

@@ -65,6 +65,79 @@ const (
 	MaxHostsPerRack = 4093
 )
 
+// KernelOptions collects every kernel ablation and escape-hatch knob
+// behind one struct, applied atomically at construction and resume.
+// Every option is byte-identical to the defaults by construction — the
+// determinism gates prove it on every build — so the zero value is the
+// production kernel and every combination is safe to flip for ablation
+// benchmarks, differential tests, or as an escape hatch.
+//
+// The scattered per-layer setters (sim.Engine.SetClassicHeap,
+// netsim's SetEagerAdvance/SetSerialSolve/SetSolveWorkers/
+// SetFullRecompute) survive as thin deprecated shims; new code sets
+// Config.Kernel instead.
+type KernelOptions struct {
+	// ClassicHeap restores the seed engine's single binary event heap
+	// in place of the default two-level calendar scheduler
+	// (TestCalendarMatchesClassicHeap pins the equivalence).
+	ClassicHeap bool
+	// EagerAdvance restores the seed kernel's whole-fleet flow
+	// accounting sweep at every time-advancing mutation (see
+	// netsim.KernelMode.EagerAdvance).
+	EagerAdvance bool
+	// SerialSolve forces the congestion-domain solver onto the engine
+	// goroutine (see netsim.KernelMode.SerialSolve).
+	SerialSolve bool
+	// SolveWorkers sizes the parallel solve pool: 0 auto-sizes from
+	// GOMAXPROCS with a work threshold; an explicit count forces
+	// fan-out (see netsim.KernelMode.SolveWorkers).
+	SolveWorkers int
+	// FullRecompute re-solves every congestion domain at each flush
+	// instead of dirty domains only (see
+	// netsim.KernelMode.FullRecompute).
+	FullRecompute bool
+	// SerialBuild forces single-goroutine fleet construction; the
+	// sharded build is byte-identical by construction
+	// (TestShardedBuildMatchesSerial).
+	SerialBuild bool
+}
+
+// Union folds another option set into this one: booleans OR (a knob
+// flipped on either surface stays on) and the explicit worker count
+// wins over auto. It is how the deprecated flat Config fields merge
+// into Config.Kernel, and how command-line or API overrides land on a
+// catalog scenario's options.
+func (k KernelOptions) Union(o KernelOptions) KernelOptions {
+	k.ClassicHeap = k.ClassicHeap || o.ClassicHeap
+	k.EagerAdvance = k.EagerAdvance || o.EagerAdvance
+	k.SerialSolve = k.SerialSolve || o.SerialSolve
+	k.FullRecompute = k.FullRecompute || o.FullRecompute
+	k.SerialBuild = k.SerialBuild || o.SerialBuild
+	if k.SolveWorkers == 0 {
+		k.SolveWorkers = o.SolveWorkers
+	}
+	return k
+}
+
+// netMode projects the options onto the network kernel's knob surface.
+func (k KernelOptions) netMode() netsim.KernelMode {
+	return netsim.KernelMode{
+		EagerAdvance:  k.EagerAdvance,
+		SerialSolve:   k.SerialSolve,
+		SolveWorkers:  k.SolveWorkers,
+		FullRecompute: k.FullRecompute,
+	}
+}
+
+// applyKernel applies the whole kernel-options surface in one step at
+// construction/resume — the only place ablation knobs reach the engine
+// and the network kernel, so a cloud can never boot with a
+// half-applied mix of modes.
+func applyKernel(engine *sim.Engine, net *netsim.Network, k KernelOptions) {
+	engine.SetClassicHeap(k.ClassicHeap)
+	net.SetKernelMode(k.netMode())
+}
+
 // Config sizes and seeds a cloud. The zero value (with defaults applied)
 // is the published PiCloud: 4 racks × 14 Raspberry Pi Model B.
 type Config struct {
@@ -99,28 +172,35 @@ type Config struct {
 	RoutingPolicy sdn.Policy
 	// MigrationConfig tunes pre-copy.
 	MigrationConfig migration.Config
-	// SerialBuild forces single-goroutine construction. The sharded
-	// build is byte-identical by construction; this knob exists so the
-	// determinism gate can prove it (and as an escape hatch).
+	// Kernel collects every ablation and escape-hatch knob, applied
+	// atomically at construction/resume. The flat fields below are the
+	// deprecated pre-KernelOptions spellings; FillDefaults unions them
+	// into Kernel (and mirrors the result back) so both surfaces stay
+	// coherent.
+	Kernel KernelOptions
+
+	// SerialBuild forces single-goroutine construction.
+	//
+	// Deprecated: set Kernel.SerialBuild.
 	SerialBuild bool
 	// SerialSolve forces the run phase's congestion-domain solver onto
-	// the engine goroutine — the solver mirror of SerialBuild. The
-	// parallel fan-out is byte-identical by construction
-	// (TestParallelSolveMatchesSerial proves it on every build).
+	// the engine goroutine.
+	//
+	// Deprecated: set Kernel.SerialSolve.
 	SerialSolve bool
-	// SolveWorkers sizes the parallel solve pool: 0 auto-sizes from
-	// GOMAXPROCS and fans out only when a flush carries enough dirty
-	// flows; an explicit count forces fan-out (tests, ablation).
+	// SolveWorkers sizes the parallel solve pool.
+	//
+	// Deprecated: set Kernel.SolveWorkers.
 	SolveWorkers int
 	// EagerAdvance restores the seed kernel's whole-fleet flow
-	// accounting sweep at every time-advancing mutation (test and
-	// ablation mode; traces are byte-identical either way).
+	// accounting sweep at every time-advancing mutation.
+	//
+	// Deprecated: set Kernel.EagerAdvance.
 	EagerAdvance bool
 	// ClassicHeap restores the seed engine's single binary event heap
-	// in place of the default two-level calendar scheduler — the
-	// scheduler mirror of SerialSolve/EagerAdvance: byte-identical
-	// traces by construction (TestCalendarMatchesClassicHeap), kept for
-	// ablation benchmarks and as an escape hatch.
+	// in place of the default two-level calendar scheduler.
+	//
+	// Deprecated: set Kernel.ClassicHeap.
 	ClassicHeap bool
 }
 
@@ -147,6 +227,21 @@ func (c *Config) FillDefaults() {
 	if c.RoutingPolicy == 0 {
 		c.RoutingPolicy = sdn.PolicyECMP
 	}
+	// Union the deprecated flat knobs into the kernel-options struct and
+	// mirror the merged result back, so code reading either surface sees
+	// the same (fully resolved) mode.
+	c.Kernel = c.Kernel.Union(KernelOptions{
+		ClassicHeap:  c.ClassicHeap,
+		EagerAdvance: c.EagerAdvance,
+		SerialSolve:  c.SerialSolve,
+		SolveWorkers: c.SolveWorkers,
+		SerialBuild:  c.SerialBuild,
+	})
+	c.ClassicHeap = c.Kernel.ClassicHeap
+	c.EagerAdvance = c.Kernel.EagerAdvance
+	c.SerialSolve = c.Kernel.SerialSolve
+	c.SolveWorkers = c.Kernel.SolveWorkers
+	c.SerialBuild = c.Kernel.SerialBuild
 }
 
 // Validate rejects shapes the addressing plan cannot carry. Catching
@@ -289,11 +384,8 @@ func assemble(cfg Config, cloudMu *sync.Mutex, plan *Plan) (*Result, error) {
 		return nil, err
 	}
 	engine := sim.NewEngine(cfg.Seed)
-	engine.SetClassicHeap(cfg.ClassicHeap)
 	net := netsim.New(engine)
-	net.SetSerialSolve(cfg.SerialSolve)
-	net.SetSolveWorkers(cfg.SolveWorkers)
-	net.SetEagerAdvance(cfg.EagerAdvance)
+	applyKernel(engine, net, cfg.Kernel)
 
 	topo, err := buildTopology(net, cfg)
 	if err != nil {
@@ -400,7 +492,7 @@ func stampAll(cfg Config, tmpl *Template, engine *sim.Engine, cloudMu *sync.Mute
 		return nil
 	}
 	shards := rackShards(plan, workerCount(cfg, plan))
-	if cfg.SerialBuild || len(shards) <= 1 {
+	if cfg.Kernel.SerialBuild || len(shards) <= 1 {
 		if err := stampRange(0, len(plan.hosts)); err != nil {
 			return nil, err
 		}
@@ -428,7 +520,7 @@ func stampAll(cfg Config, tmpl *Template, engine *sim.Engine, cloudMu *sync.Mute
 // (so the parallel path is exercised — and its determinism proven —
 // even on single-core machines), never more than there are racks.
 func workerCount(cfg Config, plan *Plan) int {
-	if cfg.SerialBuild {
+	if cfg.Kernel.SerialBuild {
 		return 1
 	}
 	w := runtime.GOMAXPROCS(0)

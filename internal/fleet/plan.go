@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"fmt"
+	"hash/fnv"
 	"net/netip"
 	"sync"
 
@@ -55,6 +57,27 @@ type shapeKey struct {
 	spineSwitches       int
 	uplinkBps           float64
 	linkLatencyNs       int64
+}
+
+// ShapeKey renders the config's fleet shape as a stable string:
+// every field that influences the wiring or registration manifest, in
+// declaration order. Two configs with equal ShapeKeys warm-boot from
+// the same plan and produce byte-identical fabrics; the session layer
+// keys its base-image registry on it (composed with the kernel state
+// digest for checkpoint-backed images).
+func (c Config) ShapeKey() string {
+	c.FillDefaults()
+	k := shapeOf(c)
+	return fmt.Sprintf("r%d.h%d.b%x.f%d.k%d.a%d.s%d.u%g.l%d",
+		k.racks, k.hostsPerRack, boardID(k.board), k.fabric,
+		k.fatTreeK, k.aggSwitches, k.spineSwitches, k.uplinkBps, k.linkLatencyNs)
+}
+
+// boardID folds a board spec to a short stable identity for ShapeKey.
+func boardID(b hw.BoardSpec) uint32 {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%+v", b)
+	return h.Sum32()
 }
 
 // shapeOf derives the key from a defaults-filled config.

@@ -430,33 +430,106 @@ func (n *Network) TopoEpoch() uint64 { return n.topoEpoch }
 // beyond the automatic bumps netsim's own mutators perform.
 func (n *Network) BumpTopoEpoch() { n.topoEpoch++ }
 
+// KernelMode bundles the network kernel's ablation and escape-hatch
+// knobs: every mode is byte-identical to the defaults (the determinism
+// gates prove it); they exist for differential tests, ablation
+// benchmarks and as escape hatches. The zero value is the production
+// kernel: lazy accounting, incremental solving, auto-sized parallel
+// fan-out.
+type KernelMode struct {
+	// EagerAdvance restores the seed kernel's whole-fleet accounting
+	// sweep at every time-advancing mutation. The sweep materialises
+	// every live flow (the old O(live flows)-per-instant cost model,
+	// kept for benchmarks and the differential gate) and panics if the
+	// lazy accounting ever regressed a flow's materialised total — the
+	// symptom of a rate change that slipped past a commit. It never
+	// commits, so eager and lazy runs are byte-identical by
+	// construction.
+	EagerAdvance bool
+	// SerialSolve forces dirty congestion domains to be solved on the
+	// engine goroutine, one after another. Off (the default), solves
+	// fan out to a bounded worker pool when the flush carries enough
+	// work; both paths produce byte-identical traces
+	// (TestParallelSolveMatchesSerial).
+	SerialSolve bool
+	// SolveWorkers sizes the parallel solve pool. Zero (the default)
+	// auto-sizes from GOMAXPROCS and only fans out when a flush
+	// carries at least parallelSolveMinFlows of work; an explicit
+	// count forces fan-out whenever two or more domains are dirty,
+	// which is how the determinism gates exercise the parallel path
+	// even on small fabrics.
+	SolveWorkers int
+	// FullRecompute switches the allocator from incremental (default,
+	// dirty domains only) to a full re-solve of every domain at each
+	// flush — the "full solver" the incremental path is byte-compared
+	// against.
+	FullRecompute bool
+}
+
+// KernelMode returns the currently applied knob values.
+func (n *Network) KernelMode() KernelMode {
+	return KernelMode{
+		EagerAdvance:  n.eagerAdvance,
+		SerialSolve:   n.serialSolve,
+		SolveWorkers:  n.solveWorkers,
+		FullRecompute: n.fullRecompute,
+	}
+}
+
+// SetKernelMode applies the whole knob surface in one step — the single
+// entry point construction and resume use (core.Config.Kernel reaches
+// the network through it), so a cloud can never run with a half-applied
+// mix of ablation modes.
+func (n *Network) SetKernelMode(m KernelMode) {
+	n.eagerAdvance = m.EagerAdvance
+	n.serialSolve = m.SerialSolve
+	n.solveWorkers = m.SolveWorkers
+	n.fullRecompute = m.FullRecompute
+}
+
 // SetFullRecompute switches the allocator between incremental (default,
 // dirty domains only) and full re-solve of every domain at each flush.
-// The two modes produce byte-identical traces; the full mode exists so
-// tests can pin that equivalence and as a belt-and-braces escape hatch.
-func (n *Network) SetFullRecompute(v bool) { n.fullRecompute = v }
+//
+// Deprecated: set core.KernelOptions on core.Config (or use
+// SetKernelMode) instead; this shim survives for the differential tests.
+func (n *Network) SetFullRecompute(v bool) {
+	m := n.KernelMode()
+	m.FullRecompute = v
+	n.SetKernelMode(m)
+}
 
 // SetEagerAdvance restores the seed kernel's whole-fleet accounting
-// sweep at every time-advancing mutation. The sweep materialises every
-// live flow (the old O(live flows)-per-instant cost model, kept for
-// benchmarks and the differential gate) and panics if the lazy
-// accounting ever regressed a flow's materialised total — the symptom
-// of a rate change that slipped past a commit. It never commits, so
-// eager and lazy runs are byte-identical by construction.
-func (n *Network) SetEagerAdvance(v bool) { n.eagerAdvance = v }
+// sweep at every time-advancing mutation (see KernelMode.EagerAdvance).
+//
+// Deprecated: set core.KernelOptions on core.Config (or use
+// SetKernelMode) instead; this shim survives for the differential tests.
+func (n *Network) SetEagerAdvance(v bool) {
+	m := n.KernelMode()
+	m.EagerAdvance = v
+	n.SetKernelMode(m)
+}
 
 // SetSerialSolve forces dirty congestion domains to be solved on the
-// engine goroutine, one after another. Off (the default), solves fan
-// out to a bounded worker pool when the flush carries enough work; both
-// paths produce byte-identical traces (TestParallelSolveMatchesSerial).
-func (n *Network) SetSerialSolve(v bool) { n.serialSolve = v }
+// engine goroutine, one after another (see KernelMode.SerialSolve).
+//
+// Deprecated: set core.KernelOptions on core.Config (or use
+// SetKernelMode) instead; this shim survives for the differential tests.
+func (n *Network) SetSerialSolve(v bool) {
+	m := n.KernelMode()
+	m.SerialSolve = v
+	n.SetKernelMode(m)
+}
 
-// SetSolveWorkers sizes the parallel solve pool. Zero (the default)
-// auto-sizes from GOMAXPROCS and only fans out when a flush carries at
-// least parallelSolveMinFlows of work; an explicit count forces fan-out
-// whenever two or more domains are dirty, which is how the determinism
-// gates exercise the parallel path even on small fabrics.
-func (n *Network) SetSolveWorkers(k int) { n.solveWorkers = k }
+// SetSolveWorkers sizes the parallel solve pool (see
+// KernelMode.SolveWorkers).
+//
+// Deprecated: set core.KernelOptions on core.Config (or use
+// SetKernelMode) instead; this shim survives for the differential tests.
+func (n *Network) SetSolveWorkers(k int) {
+	m := n.KernelMode()
+	m.SolveWorkers = k
+	n.SetKernelMode(m)
+}
 
 // AddNode registers a device.
 func (n *Network) AddNode(id NodeID, kind NodeKind) error {

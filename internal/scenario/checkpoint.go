@@ -20,10 +20,15 @@ import (
 
 // Checkpoint is a forkable mid-scenario restore point.
 type Checkpoint struct {
-	// Spec is the scenario driving the run, including any faults
-	// injected before the capture (they are part of the replayed
-	// prefix).
+	// Spec is the scenario driving the run with its install-time fault
+	// list only. Faults injected after install are in Injections — the
+	// install trace event records the timeline action count, so a
+	// replay must install exactly the actions the original install saw
+	// and re-enact injections at their logged offsets.
 	Spec Spec
+	// Injections replays the run's post-install Inject history, in
+	// order, each at the offset it originally happened.
+	Injections []Injection
 	// At is the timeline offset the capture was taken at.
 	At time.Duration
 	// Core is the kernel-level capture: construction snapshot plus the
@@ -42,13 +47,17 @@ type Checkpoint struct {
 // of that claim.
 func (r *Run) Checkpoint() *Checkpoint {
 	spec := r.Spec
-	// The fault list must not share backing storage with the live run
-	// or with other forks: each fork Injects its own divergent future,
-	// and a shared array would let one fork's append overwrite
-	// another's recorded fault.
-	spec.Faults = append([]Fault(nil), r.Spec.Faults...)
+	// Split the live fault list back into install-time faults (kept on
+	// the spec) and the injection log (replayed separately by Fork).
+	// Neither slice may share backing storage with the live run or with
+	// other forks: each fork Injects its own divergent future, and a
+	// shared array would let one fork's append overwrite another's
+	// recorded fault.
+	base := len(r.Spec.Faults) - len(r.injections)
+	spec.Faults = append([]Fault(nil), r.Spec.Faults[:base]...)
 	return &Checkpoint{
 		Spec:        spec,
+		Injections:  append([]Injection(nil), r.injections...),
 		At:          r.offset,
 		Core:        r.Cloud.Checkpoint(),
 		TraceLen:    len(r.trace),
@@ -77,8 +86,27 @@ func (c *Checkpoint) Fork() (*Run, error) {
 		}
 		rr.buildWall = time.Since(buildStart)
 		r = rr
-		if err := r.RunTo(c.At); err != nil {
-			return err
+		// Re-enact the capture's injection history: advance to each
+		// logged offset and inject there, exactly as the original run
+		// did, so the replayed action ordering — and the action count
+		// the install event recorded — match byte-for-byte. Never call
+		// RunTo when the replay already stands at the target offset: an
+		// action injected at exactly its injection instant was pending
+		// at the capture, and a same-offset RunTo would execute it.
+		for _, inj := range c.Injections {
+			if r.offset < inj.At {
+				if err := r.RunTo(inj.At); err != nil {
+					return err
+				}
+			}
+			if err := r.Inject(inj.Fault); err != nil {
+				return err
+			}
+		}
+		if r.offset < c.At {
+			if err := r.RunTo(c.At); err != nil {
+				return err
+			}
 		}
 		if got := DigestTrace(r.trace); len(r.trace) != c.TraceLen || got != c.TraceDigest {
 			return fmt.Errorf("scenario %s: replayed trace prefix diverged (%d events, digest %s; want %d, %s)",

@@ -228,6 +228,13 @@ type Run struct {
 	trace   []TraceEvent
 	samples []Sample
 
+	// injections logs every post-install Inject with the offset it
+	// happened at. Checkpoints carry the log so Fork can re-enact the
+	// exact history — an injected fault must NOT be replayed as an
+	// install-time fault (the install trace event records the timeline
+	// action count, so front-loading an injection diverges the prefix).
+	injections []Injection
+
 	onoff   *workload.OnOffGenerator
 	gravity *workload.GravityGenerator
 
@@ -456,7 +463,9 @@ func (r *Run) Offset() time.Duration { return r.offset }
 // action the fault resolves to must lie at or after the run's current
 // offset; ties with already-scheduled actions keep the existing actions
 // first (stable order), so injection is as deterministic as
-// installation.
+// installation. An action at exactly the current offset stays pending
+// until the next RunTo (checkpoints taken in between capture it as
+// pending, and forks replay it as pending).
 func (r *Run) Inject(f Fault) error {
 	if err := f.validate(&r.Spec); err != nil {
 		return fmt.Errorf("scenario %s: inject: %w", r.Spec.Name, err)
@@ -469,10 +478,19 @@ func (r *Run) Inject(f Fault) error {
 		}
 	}
 	r.Spec.Faults = append(r.Spec.Faults, f)
+	r.injections = append(r.injections, Injection{At: r.offset, Fault: f})
 	r.actions = append(r.actions, acts...)
 	rest := r.actions[r.cursor:]
 	sort.SliceStable(rest, func(i, j int) bool { return rest[i].at < rest[j].at })
 	return nil
+}
+
+// Injection is one logged Run.Inject: the fault and the timeline offset
+// the run was paused at when it was injected. Checkpoints replay the
+// log verbatim so forks reproduce injected histories bit-identically.
+type Injection struct {
+	At    time.Duration
+	Fault Fault
 }
 
 // Execute runs the rest of the timeline in virtual time and returns the
@@ -526,6 +544,15 @@ func (r *Run) stopTraffic() {
 
 // Trace returns the recorded events.
 func (r *Run) Trace() []TraceEvent { return append([]TraceEvent(nil), r.trace...) }
+
+// Finished reports whether the run has reached the end of its timeline.
+func (r *Run) Finished() bool { return r.offset >= r.Spec.Duration }
+
+// Report summarises the run at its current offset without finishing it:
+// the session service's progress endpoint between RunTo slices. Unlike
+// Execute it leaves traffic generators running, so the run can keep
+// advancing afterwards.
+func (r *Run) Report() *Report { return r.report(r.runWall) }
 
 func (r *Run) report(wall time.Duration) *Report {
 	c := r.Cloud

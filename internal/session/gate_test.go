@@ -1,0 +1,184 @@
+package session
+
+// The service gate for the session API (the PR's acceptance bar):
+// twenty concurrent tenants fork sessions from ONE shared 10,000-node
+// base checkpoint over real HTTP, each injects a different fault, and
+// every session's final trace digest must be bit-identical to the same
+// history performed on a bare scenario.Run in-process — cold build,
+// run to the session's inject offset, inject the same fault, finish.
+// Run it under -race: the point is that twenty kernels advancing at
+// once, all hanging off one immutable checkpoint, never perturb each
+// other or the determinism contract.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cliconfig"
+	"repro/internal/scenario"
+)
+
+const (
+	gateScenario = "megafleet-10000" // 40 racks × 250 hosts, 1 min timeline
+	gateSessions = 20
+	gateBaseAt   = 20 * time.Second // shared base checkpoint offset
+	gateInjectAt = 30 * time.Second // every session pauses here to inject
+	gateFaultAt  = 40 * time.Second
+)
+
+// gateFault gives tenant i its own divergent future, cycling through
+// the fault catalogue with per-tenant parameters.
+func gateFault(i int) cliconfig.FaultRequest {
+	outage := cliconfig.Duration(time.Duration(4+i) * time.Second)
+	switch i % 4 {
+	case 0:
+		return cliconfig.FaultRequest{Kind: "rack-fail", Rack: 1 + i,
+			At: cliconfig.Duration(gateFaultAt), Outage: outage}
+	case 1:
+		return cliconfig.FaultRequest{Kind: "degrade",
+			At: cliconfig.Duration(gateFaultAt), Outage: outage,
+			CapacityScale: 0.4, ExtraLatency: cliconfig.Duration(2 * time.Millisecond), Loss: 0.02}
+	case 2:
+		return cliconfig.FaultRequest{Kind: "node-churn",
+			Start: cliconfig.Duration(gateInjectAt + time.Duration(2+i)*time.Second),
+			Every: cliconfig.Duration(7 * time.Second), Outage: outage}
+	default:
+		return cliconfig.FaultRequest{Kind: "migration-storm",
+			At: cliconfig.Duration(gateFaultAt), Moves: 1 + i/4}
+	}
+}
+
+func TestServiceGateTwentyForksSharedBase(t *testing.T) {
+	mgr := NewManager()
+	defer mgr.Close()
+	srv := httptest.NewServer(mgr.Handler())
+	defer srv.Close()
+
+	// One shared base image: the 10k-node scenario driven to 20s.
+	var img struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := gatePost(srv.URL+"/v1/images", map[string]any{
+		"name": "gate-base", "at_ns": int64(gateBaseAt),
+		"spec": map[string]any{"scenario": gateScenario},
+	}, &img); err != nil {
+		t.Fatalf("create image: %v", err)
+	}
+
+	// Twenty tenants, fully concurrent: fork from the shared image,
+	// advance to the inject offset, inject their own fault, run the
+	// timeline out, collect the final digest.
+	digests := make([]string, gateSessions)
+	errs := make([]error, gateSessions)
+	var wg sync.WaitGroup
+	for i := 0; i < gateSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = func() error {
+				var st Status
+				if err := gatePost(srv.URL+"/v1/sessions", map[string]any{"base_image": "gate-base"}, &st); err != nil {
+					return fmt.Errorf("create: %w", err)
+				}
+				u := srv.URL + "/v1/sessions/" + st.ID
+				if err := gatePost(u+"/advance", map[string]any{"to_ns": int64(gateInjectAt)}, &st); err != nil {
+					return fmt.Errorf("advance to inject offset: %w", err)
+				}
+				var injected map[string]any
+				if err := gatePost(u+"/inject", gateFault(i), &injected); err != nil {
+					return fmt.Errorf("inject: %w", err)
+				}
+				if err := gatePost(u+"/advance", map[string]any{"to_ns": int64(24 * time.Hour)}, &st); err != nil {
+					return fmt.Errorf("final advance: %w", err)
+				}
+				if !st.Finished {
+					return fmt.Errorf("not finished at %v", st.Offset)
+				}
+				digests[i] = st.TraceDigest
+				return nil
+			}()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("tenant %d: %v", i, err)
+		}
+	}
+	if got := mgr.Metrics()["image_forks"]; got != gateSessions {
+		t.Fatalf("image_forks = %v, want %d", got, gateSessions)
+	}
+
+	// The standalone arms: the same twenty histories on bare runs, no
+	// service involved. One cold build reaches the shared offset; each
+	// arm forks the resulting checkpoint (Fork itself re-verifies the
+	// prefix digest and the cross-layer kernel fingerprint every time).
+	spec, err := cliconfig.SpecRequest{Scenario: gateScenario}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	builder, chk, err := scenario.Branch(spec, gateBaseAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builder.Cloud.Close()
+	distinct := map[string]bool{}
+	for i := 0; i < gateSessions; i++ {
+		arm, err := chk.Fork()
+		if err != nil {
+			t.Fatalf("standalone arm %d: fork: %v", i, err)
+		}
+		f, err := gateFault(i).Fault()
+		if err != nil {
+			t.Fatalf("standalone arm %d: %v", i, err)
+		}
+		if err := arm.RunTo(gateInjectAt); err != nil {
+			t.Fatalf("standalone arm %d: %v", i, err)
+		}
+		if err := arm.Inject(f); err != nil {
+			t.Fatalf("standalone arm %d: inject: %v", i, err)
+		}
+		rep, err := arm.Execute()
+		arm.Cloud.Close()
+		if err != nil {
+			t.Fatalf("standalone arm %d: %v", i, err)
+		}
+		if got := rep.TraceDigest(); got != digests[i] {
+			t.Errorf("tenant %d (%s): service digest %s != standalone %s",
+				i, gateFault(i).Kind, digests[i], got)
+		}
+		distinct[digests[i]] = true
+	}
+	// The tenants' futures must genuinely diverge — twenty identical
+	// digests would mean the injections never landed.
+	if len(distinct) < gateSessions {
+		t.Fatalf("only %d distinct digests across %d divergent tenants", len(distinct), gateSessions)
+	}
+}
+
+// gatePost posts body as JSON and decodes the 2xx response into out.
+func gatePost(url string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,314 @@
+// The versioned REST+SSE surface over the session manager — what
+// cmd/piscaled serves. All request bodies are JSON using cliconfig's
+// wire vocabulary (the same field names piscale's checkpoint files
+// use), so a spec travels unchanged between a command line, a
+// checkpoint file and a POST body.
+//
+//	GET    /v1/healthz                      liveness + service counters
+//	GET    /v1/scenarios                    catalog listing
+//	POST   /v1/images                       build a base image {name, at_ns, spec}
+//	GET    /v1/images                       list base images
+//	POST   /v1/sessions                     create {base_image} or {spec}
+//	GET    /v1/sessions                     list sessions
+//	GET    /v1/sessions/{id}                status
+//	DELETE /v1/sessions/{id}                close and release
+//	POST   /v1/sessions/{id}/advance        {to_ns} or {for_ns}; blocks until paused there
+//	POST   /v1/sessions/{id}/inject         a cliconfig fault request
+//	POST   /v1/sessions/{id}/checkpoint     {image?}; returns fingerprint + digests
+//	POST   /v1/sessions/{id}/fork           returns the sibling session's status
+//	GET    /v1/sessions/{id}/events         SSE telemetry/trace/lifecycle feed
+//	GET    /v1/sessions/{id}/trace          full trace + digest
+package session
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/cliconfig"
+	"repro/internal/scenario"
+)
+
+// Handler returns the versioned API over the manager.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":       true,
+			"sessions": len(m.Sessions()),
+			"images":   len(m.Images()),
+			"metrics":  m.Metrics(),
+		})
+	})
+	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"scenarios": scenario.Names()})
+	})
+	mux.HandleFunc("POST /v1/images", m.handleCreateImage)
+	mux.HandleFunc("GET /v1/images", func(w http.ResponseWriter, req *http.Request) {
+		out := []map[string]any{}
+		for _, img := range m.Images() {
+			out = append(out, imageJSON(img))
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"images": out})
+	})
+	mux.HandleFunc("POST /v1/sessions", m.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, req *http.Request) {
+		out := []Status{}
+		for _, s := range m.Sessions() {
+			if st, err := s.Status(); err == nil {
+				out = append(out, st)
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", m.withSession(func(s *Session, w http.ResponseWriter, req *http.Request) {
+		st, err := s.Status()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	}))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", m.withSession(func(s *Session, w http.ResponseWriter, req *http.Request) {
+		s.Close()
+		writeJSON(w, http.StatusOK, map[string]any{"closed": s.ID})
+	}))
+	mux.HandleFunc("POST /v1/sessions/{id}/advance", m.withSession(m.handleAdvance))
+	mux.HandleFunc("POST /v1/sessions/{id}/inject", m.withSession(m.handleInject))
+	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", m.withSession(m.handleCheckpoint))
+	mux.HandleFunc("POST /v1/sessions/{id}/fork", m.withSession(m.handleFork))
+	mux.HandleFunc("GET /v1/sessions/{id}/events", m.withSession(m.handleEvents))
+	mux.HandleFunc("GET /v1/sessions/{id}/trace", m.withSession(func(s *Session, w http.ResponseWriter, req *http.Request) {
+		trace, err := s.Trace()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		evs := make([]map[string]any, 0, len(trace))
+		for _, ev := range trace {
+			evs = append(evs, map[string]any{"at_ns": int64(ev.At), "kind": ev.Kind, "detail": ev.Detail})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"trace_len":    len(trace),
+			"trace_digest": scenario.DigestTrace(trace),
+			"events":       evs,
+		})
+	}))
+	return mux
+}
+
+// CreateImageRequest is POST /v1/images' body.
+type CreateImageRequest struct {
+	Name string                `json:"name"`
+	At   cliconfig.Duration    `json:"at_ns"`
+	Spec cliconfig.SpecRequest `json:"spec"`
+}
+
+// CreateSessionRequest is POST /v1/sessions' body: fork a base image or
+// build from a spec.
+type CreateSessionRequest struct {
+	BaseImage string                 `json:"base_image,omitempty"`
+	Spec      *cliconfig.SpecRequest `json:"spec,omitempty"`
+}
+
+// AdvanceRequest is POST advance's body: an absolute target or a
+// relative step from the current offset.
+type AdvanceRequest struct {
+	To  cliconfig.Duration `json:"to_ns,omitempty"`
+	For cliconfig.Duration `json:"for_ns,omitempty"`
+}
+
+// CheckpointRequest optionally names the captured state as a base
+// image.
+type CheckpointRequest struct {
+	Image string `json:"image,omitempty"`
+}
+
+func (m *Manager) handleCreateImage(w http.ResponseWriter, req *http.Request) {
+	var body CreateImageRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeStatus(w, http.StatusBadRequest, err)
+		return
+	}
+	img, err := m.CreateImage(body.Name, body.Spec, time.Duration(body.At))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, imageJSON(img))
+}
+
+func (m *Manager) handleCreateSession(w http.ResponseWriter, req *http.Request) {
+	var body CreateSessionRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeStatus(w, http.StatusBadRequest, err)
+		return
+	}
+	s, err := m.CreateSession(body.BaseImage, body.Spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := s.Status()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (m *Manager) handleAdvance(s *Session, w http.ResponseWriter, req *http.Request) {
+	var body AdvanceRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeStatus(w, http.StatusBadRequest, err)
+		return
+	}
+	to := time.Duration(body.To)
+	if to == 0 && body.For > 0 {
+		to = s.Offset() + time.Duration(body.For)
+	}
+	if to <= 0 {
+		writeStatus(w, http.StatusBadRequest, fmt.Errorf("advance needs to_ns or for_ns"))
+		return
+	}
+	if err := s.Advance(to); err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := s.Status()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (m *Manager) handleInject(s *Session, w http.ResponseWriter, req *http.Request) {
+	var body cliconfig.FaultRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeStatus(w, http.StatusBadRequest, err)
+		return
+	}
+	f, err := body.Fault()
+	if err != nil {
+		writeStatus(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.Inject(f); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"injected": body.Kind, "offset_ns": int64(s.Offset())})
+}
+
+func (m *Manager) handleCheckpoint(s *Session, w http.ResponseWriter, req *http.Request) {
+	var body CheckpointRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeStatus(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := s.Checkpoint(body.Image)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (m *Manager) handleFork(s *Session, w http.ResponseWriter, req *http.Request) {
+	child, err := s.Fork()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := child.Status()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+// handleEvents is the SSE feed: one "status" event up front, then every
+// session event as it is emitted, until the client disconnects or the
+// session closes.
+func (m *Manager) handleEvents(s *Session, w http.ResponseWriter, req *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeStatus(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	sub := s.Subscribe(256)
+	defer s.Unsubscribe(sub)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	writeSSE(w, "status", map[string]any{"id": s.ID, "scenario": s.Scenario, "offset_ns": int64(s.Offset())})
+	flusher.Flush()
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case <-s.done:
+			writeSSE(w, "lifecycle", map[string]any{"kind": "closed"})
+			flusher.Flush()
+			return
+		case ev := <-sub:
+			writeSSE(w, ev.Type, ev)
+			flusher.Flush()
+		}
+	}
+}
+
+// withSession resolves {id} and 404s unknown sessions.
+func (m *Manager) withSession(h func(*Session, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		s := m.Session(req.PathValue("id"))
+		if s == nil {
+			writeStatus(w, http.StatusNotFound, fmt.Errorf("unknown session %q", req.PathValue("id")))
+			return
+		}
+		h(s, w, req)
+	}
+}
+
+func imageJSON(img *BaseImage) map[string]any {
+	return map[string]any{
+		"name":        img.Name,
+		"scenario":    img.Scenario,
+		"at_ns":       int64(img.At),
+		"fingerprint": img.Fingerprint,
+	}
+}
+
+func writeSSE(w http.ResponseWriter, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(fmt.Sprintf("{%q:%q}", "error", err.Error()))
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps service errors onto HTTP statuses: ErrBusy → 409,
+// everything else → 500 with the message in the body.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if errors.Is(err, ErrBusy) {
+		code = http.StatusConflict
+	}
+	writeStatus(w, code, err)
+}
+
+func writeStatus(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]any{"error": err.Error()})
+}

@@ -1,0 +1,371 @@
+// The session kernel goroutine and its serialized command mailbox.
+//
+// A Session's scenario.Run — and through it the whole simulated cloud —
+// is owned by exactly one goroutine, started in Manager.adopt and alive
+// until Close. Every external operation is a sessCmd sent down the
+// mailbox and executed by that goroutine at a paused instant of the
+// timeline, so the run's determinism contract never meets a data race:
+// HTTP handlers, the gate test and sibling sessions only ever touch the
+// mailbox and the subscriber list.
+//
+// Advance is the long-running command. It drives RunTo in sampling-
+// cadence slices, emits one telemetry event per slice, and serves
+// queued quick commands (inject, checkpoint, trace, status) at each
+// slice boundary — a paused instant like any other — so a session
+// streams telemetry and accepts injections while hours of virtual time
+// advance. A second advance arriving mid-advance fails with ErrBusy
+// rather than queueing ambiguously.
+package session
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// sessCmd is one mailbox entry: either an advance to a target offset,
+// a quick command (fn), or a close.
+type sessCmd struct {
+	kind  string // "advance", "cmd", "close"
+	to    time.Duration
+	fn    func(*scenario.Run) (any, error)
+	reply chan sessReply
+}
+
+type sessReply struct {
+	val any
+	err error
+}
+
+// Session is one tenant's live run: a scenario kernel advancing through
+// virtual time under its own goroutine.
+type Session struct {
+	ID        string
+	Scenario  string
+	BaseImage string
+
+	mgr  *Manager
+	reg  *metrics.Registry
+	cmds chan sessCmd
+	done chan struct{}
+
+	mu       sync.Mutex
+	subs     map[chan Event]struct{}
+	offset   time.Duration
+	duration time.Duration
+	closed   bool
+}
+
+// loop is the session kernel goroutine: it owns r exclusively.
+func (s *Session) loop(r *scenario.Run) {
+	defer close(s.done)
+	defer r.Cloud.Close()
+	for cmd := range s.cmds {
+		switch cmd.kind {
+		case "close":
+			cmd.reply <- sessReply{}
+			return
+		case "advance":
+			err := s.advance(r, cmd.to)
+			cmd.reply <- sessReply{err: err}
+		default:
+			v, err := cmd.fn(r)
+			cmd.reply <- sessReply{val: v, err: err}
+		}
+	}
+}
+
+// advance drives the run to the target offset in sampling-cadence
+// slices, emitting telemetry and serving queued quick commands at each
+// paused slice boundary.
+func (s *Session) advance(r *scenario.Run, to time.Duration) error {
+	if to > r.Spec.Duration {
+		to = r.Spec.Duration
+	}
+	slice := r.Spec.SampleEvery
+	if slice <= 0 {
+		slice = time.Second
+	}
+	s.reg.Counter("advances").Inc()
+	for r.Offset() < to {
+		next := r.Offset() + slice
+		if next > to {
+			next = to
+		}
+		if err := r.RunTo(next); err != nil {
+			s.emit(Event{Type: "lifecycle", Offset: int64(r.Offset()), Kind: "error", Detail: err.Error()})
+			return err
+		}
+		s.setOffset(r.Offset())
+		s.emitTelemetry(r)
+		if stop := s.serveQueued(r); stop {
+			return nil
+		}
+	}
+	s.emit(Event{Type: "lifecycle", Offset: int64(r.Offset()), Kind: "advanced",
+		Detail: "paused at " + r.Offset().String()})
+	if r.Finished() {
+		s.emit(Event{Type: "lifecycle", Offset: int64(r.Offset()), Kind: "finished",
+			Detail: "timeline complete"})
+	}
+	return nil
+}
+
+// serveQueued drains the mailbox non-blockingly at a paused slice
+// boundary: quick commands execute in arrival order, a nested advance
+// is refused with ErrBusy, and a close aborts the advance (the caller
+// returns without error; the loop sees the close on its next receive).
+func (s *Session) serveQueued(r *scenario.Run) (stop bool) {
+	for {
+		select {
+		case cmd := <-s.cmds:
+			switch cmd.kind {
+			case "close":
+				// Re-enqueue for the main loop; stop advancing now.
+				go func() { s.cmds <- cmd }()
+				return true
+			case "advance":
+				cmd.reply <- sessReply{err: ErrBusy}
+			default:
+				v, err := cmd.fn(r)
+				cmd.reply <- sessReply{val: v, err: err}
+			}
+		default:
+			return false
+		}
+	}
+}
+
+// do sends a quick command through the mailbox and waits for the reply.
+func (s *Session) do(fn func(*scenario.Run) (any, error)) (any, error) {
+	reply := make(chan sessReply, 1)
+	select {
+	case s.cmds <- sessCmd{kind: "cmd", fn: fn, reply: reply}:
+	case <-s.done:
+		return nil, fmt.Errorf("session %s: closed", s.ID)
+	}
+	select {
+	case rep := <-reply:
+		return rep.val, rep.err
+	case <-s.done:
+		return nil, fmt.Errorf("session %s: closed", s.ID)
+	}
+}
+
+// Advance drives the session to the absolute offset, blocking until
+// virtual time lands there (or the timeline ends). Concurrent advances
+// against the same session fail with ErrBusy.
+func (s *Session) Advance(to time.Duration) error {
+	reply := make(chan sessReply, 1)
+	select {
+	case s.cmds <- sessCmd{kind: "advance", to: to, reply: reply}:
+	case <-s.done:
+		return fmt.Errorf("session %s: closed", s.ID)
+	}
+	select {
+	case rep := <-reply:
+		return rep.err
+	case <-s.done:
+		return fmt.Errorf("session %s: closed", s.ID)
+	}
+}
+
+// Inject adds a fault to the session's remaining timeline — the
+// branch-divergence primitive. Valid while paused or mid-advance (the
+// injection lands at the next slice boundary); every resolved action
+// must lie at or after the current offset.
+func (s *Session) Inject(f scenario.Fault) error {
+	_, err := s.do(func(r *scenario.Run) (any, error) {
+		if err := r.Inject(f); err != nil {
+			return nil, err
+		}
+		s.reg.Counter("injects").Inc()
+		s.emit(Event{Type: "lifecycle", Offset: int64(r.Offset()), Kind: "injected",
+			Detail: fmt.Sprintf("%T", f)})
+		return nil, nil
+	})
+	return err
+}
+
+// Checkpoint captures the session at its current offset. When image is
+// non-empty the checkpoint also registers as a named base image, so
+// other tenants can fork the captured state.
+func (s *Session) Checkpoint(image string) (CheckpointInfo, error) {
+	v, err := s.do(func(r *scenario.Run) (any, error) {
+		chk := r.Checkpoint()
+		info := CheckpointInfo{
+			At:           chk.At,
+			Fingerprint:  chk.Core.Fingerprint(),
+			KernelDigest: chk.Core.State().Digest,
+			TraceLen:     chk.TraceLen,
+			TraceDigest:  chk.TraceDigest,
+		}
+		if image != "" {
+			if _, err := s.mgr.registerImage(image, chk); err != nil {
+				return nil, err
+			}
+			info.Image = image
+		}
+		s.reg.Counter("checkpoints").Inc()
+		s.emit(Event{Type: "lifecycle", Offset: int64(chk.At), Kind: "checkpointed",
+			Detail: info.Fingerprint})
+		return info, nil
+	})
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	return v.(CheckpointInfo), nil
+}
+
+// Fork captures the session at its current offset and starts an
+// independent sibling session from the capture: shared byte-identical
+// prefix (verified on fork), divergent future. The capture happens
+// through the mailbox; the sibling's warm boot and replay run on the
+// caller's goroutine so a fork never stalls the source session.
+func (s *Session) Fork() (*Session, error) {
+	v, err := s.do(func(r *scenario.Run) (any, error) {
+		return r.Checkpoint(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	chk := v.(*scenario.Checkpoint)
+	r, err := chk.Fork()
+	if err != nil {
+		return nil, fmt.Errorf("session %s: fork: %w", s.ID, err)
+	}
+	s.reg.Counter("forks").Inc()
+	s.mgr.reg.Counter("session_forks").Inc()
+	child := s.mgr.adopt(r, s.BaseImage)
+	s.emit(Event{Type: "lifecycle", Offset: int64(chk.At), Kind: "forked", Detail: child.ID})
+	return child, nil
+}
+
+// Trace returns the session's recorded trace.
+func (s *Session) Trace() ([]scenario.TraceEvent, error) {
+	v, err := s.do(func(r *scenario.Run) (any, error) { return r.Trace(), nil })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]scenario.TraceEvent), nil
+}
+
+// Status captures the session's externally visible state at a paused
+// instant.
+func (s *Session) Status() (Status, error) {
+	v, err := s.do(func(r *scenario.Run) (any, error) {
+		trace := r.Trace()
+		return Status{
+			ID:          s.ID,
+			Scenario:    s.Scenario,
+			BaseImage:   s.BaseImage,
+			Offset:      r.Offset(),
+			Duration:    r.Spec.Duration,
+			Finished:    r.Finished(),
+			TraceLen:    len(trace),
+			TraceDigest: scenario.DigestTrace(trace),
+			Metrics:     s.reg.Snapshot(),
+		}, nil
+	})
+	if err != nil {
+		return Status{}, err
+	}
+	return v.(Status), nil
+}
+
+// Offset returns the last paused offset without touching the mailbox
+// (mid-advance it trails the kernel by at most one slice).
+func (s *Session) Offset() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.offset
+}
+
+func (s *Session) setOffset(o time.Duration) {
+	s.mu.Lock()
+	s.offset = o
+	s.mu.Unlock()
+	s.reg.Gauge("offset_ns").Set(float64(o))
+}
+
+// Close stops the kernel goroutine, releases the cloud and unlinks the
+// session from the manager. Idempotent.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	reply := make(chan sessReply, 1)
+	select {
+	case s.cmds <- sessCmd{kind: "close", reply: reply}:
+	case <-s.done:
+	}
+	<-s.done
+	s.mgr.remove(s.ID)
+}
+
+// Subscribe registers a telemetry subscriber with the given buffer.
+// Events overflowing a slow subscriber's buffer are dropped (counted in
+// the session metrics), never blocking the kernel.
+func (s *Session) Subscribe(buf int) chan Event {
+	ch := make(chan Event, buf)
+	s.mu.Lock()
+	s.subs[ch] = struct{}{}
+	s.mu.Unlock()
+	return ch
+}
+
+// Unsubscribe removes a subscriber.
+func (s *Session) Unsubscribe(ch chan Event) {
+	s.mu.Lock()
+	delete(s.subs, ch)
+	s.mu.Unlock()
+}
+
+// emit fans an event out to every subscriber, dropping on full buffers.
+func (s *Session) emit(ev Event) {
+	s.reg.Counter("events").Inc()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ch := range s.subs {
+		select {
+		case ch <- ev:
+		default:
+			s.reg.Counter("events_dropped").Inc()
+		}
+	}
+}
+
+// emitTelemetry samples the hierarchical meters and per-rack flow
+// groups at a paused slice boundary: aggregate draw, per-rack draw
+// (energy sub-meter groups) and per-rack bits carried (netsim link
+// groups).
+func (s *Session) emitTelemetry(r *scenario.Run) {
+	c := r.Cloud
+	c.Mu.Lock()
+	total := c.Meter.TotalWatts()
+	rackW := map[string]float64{}
+	for _, g := range c.Meter.Groups() {
+		rackW[strconv.Itoa(g)] = c.Meter.GroupWatts(g)
+	}
+	rackBits := map[string]float64{}
+	for _, g := range c.Net.LinkGroupIDs() {
+		rackBits[strconv.Itoa(g)] = c.Net.GroupBitsCarried(g)
+	}
+	c.Mu.Unlock()
+	s.emit(Event{
+		Type:       "telemetry",
+		Offset:     int64(r.Offset()),
+		PowerW:     total,
+		RackPowerW: rackW,
+		RackBits:   rackBits,
+	})
+}

@@ -1,0 +1,295 @@
+// Package session is the multi-tenant heart of the simulator's service
+// mode: one long-running process owns named base images — a catalog
+// scenario resolved once, driven to an offset and captured as a
+// verified full-kernel checkpoint — and any number of live sessions,
+// each an independent scenario.Run forked from an image (or built
+// fresh from a spec) and advanced through virtual time on demand.
+//
+// The concurrency discipline is one goroutine per session kernel with
+// a serialized command mailbox: every operation that touches a run —
+// advance, inject, checkpoint, trace, status — is a command executed
+// by that session's own goroutine, one at a time, at a paused instant
+// of the timeline. Sessions therefore keep the whole repository's
+// determinism contract individually: the same image, the same injected
+// faults and the same advances reproduce the same trace digest bit for
+// bit, no matter how many sibling sessions run concurrently (the
+// service gate proves exactly this under the race detector).
+//
+// Base images are registered twice over: by caller-chosen name and by
+// fingerprint (fleet shape key + cross-layer kernel state digest, see
+// core.Checkpoint.Fingerprint), so two images that capture identical
+// simulated machines share one checkpoint instead of holding two.
+package session
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cliconfig"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// ErrBusy is returned to commands that arrive while the session is
+// mid-advance and cannot queue behind it (a second advance); quick
+// commands are served at slice boundaries instead.
+var ErrBusy = fmt.Errorf("session: advance in progress")
+
+// Event is one entry of a session's telemetry feed: trace events as
+// they are recorded, telemetry samples at every advance slice
+// (aggregate and per-rack power, per-rack bits carried), and lifecycle
+// markers (created, advanced, checkpointed, forked, finished).
+type Event struct {
+	Type   string `json:"type"`
+	Offset int64  `json:"offset_ns"`
+	// Kind/Detail carry trace and lifecycle payloads.
+	Kind   string `json:"kind,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	// PowerW and the per-rack maps carry telemetry payloads, keyed by
+	// rack index.
+	PowerW     float64            `json:"power_w,omitempty"`
+	RackPowerW map[string]float64 `json:"rack_power_w,omitempty"`
+	RackBits   map[string]float64 `json:"rack_bits,omitempty"`
+}
+
+// Status is a session's externally visible state, captured at a paused
+// instant through the mailbox.
+type Status struct {
+	ID          string             `json:"id"`
+	Scenario    string             `json:"scenario"`
+	BaseImage   string             `json:"base_image,omitempty"`
+	Offset      time.Duration      `json:"offset_ns"`
+	Duration    time.Duration      `json:"duration_ns"`
+	Finished    bool               `json:"finished"`
+	TraceLen    int                `json:"trace_len"`
+	TraceDigest string             `json:"trace_digest"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// CheckpointInfo is the wire summary of a captured checkpoint.
+type CheckpointInfo struct {
+	At           time.Duration `json:"at_ns"`
+	Fingerprint  string        `json:"fingerprint"`
+	KernelDigest string        `json:"kernel_digest"`
+	TraceLen     int           `json:"trace_len"`
+	TraceDigest  string        `json:"trace_digest"`
+	Image        string        `json:"image,omitempty"`
+}
+
+// BaseImage is a named, shareable restore point: the resolved spec
+// request (the recipe), the capture offset, and the verified
+// checkpoint sessions fork from. Images are immutable once registered.
+type BaseImage struct {
+	Name        string
+	Scenario    string
+	At          time.Duration
+	Fingerprint string
+	// Forks counts sessions started from this image.
+	forks int
+	chk   *scenario.Checkpoint
+}
+
+// Manager owns the image registry and the live sessions.
+type Manager struct {
+	mu       sync.Mutex
+	images   map[string]*BaseImage
+	byFP     map[string]*BaseImage
+	sessions map[string]*Session
+	seq      int
+	// reg holds service-level counters: images built, images shared via
+	// fingerprint, sessions created/closed, forks.
+	reg *metrics.Registry
+}
+
+// NewManager returns an empty session manager.
+func NewManager() *Manager {
+	return &Manager{
+		images:   map[string]*BaseImage{},
+		byFP:     map[string]*BaseImage{},
+		sessions: map[string]*Session{},
+		reg:      metrics.NewRegistry(),
+	}
+}
+
+// Metrics exposes the service-level registry snapshot.
+func (m *Manager) Metrics() map[string]float64 { return m.reg.Snapshot() }
+
+// CreateImage resolves the spec request, drives a fresh run to the
+// offset, captures a verified checkpoint and registers it under name.
+// If the captured state is fingerprint-identical to an existing image,
+// the new name shares the existing checkpoint (and its warm plan)
+// instead of keeping a second copy.
+func (m *Manager) CreateImage(name string, req cliconfig.SpecRequest, at time.Duration) (*BaseImage, error) {
+	if name == "" {
+		return nil, fmt.Errorf("session: image needs a name")
+	}
+	m.mu.Lock()
+	if _, dup := m.images[name]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("session: image %q already exists", name)
+	}
+	m.mu.Unlock()
+	spec, err := req.Resolve()
+	if err != nil {
+		return nil, fmt.Errorf("session: image %q: %w", name, err)
+	}
+	r, chk, err := scenario.Branch(spec, at)
+	if err != nil {
+		return nil, fmt.Errorf("session: image %q: %w", name, err)
+	}
+	// The builder run only existed to reach the offset; the checkpoint
+	// carries the construction snapshot and replay recipe on its own.
+	r.Cloud.Close()
+	return m.registerImage(name, chk)
+}
+
+// registerImage files a captured checkpoint under name, sharing the
+// stored checkpoint with any fingerprint-identical image.
+func (m *Manager) registerImage(name string, chk *scenario.Checkpoint) (*BaseImage, error) {
+	fp := chk.Core.Fingerprint()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.images[name]; dup {
+		return nil, fmt.Errorf("session: image %q already exists", name)
+	}
+	if shared, ok := m.byFP[fp]; ok {
+		chk = shared.chk
+		m.reg.Counter("images_shared").Inc()
+	}
+	img := &BaseImage{
+		Name:        name,
+		Scenario:    chk.Spec.Name,
+		At:          chk.At,
+		Fingerprint: fp,
+		chk:         chk,
+	}
+	m.images[name] = img
+	if _, ok := m.byFP[fp]; !ok {
+		m.byFP[fp] = img
+	}
+	m.reg.Counter("images_created").Inc()
+	return img, nil
+}
+
+// Image returns the named base image, or nil.
+func (m *Manager) Image(name string) *BaseImage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.images[name]
+}
+
+// Images lists the registered images sorted by name.
+func (m *Manager) Images() []*BaseImage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*BaseImage, 0, len(m.images))
+	for _, img := range m.images {
+		out = append(out, img)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CreateSession builds a live session: from the named base image when
+// baseImage is non-empty (warm fork, shared prefix verified
+// byte-identical), otherwise fresh from the spec request at offset
+// zero.
+func (m *Manager) CreateSession(baseImage string, req *cliconfig.SpecRequest) (*Session, error) {
+	var r *scenario.Run
+	var err error
+	switch {
+	case baseImage != "":
+		img := m.Image(baseImage)
+		if img == nil {
+			return nil, fmt.Errorf("session: unknown base image %q", baseImage)
+		}
+		r, err = img.chk.Fork()
+		if err != nil {
+			return nil, fmt.Errorf("session: fork of image %q: %w", baseImage, err)
+		}
+		m.mu.Lock()
+		img.forks++
+		m.mu.Unlock()
+		m.reg.Counter("image_forks").Inc()
+	case req != nil:
+		spec, rerr := req.Resolve()
+		if rerr != nil {
+			return nil, fmt.Errorf("session: %w", rerr)
+		}
+		r, err = scenario.New(spec)
+		if err != nil {
+			return nil, fmt.Errorf("session: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("session: need a base image or a spec")
+	}
+	return m.adopt(r, baseImage), nil
+}
+
+// adopt wraps a freshly built (or forked) run in a session and starts
+// its kernel goroutine.
+func (m *Manager) adopt(r *scenario.Run, baseImage string) *Session {
+	m.mu.Lock()
+	m.seq++
+	id := fmt.Sprintf("s-%04d", m.seq)
+	s := &Session{
+		ID:        id,
+		Scenario:  r.Spec.Name,
+		BaseImage: baseImage,
+		mgr:       m,
+		reg:       metrics.NewRegistry(),
+		cmds:      make(chan sessCmd, 16),
+		done:      make(chan struct{}),
+		subs:      map[chan Event]struct{}{},
+		offset:    r.Offset(),
+		duration:  r.Spec.Duration,
+	}
+	m.sessions[id] = s
+	m.mu.Unlock()
+	m.reg.Counter("sessions_created").Inc()
+	// Every recorded trace event fans out to the session's SSE
+	// subscribers as it happens.
+	r.OnEvent = func(ev scenario.TraceEvent) {
+		s.emit(Event{Type: "trace", Offset: int64(ev.At), Kind: ev.Kind, Detail: ev.Detail})
+	}
+	go s.loop(r)
+	s.emit(Event{Type: "lifecycle", Offset: int64(s.offset), Kind: "created",
+		Detail: fmt.Sprintf("scenario %s from image %q at %v", s.Scenario, baseImage, s.Offset())})
+	return s
+}
+
+// Session returns the live session by id, or nil.
+func (m *Manager) Session(id string) *Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sessions[id]
+}
+
+// Sessions lists the live sessions sorted by id.
+func (m *Manager) Sessions() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Close shuts every session down and drops the registries.
+func (m *Manager) Close() {
+	for _, s := range m.Sessions() {
+		s.Close()
+	}
+}
+
+// remove unlinks a closed session.
+func (m *Manager) remove(id string) {
+	m.mu.Lock()
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	m.reg.Counter("sessions_closed").Inc()
+}

@@ -73,6 +73,15 @@ const (
 	// pending-span statistics to work from: 2^20 ns ≈ 1 ms, the natural
 	// granularity of the simulated fabrics.
 	calInitWidthLog = 20
+	// calHorizonAlpha is the EWMA decay of the online event-horizon
+	// statistic: each push moves the estimate 1/64th of the way to the
+	// observed distance-to-drain-front, so the estimate tracks a few
+	// thousand recent pushes.
+	calHorizonAlpha = 64
+	// calHorizonCheckOps is how many pushes pass between width checks;
+	// the check itself is a handful of integer ops, this just keeps it
+	// off the per-push fast path.
+	calHorizonCheckOps = 1024
 )
 
 // calBucket is one second-level bucket. sorted is the bulk run (drained
@@ -222,6 +231,12 @@ type calendarQueue struct {
 	// grewAt/shrankAt are the rebuild thresholds derived from the
 	// current bucket count (hysteresis keeps resize amortised O(1)).
 	grewAt, shrankAt int
+	// horizon is the EWMA of each push's distance to the drain front —
+	// the cheap online statistic behind width-drift reshapes. A pure
+	// function of the push history, so it perturbs no trace.
+	horizon float64
+	// horizonOps counts pushes since the last width check.
+	horizonOps int
 }
 
 func newCalendarQueue() *calendarQueue {
@@ -247,7 +262,44 @@ func (c *calendarQueue) push(n *eventNode) {
 	}
 	b.insert = append(b.insert, n)
 	c.count++
+	c.observeHorizon(n.at)
 	if c.count > c.grewAt {
+		c.rebuild()
+	}
+}
+
+// observeHorizon feeds one push's distance to the drain front into the
+// EWMA and, every calHorizonCheckOps pushes, re-derives the day width
+// the current horizon would pick. The count-triggered rebuilds re-pick
+// the width too, but a long-running session whose pending count is
+// steady while its event spacing stretches or compresses (slow churn
+// replacing dense bring-up traffic, say) never crosses those
+// thresholds — this is the drift detector that closes that gap. A ≥ 4×
+// width mismatch (two doublings, matching the rebuild hysteresis)
+// triggers an ordinary rebuild, which re-buckets under a span-derived
+// width and resets the estimate to the fresh shape's neutral point.
+func (c *calendarQueue) observeHorizon(at Time) {
+	delta := int64(at) - int64(c.day<<c.widthLog)
+	if delta < 0 {
+		delta = 0
+	}
+	c.horizon += (float64(delta) - c.horizon) / calHorizonAlpha
+	c.horizonOps++
+	if c.horizonOps < calHorizonCheckOps {
+		return
+	}
+	c.horizonOps = 0
+	if c.count < 2*calMinBuckets {
+		return
+	}
+	// The mean horizon of a uniform pending set is half its span, and
+	// reshape spreads a year over twice the span: want ≈ 4·horizon/nb.
+	want := int64(4 * c.horizon / float64(len(c.buckets)))
+	wl := uint(0)
+	for (int64(1)<<wl) < want && wl < calMaxWidthLog {
+		wl++
+	}
+	if wl > c.widthLog+1 || wl+1 < c.widthLog {
 		c.rebuild()
 	}
 }
@@ -363,6 +415,11 @@ func (c *calendarQueue) reshape(n int, lo, hi Time) {
 	if nb > calMinBuckets {
 		c.shrankAt = nb / 4
 	}
+	// Reset the horizon estimate to the fresh shape's neutral point —
+	// the value at which a width check re-derives exactly wl — so a
+	// reshape never immediately re-triggers itself.
+	c.horizon = float64(uint64(nb) << wl / 4)
+	c.horizonOps = 0
 }
 
 // rebuild re-buckets every pending node under a fresh shape. Triggered

@@ -214,6 +214,62 @@ func TestPendingEventsSnapshotIsNonDestructive(t *testing.T) {
 	}
 }
 
+// TestCalendarWidthAdaptsToHorizonDrift pins the online gap statistic:
+// a standing population whose event spacing stretches from microseconds
+// to seconds — while the pending count never moves, so no count-
+// triggered rebuild ever fires — must still widen the ladder's day
+// width, and the fire order must stay strictly (time, seq) sorted
+// through the width-only reshapes.
+func TestCalendarWidthAdaptsToHorizonDrift(t *testing.T) {
+	e := NewEngine(1)
+	cq, ok := e.sched.(*calendarQueue)
+	if !ok {
+		t.Fatalf("default scheduler is %T, want *calendarQueue", e.sched)
+	}
+	const standing = 2000
+	var lastAt Time
+	var lastSeq uint64
+	checkOrder := func() {
+		at, seq := e.Now(), e.Seq()
+		if at < lastAt {
+			t.Fatalf("fire time went backwards: %v after %v", at, lastAt)
+		}
+		lastAt, lastSeq = at, seq
+		_ = lastSeq
+	}
+	// Dense phase: microsecond spacing settles a narrow day width.
+	var respace Duration
+	var fn func()
+	fn = func() {
+		checkOrder()
+		e.Schedule(respace, fn)
+	}
+	respace = 2 * time.Millisecond
+	for i := 0; i < standing; i++ {
+		e.Schedule(time.Duration(1+i)*time.Microsecond, fn)
+	}
+	for i := 0; i < 4*calHorizonCheckOps; i++ {
+		e.Step()
+	}
+	denseWl := cq.widthLog
+	if cq.count != standing {
+		t.Fatalf("pending = %d mid-run, want steady %d", cq.count, standing)
+	}
+	// Sparse phase: same population, second-scale spacing. The count
+	// never crosses a rebuild threshold, so only the horizon statistic
+	// can adapt the width.
+	respace = 4 * time.Second
+	for i := 0; i < 8*calHorizonCheckOps; i++ {
+		e.Step()
+	}
+	if cq.count != standing {
+		t.Fatalf("pending = %d after sparse phase, want steady %d", cq.count, standing)
+	}
+	if cq.widthLog < denseWl+2 {
+		t.Fatalf("day width stuck at 2^%d ns after horizon drift (dense phase picked 2^%d); the width-drift reshape never fired", cq.widthLog, denseWl)
+	}
+}
+
 // schedulerChurn is the BenchmarkSchedulerChurn body: a steady-state mix
 // of schedule, cancel-then-reschedule (the completion re-arm pattern)
 // and fire over a standing population of pending events.
