@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-megafleet bench bench-smoke bench-json determinism-single-core service-smoke lint ci
+.PHONY: all build test race race-megafleet bench bench-smoke bench-json determinism-single-core service-smoke crash-gate lint ci
 
 all: build
 
@@ -60,9 +60,21 @@ bench-json:
 service-smoke:
 	$(GO) run ./cmd/piscaled -smoke -smoke-budget 120s
 
+# The crash-recovery gate, under the race detector: piscaled re-execs
+# itself as a child daemon over a data directory, SIGKILLs it while two
+# journaled sessions are mid-advance, restarts it and requires every
+# session recovered by verified replay to its last durable offset —
+# then finishes the runs and compares their trace digests bit-for-bit
+# against uninterrupted control arms, plus a SIGTERM drain/recover
+# round. The data directory (quarantined journals included) survives
+# in crash-data/ on failure.
+crash-gate:
+	rm -rf crash-data
+	$(GO) run -race ./cmd/piscaled -crash-gate -crash-budget 8m -crash-dir crash-data
+
 lint:
 	$(GO) vet ./...
 	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
-ci: build lint test race race-megafleet bench-smoke determinism-single-core service-smoke
+ci: build lint test race race-megafleet bench-smoke determinism-single-core service-smoke crash-gate

@@ -1,0 +1,106 @@
+// Shared HTTP client helpers for the self-driving modes (-smoke,
+// -crash-gate): JSON POST/GET with bounded exponential backoff plus
+// jitter. Transient transport failures — a listener not yet open, a
+// connection reset, a 503 from a draining daemon — retry; everything
+// the server actually decided (4xx, 5xx other than 503) surfaces
+// immediately.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+const (
+	retryAttempts = 6
+	retryBase     = 50 * time.Millisecond
+	retryCap      = 2 * time.Second
+)
+
+// backoff sleeps for the attempt's exponential delay with ±50% jitter.
+func backoff(attempt int) {
+	d := retryBase << attempt
+	if d > retryCap {
+		d = retryCap
+	}
+	jittered := d/2 + time.Duration(rand.Int63n(int64(d)))
+	time.Sleep(jittered)
+}
+
+// retryable reports whether the attempt outcome is worth retrying:
+// transport errors (refused, reset, in-flight cut) and 503 (draining).
+func retryable(resp *http.Response, err error) bool {
+	if err != nil {
+		return true
+	}
+	return resp.StatusCode == http.StatusServiceUnavailable
+}
+
+// doJSON runs one request-building closure under the retry policy and
+// decodes the 2xx response into out.
+func doJSON(build func() (*http.Request, error), out any) error {
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			backoff(attempt - 1)
+		}
+		req, err := build()
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if retryable(resp, err) {
+			if err != nil {
+				lastErr = err
+			} else {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				lastErr = fmt.Errorf("%s: HTTP %d: %s", req.URL, resp.StatusCode, bytes.TrimSpace(body))
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			var e struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			return fmt.Errorf("%s: HTTP %d: %s", req.URL, resp.StatusCode, e.Error)
+		}
+		if out == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return fmt.Errorf("giving up after %d attempts: %w", retryAttempts, lastErr)
+}
+
+// postJSON posts body and decodes the 2xx response into out, retrying
+// transient failures with backoff.
+func postJSON(url string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	return doJSON(func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}, out)
+}
+
+// getJSON fetches url and decodes the 2xx response into out, retrying
+// transient failures with backoff.
+func getJSON(url string, out any) error {
+	return doJSON(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url, nil)
+	}, out)
+}

@@ -1,0 +1,393 @@
+// The -crash-gate: the end-to-end crash-recovery proof, used by CI.
+// It re-execs this binary as a child daemon over a durable data
+// directory, drives two sessions off one shared base image (journaled
+// advances, divergent fault injections), launches long advances and
+// SIGKILLs the daemon while both kernels are mid-flight. The restarted
+// daemon must recover both sessions by verified replay — their state
+// digests proven against the journals — after which the gate drives
+// the recovered runs onward and requires their trace digests to be
+// bit-identical to uninterrupted control arms computed in-process.
+// A final SIGTERM lifetime proves graceful drain: the daemon exits
+// cleanly and a third lifetime recovers every session exactly where
+// the drain journaled it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/cliconfig"
+	"repro/internal/scenario"
+	"repro/internal/session"
+)
+
+// The gate's shared timeline (virtual time).
+const (
+	crashScenario = "megafleet-1000"
+	crashDuration = 10 * time.Minute // override: runway so the kill lands mid-advance
+	crashImageAt  = 30 * time.Second
+	crashInjectAt = 60 * time.Second // sessions pause here to inject
+	crashKillMark = 85 * time.Second // SIGKILL once both sessions pass this
+	crashFinalAt  = 150 * time.Second
+)
+
+type crashArm struct {
+	fault  cliconfig.FaultRequest
+	id     string // session id, assigned at create
+	digest string // control digest at crashFinalAt
+}
+
+func runCrashGate(budget time.Duration, dir string) (err error) {
+	start := time.Now()
+	deadline := start.Add(budget)
+	tempDir := dir == ""
+	if tempDir {
+		if dir, err = os.MkdirTemp("", "piscaled-crash-*"); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		if err != nil {
+			fmt.Printf("crash-gate: FAIL — data dir kept at %s\n", dir)
+			dumpQuarantine(dir)
+		} else if tempDir {
+			os.RemoveAll(dir)
+		}
+	}()
+
+	arms := []*crashArm{
+		{fault: cliconfig.FaultRequest{Kind: "rack-fail", Rack: 3,
+			At: cliconfig.Duration(70 * time.Second), Outage: cliconfig.Duration(20 * time.Second)}},
+		{fault: cliconfig.FaultRequest{Kind: "rack-fail", Rack: 7,
+			At: cliconfig.Duration(75 * time.Second), Outage: cliconfig.Duration(30 * time.Second)}},
+	}
+	spec := cliconfig.SpecRequest{Scenario: crashScenario, Duration: cliconfig.Duration(crashDuration)}
+
+	// Control arms run concurrently with the child's first lifetime: the
+	// same history on bare in-process runs, never interrupted.
+	var controls sync.WaitGroup
+	controlErr := make([]error, len(arms))
+	for i, arm := range arms {
+		controls.Add(1)
+		go func() {
+			defer controls.Done()
+			controlErr[i] = runControlArm(spec, arm)
+		}()
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	addr, err := pickAddr()
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+	fmt.Printf("crash-gate: data dir %s, child on %s (budget %v)\n", dir, addr, budget)
+
+	// ---- Lifetime 1: build state, then die hard mid-advance. ----
+	child, err := startChild(exe, addr, dir)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if child != nil && child.Process != nil {
+			_ = child.Process.Kill()
+			_ = child.Wait()
+		}
+	}()
+	if err := waitReady(base, deadline); err != nil {
+		return fmt.Errorf("lifetime 1: %w", err)
+	}
+	if err := postJSON(base+"/v1/images", map[string]any{
+		"name": "crash-base", "at_ns": int64(crashImageAt), "spec": spec,
+	}, nil); err != nil {
+		return fmt.Errorf("create image: %w", err)
+	}
+	for i, arm := range arms {
+		var st session.Status
+		if err := postJSON(base+"/v1/sessions", map[string]any{"base_image": "crash-base"}, &st); err != nil {
+			return fmt.Errorf("create session %d: %w", i, err)
+		}
+		arm.id = st.ID
+		// Journaled history before the crash: pause at the inject offset,
+		// inject this arm's divergent fault, then two more durable
+		// advances so recovery replays a multi-record journal.
+		if err := postJSON(base+"/v1/sessions/"+st.ID+"/advance", map[string]any{"to_ns": int64(crashInjectAt)}, nil); err != nil {
+			return fmt.Errorf("advance %s: %w", st.ID, err)
+		}
+		if err := postJSON(base+"/v1/sessions/"+st.ID+"/inject", arm.fault, nil); err != nil {
+			return fmt.Errorf("inject %s: %w", st.ID, err)
+		}
+		for _, to := range []time.Duration{70 * time.Second, 80 * time.Second} {
+			if err := postJSON(base+"/v1/sessions/"+st.ID+"/advance", map[string]any{"to_ns": int64(to)}, nil); err != nil {
+				return fmt.Errorf("advance %s to %v: %w", st.ID, to, err)
+			}
+		}
+	}
+	fmt.Printf("crash-gate: 2 sessions journaled to 80s t+%v\n", time.Since(start).Round(time.Millisecond))
+
+	// Long advances in flight; their progress past the last journal
+	// record is exactly what the SIGKILL is about to destroy.
+	for _, arm := range arms {
+		url := base + "/v1/sessions/" + arm.id + "/advance"
+		go func() {
+			_ = rawPost(url, map[string]any{"to_ns": int64(crashDuration)})
+		}()
+	}
+	if err := waitOffsets(base, arms, crashKillMark, deadline); err != nil {
+		return err
+	}
+	if err := child.Process.Kill(); err != nil {
+		return fmt.Errorf("SIGKILL: %w", err)
+	}
+	_ = child.Wait()
+	fmt.Printf("crash-gate: SIGKILLed mid-advance past %v t+%v\n", crashKillMark, time.Since(start).Round(time.Millisecond))
+
+	// ---- Lifetime 2: recover, verify, finish the runs. ----
+	if child, err = startChild(exe, addr, dir); err != nil {
+		return err
+	}
+	if err := waitReady(base, deadline); err != nil {
+		return fmt.Errorf("lifetime 2: %w", err)
+	}
+	hz, err := fetchHealthz(base)
+	if err != nil {
+		return err
+	}
+	if len(hz.Quarantined) != 0 {
+		return fmt.Errorf("recovery quarantined sessions: %v", hz.Quarantined)
+	}
+	for _, arm := range arms {
+		det := hz.session(arm.id)
+		if det == nil {
+			return fmt.Errorf("session %s not recovered (healthz lists %d sessions)", arm.id, len(hz.SessionDetail))
+		}
+		if det.State != session.StateRecovered {
+			return fmt.Errorf("session %s state %q after restart, want %q", arm.id, det.State, session.StateRecovered)
+		}
+		if got := time.Duration(det.OffsetNS); got != 80*time.Second {
+			return fmt.Errorf("session %s recovered at %v, want the last durable offset 80s", arm.id, got)
+		}
+	}
+	fmt.Printf("crash-gate: both sessions recovered + digest-verified at 80s t+%v\n", time.Since(start).Round(time.Millisecond))
+
+	controls.Wait()
+	for i, cerr := range controlErr {
+		if cerr != nil {
+			return fmt.Errorf("control arm %d: %w", i, cerr)
+		}
+	}
+	for _, arm := range arms {
+		var st session.Status
+		if err := postJSON(base+"/v1/sessions/"+arm.id+"/advance", map[string]any{"to_ns": int64(crashFinalAt)}, &st); err != nil {
+			return fmt.Errorf("post-recovery advance %s: %w", arm.id, err)
+		}
+		if st.TraceDigest != arm.digest {
+			return fmt.Errorf("session %s recovered run diverged at %v: digest %s, uninterrupted arm %s",
+				arm.id, crashFinalAt, st.TraceDigest, arm.digest)
+		}
+	}
+	fmt.Printf("crash-gate: recovered runs reproduce uninterrupted digests at %v t+%v\n", crashFinalAt, time.Since(start).Round(time.Millisecond))
+
+	// ---- Lifetime 3: graceful drain, then recover from the drain. ----
+	if err := child.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("SIGTERM: %w", err)
+	}
+	if err := child.Wait(); err != nil {
+		return fmt.Errorf("drained child exited uncleanly: %w", err)
+	}
+	if child, err = startChild(exe, addr, dir); err != nil {
+		return err
+	}
+	if err := waitReady(base, deadline); err != nil {
+		return fmt.Errorf("lifetime 3: %w", err)
+	}
+	for _, arm := range arms {
+		var st session.Status
+		if err := getJSON(base+"/v1/sessions/"+arm.id, &st); err != nil {
+			return fmt.Errorf("lifetime 3 status %s: %w", arm.id, err)
+		}
+		if st.Offset != crashFinalAt || st.TraceDigest != arm.digest {
+			return fmt.Errorf("session %s after drain+restart: offset %v digest %s, want %v %s",
+				arm.id, st.Offset, st.TraceDigest, crashFinalAt, arm.digest)
+		}
+	}
+	_ = child.Process.Signal(syscall.SIGTERM)
+	_ = child.Wait()
+	child = nil
+	if time.Now().After(deadline) {
+		return fmt.Errorf("wall budget exceeded: %v over %v", time.Since(start), budget)
+	}
+	fmt.Printf("crash-gate: PASS — SIGKILL and SIGTERM lifetimes both recovered bit-identically in %v (budget %v)\n",
+		time.Since(start).Round(time.Millisecond), budget)
+	return nil
+}
+
+// runControlArm performs the arm's exact history on a bare in-process
+// run, never interrupted: cold build, pause at the inject offset,
+// inject, run to the comparison offset, digest.
+func runControlArm(req cliconfig.SpecRequest, arm *crashArm) error {
+	spec, err := req.Resolve()
+	if err != nil {
+		return err
+	}
+	f, err := arm.fault.Fault()
+	if err != nil {
+		return err
+	}
+	r, err := scenario.New(spec)
+	if err != nil {
+		return err
+	}
+	defer r.Cloud.Close()
+	if err := r.RunTo(crashInjectAt); err != nil {
+		return err
+	}
+	if err := r.Inject(f); err != nil {
+		return err
+	}
+	if err := r.RunTo(crashFinalAt); err != nil {
+		return err
+	}
+	arm.digest = scenario.DigestTrace(r.Trace())
+	return nil
+}
+
+// startChild launches the daemon child serving addr over dir.
+func startChild(exe, addr, dir string) (*exec.Cmd, error) {
+	cmd := exec.Command(exe, "-addr", addr, "-data-dir", dir)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start child: %w", err)
+	}
+	return cmd, nil
+}
+
+// pickAddr reserves a loopback port for the child daemons.
+func pickAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// healthzReply is the slice of /v1/healthz the gate reads.
+type healthzReply struct {
+	OK            bool `json:"ok"`
+	SessionDetail []struct {
+		ID       string `json:"id"`
+		State    string `json:"state"`
+		OffsetNS int64  `json:"offset_ns"`
+	} `json:"session_detail"`
+	Quarantined map[string]string `json:"sessions_quarantined"`
+}
+
+func (h *healthzReply) session(id string) *struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	OffsetNS int64  `json:"offset_ns"`
+} {
+	for i := range h.SessionDetail {
+		if h.SessionDetail[i].ID == id {
+			return &h.SessionDetail[i]
+		}
+	}
+	return nil
+}
+
+func fetchHealthz(base string) (*healthzReply, error) {
+	var hz healthzReply
+	if err := getJSON(base+"/v1/healthz", &hz); err != nil {
+		return nil, err
+	}
+	return &hz, nil
+}
+
+// waitReady polls healthz until the daemon answers (recovery replay
+// happens before the listener opens, so this also waits recovery out).
+func waitReady(base string, deadline time.Time) error {
+	for {
+		var hz healthzReply
+		if err := getJSON(base+"/v1/healthz", &hz); err == nil && hz.OK {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon on %s not ready before the deadline", base)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// waitOffsets polls until every arm's session has advanced past mark —
+// i.e. every kernel is provably mid-advance beyond its last durable
+// record — so the SIGKILL that follows lands exactly where the gate
+// wants it.
+func waitOffsets(base string, arms []*crashArm, mark time.Duration, deadline time.Time) error {
+	for {
+		hz, err := fetchHealthz(base)
+		if err != nil {
+			return fmt.Errorf("polling offsets: %w", err)
+		}
+		past := 0
+		for _, arm := range arms {
+			if det := hz.session(arm.id); det != nil && time.Duration(det.OffsetNS) > mark {
+				past++
+			}
+		}
+		if past == len(arms) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sessions never passed %v before the deadline", mark)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// rawPost fires one JSON POST with no retry — the in-flight advance the
+// gate intends to kill must not be re-issued by a helpful client.
+func rawPost(url string, body any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// dumpQuarantine prints quarantined journals and reasons on failure.
+func dumpQuarantine(dir string) {
+	qdir := filepath.Join(dir, "quarantine")
+	entries, err := os.ReadDir(qdir)
+	if err != nil || len(entries) == 0 {
+		return
+	}
+	fmt.Printf("crash-gate: quarantine contents of %s:\n", qdir)
+	for _, e := range entries {
+		fmt.Printf("  %s\n", e.Name())
+		if filepath.Ext(e.Name()) == ".reason" {
+			if data, err := os.ReadFile(filepath.Join(qdir, e.Name())); err == nil {
+				fmt.Printf("    %s\n", string(data))
+			}
+		}
+	}
+}

@@ -8,19 +8,36 @@
 // virtual time advances — every session bit-identical to the same
 // scenario run standalone.
 //
+// With -data-dir the daemon is crash-safe: base images persist as
+// replay recipes, every session appends a write-ahead journal, and a
+// restart on the same directory rebuilds the whole tenant population
+// by verified replay (see internal/store and internal/session's
+// recovery). SIGTERM drains gracefully — in-flight advances yield at
+// their next slice boundary with their progress journaled — while
+// SIGKILL merely loses the un-journaled tail of in-flight advances:
+// either way the next lifetime recovers every session to its last
+// durable offset, bit-identically.
+//
 // Usage:
 //
 //	piscaled -addr :9090
+//	piscaled -addr :9090 -data-dir /var/lib/piscaled
 //	piscaled -addr :9090 -image base=megafleet-1000@30s
 //	piscaled -smoke -smoke-budget 120s
+//	piscaled -crash-gate -crash-budget 8m
 //
 // The -smoke flag runs the CI gate instead of serving: it starts the
 // API on a loopback listener and drives create → advance → inject →
 // checkpoint → fork → digest-compare over real HTTP, failing on any
-// divergence or on blowing the wall budget.
+// divergence or on blowing the wall budget. The -crash-gate flag runs
+// the crash-recovery gate: it re-execs the daemon as a child process
+// over a data directory, SIGKILLs it mid-advance, restarts it and
+// proves every session recovers — digests verified — then finishes the
+// runs and compares them bit-for-bit against uninterrupted arms.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -32,13 +49,18 @@ import (
 
 	"repro/internal/cliconfig"
 	"repro/internal/session"
+	"repro/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":9090", "listen address for the session API")
 	image := flag.String("image", "", "pre-build a base image at startup: name=scenario@offset (e.g. base=megafleet-1000@30s)")
+	dataDir := flag.String("data-dir", "", "durable store directory: persist images, journal sessions, recover on restart")
 	smoke := flag.Bool("smoke", false, "run the HTTP smoke gate against an in-process server, then exit")
 	smokeBudget := flag.Duration("smoke-budget", 2*time.Minute, "wall budget for -smoke")
+	crashGate := flag.Bool("crash-gate", false, "run the kill-and-recover gate against child daemons, then exit")
+	crashBudget := flag.Duration("crash-budget", 8*time.Minute, "wall budget for -crash-gate")
+	crashDir := flag.String("crash-dir", "", "data directory for -crash-gate (default: a temp dir; kept on failure)")
 	common := cliconfig.Common{Seed: -1}
 	common.Register(flag.CommandLine)
 	flag.Parse()
@@ -50,15 +72,42 @@ func main() {
 		}
 		return
 	}
-	if err := serve(*addr, *image, common); err != nil {
+	if *crashGate {
+		if err := runCrashGate(*crashBudget, *crashDir); err != nil {
+			fmt.Fprintln(os.Stderr, "piscaled: crash-gate:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := serve(*addr, *image, *dataDir, common); err != nil {
 		fmt.Fprintln(os.Stderr, "piscaled:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(addr, image string, common cliconfig.Common) error {
+func serve(addr, image, dataDir string, common cliconfig.Common) error {
 	mgr := session.NewManager()
-	defer mgr.Close()
+
+	if dataDir != "" {
+		st, err := store.Open(dataDir)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		rep, err := mgr.Recover(st)
+		if err != nil {
+			return fmt.Errorf("recover %s: %w", dataDir, err)
+		}
+		fmt.Printf("recovered from %s in %v: %d images rebuilt, %d sessions recovered, %d quarantined\n",
+			dataDir, time.Since(start).Round(time.Millisecond),
+			len(rep.ImagesRebuilt), len(rep.SessionsRecovered), len(rep.SessionsQuarantined))
+		for id, reason := range rep.SessionsQuarantined {
+			fmt.Printf("  quarantined %s: %s\n", id, reason)
+		}
+		for name, reason := range rep.ImagesQuarantined {
+			fmt.Printf("  quarantined image %q: %s\n", name, reason)
+		}
+	}
 
 	if image != "" {
 		name, req, at, err := parseImageFlag(image, common)
@@ -68,13 +117,28 @@ func serve(addr, image string, common cliconfig.Common) error {
 		start := time.Now()
 		img, err := mgr.CreateImage(name, req, at)
 		if err != nil {
-			return err
+			// A recovered store may already hold the image from a prior
+			// lifetime; that is the point of persistence, not an error.
+			if dataDir != "" && strings.Contains(err.Error(), "already exists") {
+				fmt.Printf("base image %q already recovered\n", name)
+			} else {
+				return err
+			}
+		} else {
+			fmt.Printf("base image %q ready: %s@%v, fingerprint %s (built in %v)\n",
+				img.Name, img.Scenario, img.At, img.Fingerprint[:16], time.Since(start).Round(time.Millisecond))
 		}
-		fmt.Printf("base image %q ready: %s@%v, fingerprint %s (built in %v)\n",
-			img.Name, img.Scenario, img.At, img.Fingerprint[:16], time.Since(start).Round(time.Millisecond))
 	}
 
-	srv := &http.Server{Addr: addr, Handler: mgr.Handler()}
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: mgr.Handler(),
+		// SSE responses stream indefinitely, so no WriteTimeout; header
+		// reads and idle keep-alives are bounded so stuck clients cannot
+		// pin connections forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	fmt.Printf("piscaled: session API on %s (try GET /v1/healthz)\n", addr)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
@@ -84,8 +148,19 @@ func serve(addr, image string, common cliconfig.Common) error {
 	case err := <-errCh:
 		return err
 	case <-sig:
-		fmt.Println("\nshutting down")
-		return srv.Close()
+		// Graceful drain: every in-flight advance yields at its next
+		// slice boundary with its progress journaled, SSE feeds flush a
+		// terminal marker, then the listener closes. Journals stay on
+		// disk — the next lifetime recovers every session from them.
+		fmt.Println("\ndraining for shutdown")
+		mgr.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return srv.Close()
+		}
+		fmt.Println("drained; journals are current")
+		return nil
 	}
 }
 

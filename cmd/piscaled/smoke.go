@@ -12,8 +12,6 @@ package main
 
 import (
 	"bufio"
-	"bytes"
-	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -170,25 +168,4 @@ func countSSE(url string, window time.Duration) int {
 		}
 	}
 	return n
-}
-
-// postJSON posts body and decodes the 2xx response into out.
-func postJSON(url string, body, out any) error {
-	data, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, e.Error)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }

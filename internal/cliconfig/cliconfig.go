@@ -249,3 +249,33 @@ func (f FaultRequest) Fault() (scenario.Fault, error) {
 		return nil, fmt.Errorf("unknown fault kind %q (want link-fail, degrade, rack-fail, node-churn or migration-storm)", f.Kind)
 	}
 }
+
+// EncodeFault is Fault's inverse: render a scenario fault back into its
+// wire form, so an injection that arrived through the Go API can be
+// journaled (and later re-decoded) exactly like one that arrived as a
+// POST body. Faults with no wire vocabulary — scenario.HookFault and
+// any future programmatic-only fault — return an error: they cannot be
+// made durable.
+func EncodeFault(f scenario.Fault) (FaultRequest, error) {
+	switch v := f.(type) {
+	case scenario.LinkFail:
+		return FaultRequest{Kind: "link-fail", A: string(v.A), B: string(v.B),
+			At: Duration(v.At), Outage: Duration(v.Outage)}, nil
+	case scenario.Degrade:
+		return FaultRequest{Kind: "degrade", At: Duration(v.At), Outage: Duration(v.Outage),
+			CapacityScale: v.Shaping.CapacityScale,
+			ExtraLatency:  Duration(v.Shaping.ExtraLatency),
+			Loss:          v.Shaping.Loss}, nil
+	case scenario.RackFail:
+		return FaultRequest{Kind: "rack-fail", Rack: v.Rack,
+			At: Duration(v.At), Outage: Duration(v.Outage)}, nil
+	case scenario.NodeChurn:
+		return FaultRequest{Kind: "node-churn", Start: Duration(v.Start),
+			Every: Duration(v.Every), Outage: Duration(v.Outage)}, nil
+	case scenario.MigrationStorm:
+		return FaultRequest{Kind: "migration-storm", At: Duration(v.At),
+			Moves: v.Moves, Routing: v.Routing}, nil
+	default:
+		return FaultRequest{}, fmt.Errorf("fault %T has no wire form and cannot be journaled", f)
+	}
+}

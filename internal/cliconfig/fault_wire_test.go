@@ -1,0 +1,50 @@
+package cliconfig
+
+// EncodeFault must be the exact inverse of FaultRequest.Fault for the
+// whole wire vocabulary — the journal stores the encoded form, and
+// recovery decodes it, so any drift between the two directions would
+// silently change a replayed run.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+)
+
+func TestEncodeFaultRoundTripsWireVocabulary(t *testing.T) {
+	faults := []scenario.Fault{
+		scenario.LinkFail{A: netsim.NodeID("tor-3"), B: netsim.NodeID("agg-0"),
+			At: 20 * time.Second, Outage: 5 * time.Second},
+		scenario.Degrade{At: 30 * time.Second, Outage: 10 * time.Second,
+			Shaping: netsim.Shaping{CapacityScale: 0.25, ExtraLatency: 3 * time.Millisecond, Loss: 0.02}},
+		scenario.RackFail{Rack: 7, At: 45 * time.Second, Outage: 15 * time.Second},
+		scenario.NodeChurn{Start: 10 * time.Second, Every: 20 * time.Second, Outage: 8 * time.Second},
+		scenario.MigrationStorm{At: 60 * time.Second, Moves: 12, Routing: "ip"},
+	}
+	for _, orig := range faults {
+		wire, err := EncodeFault(orig)
+		if err != nil {
+			t.Errorf("EncodeFault(%T): %v", orig, err)
+			continue
+		}
+		decoded, err := wire.Fault()
+		if err != nil {
+			t.Errorf("decode %q: %v", wire.Kind, err)
+			continue
+		}
+		if !reflect.DeepEqual(decoded, orig) {
+			t.Errorf("round trip drift for %q:\n got %#v\nwant %#v", wire.Kind, decoded, orig)
+		}
+	}
+}
+
+func TestEncodeFaultRefusesProgrammaticFaults(t *testing.T) {
+	hook := scenario.HookFault{At: time.Second, Name: "hook",
+		Run: func(*scenario.Run) error { return nil }}
+	if _, err := EncodeFault(hook); err == nil {
+		t.Fatal("HookFault encoded to a wire form; it must be refused")
+	}
+}

@@ -86,27 +86,8 @@ func (c *Checkpoint) Fork() (*Run, error) {
 		}
 		rr.buildWall = time.Since(buildStart)
 		r = rr
-		// Re-enact the capture's injection history: advance to each
-		// logged offset and inject there, exactly as the original run
-		// did, so the replayed action ordering — and the action count
-		// the install event recorded — match byte-for-byte. Never call
-		// RunTo when the replay already stands at the target offset: an
-		// action injected at exactly its injection instant was pending
-		// at the capture, and a same-offset RunTo would execute it.
-		for _, inj := range c.Injections {
-			if r.offset < inj.At {
-				if err := r.RunTo(inj.At); err != nil {
-					return err
-				}
-			}
-			if err := r.Inject(inj.Fault); err != nil {
-				return err
-			}
-		}
-		if r.offset < c.At {
-			if err := r.RunTo(c.At); err != nil {
-				return err
-			}
+		if err := r.ReplayHistory(c.Injections, c.At); err != nil {
+			return err
 		}
 		if got := DigestTrace(r.trace); len(r.trace) != c.TraceLen || got != c.TraceDigest {
 			return fmt.Errorf("scenario %s: replayed trace prefix diverged (%d events, digest %s; want %d, %s)",
@@ -115,6 +96,57 @@ func (c *Checkpoint) Fork() (*Run, error) {
 		return nil
 	})
 	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ReplayHistory re-enacts a logged injection history on a freshly
+// installed run and lands it paused at the target offset: advance to
+// each injection's logged offset, inject there — exactly as the
+// original run did, so the replayed action ordering (and the action
+// count the install event recorded) match byte-for-byte — then run on
+// to at. Never call RunTo when the replay already stands at the target
+// offset: an action injected at exactly its injection instant was
+// pending at the capture, and a same-offset RunTo would execute it.
+// Fork replays onto a warm-booted cloud; the durable store's recovery
+// path replays onto a cold build (ReplayRecipe).
+func (r *Run) ReplayHistory(injections []Injection, at time.Duration) error {
+	for _, inj := range injections {
+		if r.offset < inj.At {
+			if err := r.RunTo(inj.At); err != nil {
+				return err
+			}
+		}
+		if err := r.Inject(inj.Fault); err != nil {
+			return err
+		}
+	}
+	if r.offset < at {
+		return r.RunTo(at)
+	}
+	return nil
+}
+
+// ReplayRecipe is the cold-build decode of a persisted replay recipe —
+// spec, injection history, offset — the durable image/session store's
+// recovery primitive: build the spec's cloud from scratch, re-enact the
+// history, and return the run paused at the recipe's offset. Where
+// Checkpoint.Fork warm-boots from an in-memory construction snapshot
+// and verifies against the captured fingerprint itself, ReplayRecipe
+// crosses processes: the caller holds the journaled fingerprint and
+// must verify the rebuilt kernel against it (compare the cloud's
+// KernelState digest and the trace digest) before trusting the run.
+func ReplayRecipe(spec Spec, injections []Injection, at time.Duration) (*Run, error) {
+	if at < 0 || at > spec.Duration {
+		return nil, fmt.Errorf("scenario %s: recipe offset %v outside the run duration %v", spec.Name, at, spec.Duration)
+	}
+	r, err := New(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.ReplayHistory(injections, at); err != nil {
+		r.Cloud.Close()
 		return nil, err
 	}
 	return r, nil

@@ -938,6 +938,33 @@ func powerOnLocked(r *Run, name string) error {
 	return nil
 }
 
+// HookFault is an escape hatch for programmatic timelines: a single
+// caller-supplied action fired At into the run. It has no wire form —
+// cliconfig.EncodeFault refuses it — so it cannot be journaled or
+// carried by a persisted image recipe; use it for in-process
+// experiments and tests (the session layer's panic-isolation coverage
+// injects a hook that blows up mid-kernel).
+type HookFault struct {
+	At   time.Duration
+	Name string
+	Run  func(*Run) error
+}
+
+func (f HookFault) validate(s *Spec) error {
+	if f.Run == nil {
+		return fmt.Errorf("hook fault needs a Run func")
+	}
+	return nil
+}
+
+func (f HookFault) actions(r *Run) []timedAction {
+	name := f.Name
+	if name == "" {
+		name = "hook"
+	}
+	return []timedAction{{at: f.At, name: name, run: f.Run}}
+}
+
 // MigrationStorm live-migrates Moves containers at once At into the run —
 // the consolidation-gone-wild stress that hammers shared uplinks with
 // pre-copy traffic.

@@ -35,12 +35,42 @@ import (
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"ok":       true,
-			"sessions": len(m.Sessions()),
-			"images":   len(m.Images()),
-			"metrics":  m.Metrics(),
-		})
+		sessions := m.Sessions()
+		detail := make([]map[string]any, 0, len(sessions))
+		var dropped float64
+		for _, s := range sessions {
+			snap := s.reg.Snapshot()
+			dropped += snap["events_dropped"]
+			off, durable := s.Offset(), s.DurableOffset()
+			lag := off - durable
+			if lag < 0 {
+				lag = 0
+			}
+			st := s.StatusLocal()
+			detail = append(detail, map[string]any{
+				"id":                s.ID,
+				"state":             st.State,
+				"failure":           st.Failure,
+				"offset_ns":         int64(off),
+				"durable_offset_ns": int64(durable),
+				"journal_lag_ns":    int64(lag),
+				"subscribers":       s.Subscribers(),
+				"events_dropped":    snap["events_dropped"],
+			})
+		}
+		body := map[string]any{
+			"ok":                   true,
+			"sessions":             len(sessions),
+			"images":               len(m.Images()),
+			"events_dropped":       dropped,
+			"session_detail":       detail,
+			"sessions_quarantined": m.QuarantinedAll(),
+			"metrics":              m.Metrics(),
+		}
+		if st := m.Store(); st != nil {
+			body["data_dir"] = st.Dir()
+		}
+		writeJSON(w, http.StatusOK, body)
 	})
 	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"scenarios": scenario.Names()})
@@ -59,6 +89,10 @@ func (m *Manager) Handler() http.Handler {
 		for _, s := range m.Sessions() {
 			if st, err := s.Status(); err == nil {
 				out = append(out, st)
+			} else {
+				// Racing a close (or another terminal error): list what the
+				// session's own bookkeeping knows rather than dropping it.
+				out = append(out, s.StatusLocal())
 			}
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
@@ -126,10 +160,31 @@ type CheckpointRequest struct {
 	Image string `json:"image,omitempty"`
 }
 
+// maxBodyBytes bounds every POST body: the largest legitimate request
+// (a spec with overrides) is well under a kilobyte, so a megabyte cap
+// refuses hostile or runaway bodies without touching real clients.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON decodes a size-capped POST body, answering 400 on
+// malformed JSON and 413 on an oversized body. It returns false once
+// the response is written.
+func decodeJSON(w http.ResponseWriter, req *http.Request, v any) bool {
+	req.Body = http.MaxBytesReader(w, req.Body, maxBodyBytes)
+	if err := json.NewDecoder(req.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeStatus(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeStatus(w, http.StatusBadRequest, err)
+		}
+		return false
+	}
+	return true
+}
+
 func (m *Manager) handleCreateImage(w http.ResponseWriter, req *http.Request) {
 	var body CreateImageRequest
-	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
-		writeStatus(w, http.StatusBadRequest, err)
+	if !decodeJSON(w, req, &body) {
 		return
 	}
 	img, err := m.CreateImage(body.Name, body.Spec, time.Duration(body.At))
@@ -142,8 +197,7 @@ func (m *Manager) handleCreateImage(w http.ResponseWriter, req *http.Request) {
 
 func (m *Manager) handleCreateSession(w http.ResponseWriter, req *http.Request) {
 	var body CreateSessionRequest
-	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
-		writeStatus(w, http.StatusBadRequest, err)
+	if !decodeJSON(w, req, &body) {
 		return
 	}
 	s, err := m.CreateSession(body.BaseImage, body.Spec)
@@ -161,8 +215,7 @@ func (m *Manager) handleCreateSession(w http.ResponseWriter, req *http.Request) 
 
 func (m *Manager) handleAdvance(s *Session, w http.ResponseWriter, req *http.Request) {
 	var body AdvanceRequest
-	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
-		writeStatus(w, http.StatusBadRequest, err)
+	if !decodeJSON(w, req, &body) {
 		return
 	}
 	to := time.Duration(body.To)
@@ -187,8 +240,7 @@ func (m *Manager) handleAdvance(s *Session, w http.ResponseWriter, req *http.Req
 
 func (m *Manager) handleInject(s *Session, w http.ResponseWriter, req *http.Request) {
 	var body cliconfig.FaultRequest
-	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
-		writeStatus(w, http.StatusBadRequest, err)
+	if !decodeJSON(w, req, &body) {
 		return
 	}
 	f, err := body.Fault()
@@ -205,8 +257,7 @@ func (m *Manager) handleInject(s *Session, w http.ResponseWriter, req *http.Requ
 
 func (m *Manager) handleCheckpoint(s *Session, w http.ResponseWriter, req *http.Request) {
 	var body CheckpointRequest
-	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
-		writeStatus(w, http.StatusBadRequest, err)
+	if !decodeJSON(w, req, &body) {
 		return
 	}
 	info, err := s.Checkpoint(body.Image)
@@ -251,6 +302,12 @@ func (m *Manager) handleEvents(s *Session, w http.ResponseWriter, req *http.Requ
 		select {
 		case <-req.Context().Done():
 			return
+		case <-s.drainCh:
+			// Graceful shutdown: flush a terminal marker and end the stream
+			// so the server's Shutdown isn't held open by idle subscribers.
+			writeSSE(w, "lifecycle", map[string]any{"kind": "draining"})
+			flusher.Flush()
+			return
 		case <-s.done:
 			writeSSE(w, "lifecycle", map[string]any{"kind": "closed"})
 			flusher.Flush()
@@ -262,12 +319,19 @@ func (m *Manager) handleEvents(s *Session, w http.ResponseWriter, req *http.Requ
 	}
 }
 
-// withSession resolves {id} and 404s unknown sessions.
+// withSession resolves {id}: quarantined ids answer 409 with the
+// recorded recovery failure, unknown ids 404.
 func (m *Manager) withSession(h func(*Session, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
-		s := m.Session(req.PathValue("id"))
+		id := req.PathValue("id")
+		s := m.Session(id)
 		if s == nil {
-			writeStatus(w, http.StatusNotFound, fmt.Errorf("unknown session %q", req.PathValue("id")))
+			if reason := m.Quarantined(id); reason != "" {
+				writeStatus(w, http.StatusConflict,
+					fmt.Errorf("session %s is quarantined: %s", id, reason))
+				return
+			}
+			writeStatus(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
 			return
 		}
 		h(s, w, req)
@@ -299,12 +363,21 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError maps service errors onto HTTP statuses: ErrBusy → 409,
-// everything else → 500 with the message in the body.
+// writeError maps service errors onto HTTP statuses: client mistakes
+// (ErrInvalid) → 400; contention and terminal session states (ErrBusy,
+// ErrClosed, a failed session's recorded reason) → 409; graceful
+// shutdown (ErrDraining) → 503 so clients retry against the restarted
+// daemon; everything else → 500 with the message in the body.
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
-	if errors.Is(err, ErrBusy) {
+	var failed *FailedError
+	switch {
+	case errors.Is(err, ErrInvalid):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrClosed), errors.As(err, &failed):
 		code = http.StatusConflict
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
 	}
 	writeStatus(w, code, err)
 }

@@ -19,6 +19,13 @@
 // fingerprint (fleet shape key + cross-layer kernel state digest, see
 // core.Checkpoint.Fingerprint), so two images that capture identical
 // simulated machines share one checkpoint instead of holding two.
+//
+// With a store attached (Manager.Recover), the manager is crash-safe:
+// images persist as replay recipes, sessions journal every
+// state-changing command write-ahead, and a restarted manager rebuilds
+// the whole tenant population by re-enacting the durable history —
+// accepting each recovered kernel only after its state digest matches
+// the journaled fingerprint bit for bit.
 package session
 
 import (
@@ -30,17 +37,14 @@ import (
 	"repro/internal/cliconfig"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
-
-// ErrBusy is returned to commands that arrive while the session is
-// mid-advance and cannot queue behind it (a second advance); quick
-// commands are served at slice boundaries instead.
-var ErrBusy = fmt.Errorf("session: advance in progress")
 
 // Event is one entry of a session's telemetry feed: trace events as
 // they are recorded, telemetry samples at every advance slice
 // (aggregate and per-rack power, per-rack bits carried), and lifecycle
-// markers (created, advanced, checkpointed, forked, finished).
+// markers (created, advanced, checkpointed, forked, failed, draining,
+// finished).
 type Event struct {
 	Type   string `json:"type"`
 	Offset int64  `json:"offset_ns"`
@@ -55,11 +59,14 @@ type Event struct {
 }
 
 // Status is a session's externally visible state, captured at a paused
-// instant through the mailbox.
+// instant through the mailbox (or, for failed sessions, from the
+// session's own bookkeeping — the kernel is never touched again).
 type Status struct {
 	ID          string             `json:"id"`
 	Scenario    string             `json:"scenario"`
 	BaseImage   string             `json:"base_image,omitempty"`
+	State       string             `json:"state"`
+	Failure     string             `json:"failure,omitempty"`
 	Offset      time.Duration      `json:"offset_ns"`
 	Duration    time.Duration      `json:"duration_ns"`
 	Finished    bool               `json:"finished"`
@@ -89,6 +96,10 @@ type BaseImage struct {
 	// Forks counts sessions started from this image.
 	forks int
 	chk   *scenario.Checkpoint
+	// rec is the image's durable form: the replay recipe plus the digest
+	// stamps a rebuild must reproduce. Always populated (persisting it is
+	// what needs a store; describing the image doesn't).
+	rec store.ImageRecord
 }
 
 // Manager owns the image registry and the live sessions.
@@ -98,32 +109,110 @@ type Manager struct {
 	byFP     map[string]*BaseImage
 	sessions map[string]*Session
 	seq      int
+	draining bool
+	// quarantined maps session ids whose recovery failed verification to
+	// the recorded reason; their journals sit in the store's quarantine
+	// directory and their ids answer 409 until an operator intervenes.
+	quarantined map[string]string
+	// st is the durable store, nil for a memory-only manager (attach via
+	// Recover before serving traffic).
+	st *store.Store
+	// drainCh is closed (once) by Drain; session advance loops yield at
+	// the next slice boundary when they observe it.
+	drainCh chan struct{}
 	// reg holds service-level counters: images built, images shared via
-	// fingerprint, sessions created/closed, forks.
+	// fingerprint, sessions created/closed/recovered/failed, forks,
+	// journal records, quarantines.
 	reg *metrics.Registry
 }
 
-// NewManager returns an empty session manager.
+// NewManager returns an empty, memory-only session manager.
 func NewManager() *Manager {
 	return &Manager{
-		images:   map[string]*BaseImage{},
-		byFP:     map[string]*BaseImage{},
-		sessions: map[string]*Session{},
-		reg:      metrics.NewRegistry(),
+		images:      map[string]*BaseImage{},
+		byFP:        map[string]*BaseImage{},
+		sessions:    map[string]*Session{},
+		quarantined: map[string]string{},
+		drainCh:     make(chan struct{}),
+		reg:         metrics.NewRegistry(),
 	}
 }
 
 // Metrics exposes the service-level registry snapshot.
 func (m *Manager) Metrics() map[string]float64 { return m.reg.Snapshot() }
 
+// Store returns the attached durable store, or nil.
+func (m *Manager) Store() *store.Store {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.st
+}
+
+// Quarantined returns the recorded failure reason for a quarantined
+// session id ("" if the id is not quarantined).
+func (m *Manager) Quarantined(id string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.quarantined[id]
+}
+
+// QuarantinedAll snapshots the quarantine map (id → reason).
+func (m *Manager) QuarantinedAll() map[string]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]string, len(m.quarantined))
+	for id, reason := range m.quarantined {
+		out[id] = reason
+	}
+	return out
+}
+
+func (m *Manager) isDraining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Drain begins graceful shutdown: no new images or sessions, every
+// in-flight advance yields at its next slice boundary with its
+// progress journaled, and Drain returns only once every session has
+// answered a post-yield barrier command — so "Drain returned" implies
+// "every session's durable history is current". Sessions are NOT
+// closed: their journals must survive for the next daemon lifetime to
+// recover.
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	if !already {
+		close(m.drainCh)
+	}
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	for _, s := range sessions {
+		// The barrier no-op queues behind any yielding advance (the drain
+		// check precedes queued-command service, so the yield's journal
+		// append is durable before this is answered). Failed or closed
+		// sessions answer with their error; either way they are settled.
+		_, _ = s.do(func(r *scenario.Run) (any, error) { return nil, nil })
+	}
+}
+
 // CreateImage resolves the spec request, drives a fresh run to the
 // offset, captures a verified checkpoint and registers it under name.
 // If the captured state is fingerprint-identical to an existing image,
 // the new name shares the existing checkpoint (and its warm plan)
-// instead of keeping a second copy.
+// instead of keeping a second copy. With a store attached the image
+// also persists as a replay recipe the next daemon lifetime rebuilds.
 func (m *Manager) CreateImage(name string, req cliconfig.SpecRequest, at time.Duration) (*BaseImage, error) {
 	if name == "" {
 		return nil, fmt.Errorf("session: image needs a name")
+	}
+	if m.isDraining() {
+		return nil, fmt.Errorf("session: image %q: %w", name, ErrDraining)
 	}
 	m.mu.Lock()
 	if _, dup := m.images[name]; dup {
@@ -142,16 +231,27 @@ func (m *Manager) CreateImage(name string, req cliconfig.SpecRequest, at time.Du
 	// The builder run only existed to reach the offset; the checkpoint
 	// carries the construction snapshot and replay recipe on its own.
 	r.Cloud.Close()
-	return m.registerImage(name, chk)
+	return m.registerImage(name, chk, store.Recipe{Spec: req, At: int64(at)}, true)
 }
 
 // registerImage files a captured checkpoint under name, sharing the
-// stored checkpoint with any fingerprint-identical image.
-func (m *Manager) registerImage(name string, chk *scenario.Checkpoint) (*BaseImage, error) {
+// stored checkpoint with any fingerprint-identical image. The recipe
+// is the image's durable form; persist writes it through the store
+// (when one is attached) with rollback on failure, recovery registers
+// already-persisted images with persist=false.
+func (m *Manager) registerImage(name string, chk *scenario.Checkpoint, recipe store.Recipe, persist bool) (*BaseImage, error) {
 	fp := chk.Core.Fingerprint()
+	rec := store.ImageRecord{
+		Name:         name,
+		Recipe:       recipe,
+		Fingerprint:  fp,
+		KernelDigest: chk.Core.State().Digest,
+		TraceLen:     chk.TraceLen,
+		TraceDigest:  chk.TraceDigest,
+	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if _, dup := m.images[name]; dup {
+		m.mu.Unlock()
 		return nil, fmt.Errorf("session: image %q already exists", name)
 	}
 	if shared, ok := m.byFP[fp]; ok {
@@ -164,10 +264,24 @@ func (m *Manager) registerImage(name string, chk *scenario.Checkpoint) (*BaseIma
 		At:          chk.At,
 		Fingerprint: fp,
 		chk:         chk,
+		rec:         rec,
 	}
 	m.images[name] = img
 	if _, ok := m.byFP[fp]; !ok {
 		m.byFP[fp] = img
+	}
+	st := m.st
+	m.mu.Unlock()
+	if persist && st != nil {
+		if err := st.SaveImage(rec); err != nil {
+			m.mu.Lock()
+			delete(m.images, name)
+			if m.byFP[fp] == img {
+				delete(m.byFP, fp)
+			}
+			m.mu.Unlock()
+			return nil, fmt.Errorf("session: image %q: persist: %w", name, err)
+		}
 	}
 	m.reg.Counter("images_created").Inc()
 	return img, nil
@@ -197,8 +311,12 @@ func (m *Manager) Images() []*BaseImage {
 // byte-identical), otherwise fresh from the spec request at offset
 // zero.
 func (m *Manager) CreateSession(baseImage string, req *cliconfig.SpecRequest) (*Session, error) {
+	if m.isDraining() {
+		return nil, fmt.Errorf("session: %w", ErrDraining)
+	}
 	var r *scenario.Run
 	var err error
+	var cfg adoptConfig
 	switch {
 	case baseImage != "":
 		img := m.Image(baseImage)
@@ -213,6 +331,14 @@ func (m *Manager) CreateSession(baseImage string, req *cliconfig.SpecRequest) (*
 		img.forks++
 		m.mu.Unlock()
 		m.reg.Counter("image_forks").Inc()
+		cfg = adoptConfig{
+			baseImage: baseImage,
+			rootReq:   img.rec.Recipe.Spec,
+			// The create record names the image; recovery re-forks it and
+			// verifies against the image's own stamps.
+			create: &store.Record{Op: "create", At: int64(img.At), BaseImage: baseImage,
+				KernelDigest: img.rec.KernelDigest, TraceLen: img.rec.TraceLen, TraceDigest: img.rec.TraceDigest},
+		}
 	case req != nil:
 		spec, rerr := req.Resolve()
 		if rerr != nil {
@@ -222,30 +348,101 @@ func (m *Manager) CreateSession(baseImage string, req *cliconfig.SpecRequest) (*
 		if err != nil {
 			return nil, fmt.Errorf("session: %w", err)
 		}
+		st := r.Cloud.KernelState()
+		trace := r.Trace()
+		cfg = adoptConfig{
+			rootReq: *req,
+			create: &store.Record{Op: "create", At: 0, Recipe: &store.Recipe{Spec: *req},
+				KernelDigest: st.Digest, TraceLen: len(trace), TraceDigest: scenario.DigestTrace(trace)},
+		}
 	default:
 		return nil, fmt.Errorf("session: need a base image or a spec")
 	}
-	return m.adopt(r, baseImage), nil
+	s, err := m.adopt(r, cfg)
+	if err != nil {
+		r.Cloud.Close()
+		return nil, err
+	}
+	return s, nil
 }
 
-// adopt wraps a freshly built (or forked) run in a session and starts
-// its kernel goroutine.
-func (m *Manager) adopt(r *scenario.Run, baseImage string) *Session {
+// adoptConfig parameterises adopt: fresh sessions pass a create record
+// (journaled as the first write-ahead entry when a store is attached);
+// recovery passes the already-open journal, the recovered id and the
+// durable bookkeeping to resume from.
+type adoptConfig struct {
+	id              string // "" = allocate the next s-%04d
+	baseImage       string
+	rootReq         cliconfig.SpecRequest
+	state           string // "" = StateRunning
+	jr              *store.Journal
+	create          *store.Record
+	durableOffset   time.Duration
+	lastTraceLen    int
+	lastTraceDigest string
+}
+
+// adopt wraps a freshly built (or forked, or recovered) run in a
+// session and starts its kernel goroutine. With a store attached, the
+// session's journal is created and its create record fsynced before
+// the session exists — a session the manager acknowledges is always
+// recoverable.
+func (m *Manager) adopt(r *scenario.Run, cfg adoptConfig) (*Session, error) {
 	m.mu.Lock()
-	m.seq++
-	id := fmt.Sprintf("s-%04d", m.seq)
-	s := &Session{
-		ID:        id,
-		Scenario:  r.Spec.Name,
-		BaseImage: baseImage,
-		mgr:       m,
-		reg:       metrics.NewRegistry(),
-		cmds:      make(chan sessCmd, 16),
-		done:      make(chan struct{}),
-		subs:      map[chan Event]struct{}{},
-		offset:    r.Offset(),
-		duration:  r.Spec.Duration,
+	if m.draining {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("session: %w", ErrDraining)
 	}
+	id := cfg.id
+	if id == "" {
+		m.seq++
+		id = fmt.Sprintf("s-%04d", m.seq)
+	}
+	st := m.st
+	m.mu.Unlock()
+	jr := cfg.jr
+	durOff, traceLen, traceDigest := cfg.durableOffset, cfg.lastTraceLen, cfg.lastTraceDigest
+	if jr == nil && st != nil && cfg.create != nil {
+		var err error
+		jr, err = st.CreateJournal(id)
+		if err == nil {
+			err = jr.Append(*cfg.create)
+		}
+		if err != nil {
+			if jr != nil {
+				_ = jr.Close()
+				_ = st.RemoveJournal(id)
+			}
+			return nil, fmt.Errorf("session %s: journal: %w", id, err)
+		}
+		m.reg.Counter("journal_records").Inc()
+		durOff = time.Duration(cfg.create.At)
+		traceLen, traceDigest = cfg.create.TraceLen, cfg.create.TraceDigest
+	}
+	state := cfg.state
+	if state == "" {
+		state = StateRunning
+	}
+	s := &Session{
+		ID:              id,
+		Scenario:        r.Spec.Name,
+		BaseImage:       cfg.baseImage,
+		mgr:             m,
+		reg:             metrics.NewRegistry(),
+		rootReq:         cfg.rootReq,
+		jr:              jr,
+		cmds:            make(chan sessCmd, 16),
+		done:            make(chan struct{}),
+		drainCh:         m.drainCh,
+		subs:            map[chan Event]struct{}{},
+		offset:          r.Offset(),
+		duration:        r.Spec.Duration,
+		state:           state,
+		durableOffset:   durOff,
+		lastTraceLen:    traceLen,
+		lastTraceDigest: traceDigest,
+	}
+	m.mu.Lock()
 	m.sessions[id] = s
 	m.mu.Unlock()
 	m.reg.Counter("sessions_created").Inc()
@@ -255,9 +452,9 @@ func (m *Manager) adopt(r *scenario.Run, baseImage string) *Session {
 		s.emit(Event{Type: "trace", Offset: int64(ev.At), Kind: ev.Kind, Detail: ev.Detail})
 	}
 	go s.loop(r)
-	s.emit(Event{Type: "lifecycle", Offset: int64(s.offset), Kind: "created",
-		Detail: fmt.Sprintf("scenario %s from image %q at %v", s.Scenario, baseImage, s.Offset())})
-	return s
+	s.emit(Event{Type: "lifecycle", Offset: int64(s.Offset()), Kind: "created",
+		Detail: fmt.Sprintf("scenario %s from image %q at %v", s.Scenario, cfg.baseImage, s.Offset())})
+	return s, nil
 }
 
 // Session returns the live session by id, or nil.
@@ -279,7 +476,10 @@ func (m *Manager) Sessions() []*Session {
 	return out
 }
 
-// Close shuts every session down and drops the registries.
+// Close shuts every session down cleanly (writing terminal journal
+// records and retiring their journals — nothing to recover). For
+// graceful daemon shutdown that must leave the journals recoverable,
+// use Drain instead.
 func (m *Manager) Close() {
 	for _, s := range m.Sessions() {
 		s.Close()
