@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-megafleet bench bench-smoke bench-json determinism-single-core service-smoke crash-gate lint ci
+.PHONY: all build test race race-megafleet bench bench-smoke bench-json trace-artifact determinism-single-core service-smoke crash-gate lint ci
 
 all: build
 
@@ -45,18 +45,27 @@ determinism-single-core:
 	GOMAXPROCS=1 $(GO) test -run 'TraceDigest|MatchesSerial|MatchesEager|MatchesFullSolver|BitwiseEquivalence|MatchesClassicHeap|CheckpointResume|StudyDigests' ./internal/scenario ./internal/netsim ./internal/sim
 
 # The benchmark trajectory: one run of every canned scenario, written as
-# BENCH_PR5.json (per-scenario sim-s/wall-s, events/s, run-phase wall
-# series, the fleet-construction wall-time series, trace digests, the
-# classic-vs-calendar scheduler events/s series at 10k/100k/1M nodes,
-# plus the PR 1–PR 4 baselines). CI uploads it as an artifact.
+# BENCH_PR8.json (per-scenario sim-s/wall-s, events/s, run-phase wall
+# series, the fleet-construction wall-time series, the flush/solve
+# phase-profile wall split, trace digests, the classic-vs-calendar
+# scheduler events/s series at 10k/100k/1M nodes, plus the PR 1–PR 4
+# baselines). CI uploads it as an artifact.
 bench-json:
-	$(GO) run ./cmd/piscale -bench-json BENCH_PR5.json
+	$(GO) run ./cmd/piscale -bench-json BENCH_PR8.json
+
+# A Perfetto-loadable span trace of the 1000-node scale scenario:
+# advance slices, per-domain netsim flushes and checkpoint spans with
+# dual virtual/wall stamps. CI uploads run.trace.json as an artifact.
+trace-artifact:
+	$(GO) run ./cmd/piscale -scenario megafleet-1000 -q -trace-out run.trace.json
 
 # The session-service HTTP gate: piscaled boots its API on a loopback
 # listener and drives create image → fork session → advance → inject →
 # checkpoint → fork → run both arms out over real HTTP; the forks'
 # trace digests must be bit-identical to each other and to the same
-# history on a bare in-process run, inside the wall budget.
+# history on a bare in-process run, inside the wall budget. The gate
+# also scrapes /v1/metrics mid-advance and requires the core series
+# set present and monotone.
 service-smoke:
 	$(GO) run ./cmd/piscaled -smoke -smoke-budget 120s
 

@@ -9,12 +9,13 @@
 //	piscale -list
 //	piscale -scenario migration-storm
 //	piscale -scenario megafleet-1000 -trace 20
+//	piscale -scenario megafleet-1000 -trace-out run.trace.json -metrics-dump
 //	piscale -scenario megafleet-1000000 -serial-solve -eager-advance -classic-heap
 //	piscale -scenario diurnal-day -racks 10 -hosts-per-rack 30 -duration 20m
 //	piscale -scenario rack-blackout -checkpoint-at 45s
 //	piscale -resume-from rack-blackout.ckpt.json
 //	piscale -study bisect-blackout
-//	piscale -bench-json BENCH_PR5.json
+//	piscale -bench-json BENCH_PR8.json
 package main
 
 import (
@@ -26,6 +27,8 @@ import (
 	"time"
 
 	"repro/internal/cliconfig"
+	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -36,6 +39,8 @@ func main() {
 	traceTail := flag.Int("trace", 0, "print the last N trace events")
 	quiet := flag.Bool("q", false, "suppress live event streaming")
 	benchJSON := flag.String("bench-json", "", "run every canned scenario once and write the benchmark trajectory to FILE")
+	traceOut := flag.String("trace-out", "", "write the run's kernel spans as Chrome trace-event JSON to FILE (Perfetto-loadable)")
+	metricsDump := flag.Bool("metrics-dump", false, "print the final kernel metrics in Prometheus text format after the run")
 	// The shared surface — fleet shape, fabric, sampling and the run-phase
 	// kernel knobs (all modes byte-identical to the defaults; the
 	// determinism gates prove it) — registers through cliconfig, so
@@ -75,6 +80,7 @@ func main() {
 		common:    common,
 		traceTail: *traceTail, quiet: *quiet,
 		checkpointAt: *checkpointAt, checkpointFile: *checkpointFile,
+		traceOut: *traceOut, metricsDump: *metricsDump,
 	}
 	if *resumeFrom != "" {
 		if err := resume(*resumeFrom, opts); err != nil {
@@ -101,6 +107,60 @@ type runOpts struct {
 	quiet          bool
 	checkpointAt   time.Duration
 	checkpointFile string
+	traceOut       string
+	metricsDump    bool
+}
+
+// beginObs attaches the optional observation channels to a run before
+// it starts: the span tracer behind -trace-out, and the solver's phase
+// profiler when -metrics-dump will want wall attribution. The
+// zero-perturbation gate proves neither can change the run.
+func beginObs(r *scenario.Run, o runOpts) *obs.Tracer {
+	if o.metricsDump {
+		r.Cloud.Net.EnableProfiling(true)
+	}
+	if o.traceOut == "" {
+		return nil
+	}
+	tr := obs.NewTracer(obs.DefaultTraceCap)
+	r.SetTracer(tr)
+	return tr
+}
+
+// finishObs drains the observation channels after the run: the Chrome
+// trace-event file and the Prometheus text dump of the final kernel
+// stats.
+func finishObs(r *scenario.Run, o runOpts, tr *obs.Tracer) error {
+	if tr != nil {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d spans (%d dropped) to %s — open in Perfetto (ui.perfetto.dev) or chrome://tracing\n",
+			tr.Len(), tr.Dropped(), o.traceOut)
+	}
+	if o.metricsDump {
+		reg := obs.NewRegistry()
+		ks := r.Cloud.KernelStats()
+		reg.RegisterCollector(func(e *obs.Emitter) {
+			core.CollectKernelStats(e, ks)
+			if ks.Net.FlushWall > 0 {
+				e.Gauge("pisim_phase_flush_wall_seconds", ks.Net.FlushWall.Seconds())
+				e.Gauge("pisim_phase_solve_wall_seconds", ks.Net.SolveWall.Seconds())
+			}
+		})
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // benchEntry is one scenario's row of the benchmark trajectory.
@@ -118,6 +178,14 @@ type benchEntry struct {
 	EventsPerS   float64 `json:"events_per_s"`
 	SimPerWall   float64 `json:"sim_s_per_wall_s"`
 	TraceDigest  string  `json:"trace_digest,omitempty"`
+	// FlushSeconds/SolveSeconds attribute run-phase wall time to the
+	// network kernel's flush passes and to the congestion solver inside
+	// them — the PR 8 phase profiler, enabled only for bench runs (the
+	// zero-perturbation gate proves enabling it cannot change results).
+	// wall_s - flush_s is scheduler+workload time; flush_s - solve_s is
+	// domain bookkeeping around the solves.
+	FlushSeconds float64 `json:"flush_s,omitempty"`
+	SolveSeconds float64 `json:"solve_s,omitempty"`
 }
 
 // pr1Baseline records the PR 1 numbers for the scenarios that existed
@@ -183,7 +251,8 @@ type schedEntry struct {
 // kernel baseline, since the scheduler is the only run-phase change —
 // to path. The emitted series also records each arm's trace digest, so
 // the artifact itself witnesses that both schedulers produced identical
-// runs.
+// runs. Every arm runs with the network kernel's phase profiler on, so
+// each row splits its run wall time into flush_s/solve_s.
 func runBenchJSON(path string) error {
 	type trajectory struct {
 		GeneratedBy string                `json:"generated_by"`
@@ -210,7 +279,16 @@ func runBenchJSON(path string) error {
 		BaselinePR4: map[string]benchEntry{},
 	}
 	execute := func(spec scenario.Spec) (benchEntry, error) {
-		rep, err := scenario.Execute(spec)
+		r, err := scenario.New(spec)
+		if err != nil {
+			return benchEntry{}, fmt.Errorf("scenario %s: %w", spec.Name, err)
+		}
+		defer r.Cloud.Close()
+		// Phase profiling is on for every bench arm so each row carries
+		// its flush/solve wall split; the digest cross-checks below (and
+		// the zero-perturbation gate) prove it cannot change the run.
+		r.Cloud.Net.EnableProfiling(true)
+		rep, err := r.Execute()
 		if err != nil {
 			return benchEntry{}, fmt.Errorf("scenario %s: %w", spec.Name, err)
 		}
@@ -227,6 +305,8 @@ func runBenchJSON(path string) error {
 			EventsPerS:   float64(rep.EventsFired) / wall,
 			SimPerWall:   rep.SimTime.Seconds() / wall,
 			TraceDigest:  rep.TraceDigest(),
+			FlushSeconds: rep.Metrics["phase_flush_wall_s"],
+			SolveSeconds: rep.Metrics["phase_solve_wall_s"],
 		}, nil
 	}
 	calendar := map[string]benchEntry{}
@@ -241,8 +321,8 @@ func runBenchJSON(path string) error {
 		}
 		out.Scenarios = append(out.Scenarios, e)
 		calendar[n] = e
-		fmt.Printf("%-18s %7d nodes  built %6.2fs  %8.0f events/s  %9.1f sim-s/wall-s\n",
-			e.Name, e.Nodes, e.BuildSeconds, e.EventsPerS, e.SimPerWall)
+		fmt.Printf("%-18s %7d nodes  built %6.2fs  %8.0f events/s  %9.1f sim-s/wall-s  flush %4.1f%%\n",
+			e.Name, e.Nodes, e.BuildSeconds, e.EventsPerS, e.SimPerWall, 100*e.FlushSeconds/e.WallSeconds)
 	}
 	for _, n := range schedulerSeriesScenarios {
 		spec, err := scenario.Catalog(n)
@@ -339,6 +419,7 @@ func run(name string, o runOpts) error {
 		return err
 	}
 	defer r.Cloud.Close()
+	tr := beginObs(r, o)
 	if !o.quiet {
 		r.OnEvent = func(ev scenario.TraceEvent) { fmt.Println(ev) }
 	}
@@ -383,7 +464,7 @@ func run(name string, o runOpts) error {
 			fmt.Println(" ", ev)
 		}
 	}
-	return nil
+	return finishObs(r, o, tr)
 }
 
 // resume rebuilds a checkpointed scenario, replays it to the capture
@@ -429,6 +510,7 @@ func resume(path string, o runOpts) error {
 		return err
 	}
 	defer r.Cloud.Close()
+	tr := beginObs(r, o)
 	if err := r.RunTo(p.At); err != nil {
 		return err
 	}
@@ -463,5 +545,5 @@ func resume(path string, o runOpts) error {
 			fmt.Println(" ", ev)
 		}
 	}
-	return nil
+	return finishObs(r, o, tr)
 }

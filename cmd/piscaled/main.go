@@ -23,6 +23,7 @@
 //	piscaled -addr :9090
 //	piscaled -addr :9090 -data-dir /var/lib/piscaled
 //	piscaled -addr :9090 -image base=megafleet-1000@30s
+//	piscaled -addr :9090 -pprof
 //	piscaled -smoke -smoke-budget 120s
 //	piscaled -crash-gate -crash-budget 8m
 //
@@ -41,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -61,6 +63,7 @@ func main() {
 	crashGate := flag.Bool("crash-gate", false, "run the kill-and-recover gate against child daemons, then exit")
 	crashBudget := flag.Duration("crash-budget", 8*time.Minute, "wall budget for -crash-gate")
 	crashDir := flag.String("crash-dir", "", "data directory for -crash-gate (default: a temp dir; kept on failure)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the API listener")
 	common := cliconfig.Common{Seed: -1}
 	common.Register(flag.CommandLine)
 	flag.Parse()
@@ -79,13 +82,13 @@ func main() {
 		}
 		return
 	}
-	if err := serve(*addr, *image, *dataDir, common); err != nil {
+	if err := serve(*addr, *image, *dataDir, common, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "piscaled:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(addr, image, dataDir string, common cliconfig.Common) error {
+func serve(addr, image, dataDir string, common cliconfig.Common, pprofOn bool) error {
 	mgr := session.NewManager()
 
 	if dataDir != "" {
@@ -130,9 +133,22 @@ func serve(addr, image, dataDir string, common cliconfig.Common) error {
 		}
 	}
 
+	handler := mgr.Handler()
+	if pprofOn {
+		// Profiling endpoints are opt-in: they expose heap contents and
+		// goroutine stacks, so they never ride along silently.
+		root := http.NewServeMux()
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root.Handle("/", handler)
+		handler = root
+	}
 	srv := &http.Server{
 		Addr:    addr,
-		Handler: mgr.Handler(),
+		Handler: handler,
 		// SSE responses stream indefinitely, so no WriteTimeout; header
 		// reads and idle keep-alives are bounded so stuck clients cannot
 		// pin connections forever.

@@ -8,6 +8,12 @@
 // bare scenario.Run in-process (cold build, run to the fork point,
 // inject the same fault, finish). The whole drive must finish inside
 // the wall budget.
+//
+// The gate also scrapes GET /v1/metrics before, during and after the
+// first final advance: the mid-advance exposition must carry ≥20
+// series including the core set from every layer, and counters must be
+// monotone across the scrapes — proving the observability registry is
+// live under load without perturbing the digests checked above.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -92,17 +99,50 @@ func runSmoke(budget time.Duration) error {
 	fmt.Printf("smoke: session %s checkpointed at %v (kernel %s…), forked %s t+%v\n",
 		st.ID, chk.At, chk.KernelDigest[:16], sibling.ID, time.Since(start).Round(time.Millisecond))
 
-	// 5. Run both to the end of the timeline and compare digests.
-	digests := map[string]string{}
-	for _, id := range []string{st.ID, sibling.ID} {
+	// 5. Run both to the end of the timeline and compare digests. The
+	// first final advance doubles as the metrics gate: /v1/metrics is
+	// scraped before, mid-advance and after, and must expose the core
+	// series set richly (≥20 series) with counters monotone across the
+	// three scrapes — the scrape side of the zero-perturbation contract.
+	finish := func(id string) (string, error) {
 		var fin session.Status
 		if err := postJSON(base+"/v1/sessions/"+id+"/advance", map[string]any{"to_ns": int64(24 * time.Hour)}, &fin); err != nil {
-			return fmt.Errorf("final advance %s: %w", id, err)
+			return "", fmt.Errorf("final advance %s: %w", id, err)
 		}
 		if !fin.Finished {
-			return fmt.Errorf("session %s not finished at %v", id, fin.Offset)
+			return "", fmt.Errorf("session %s not finished at %v", id, fin.Offset)
 		}
-		digests[id] = fin.TraceDigest
+		return fin.TraceDigest, nil
+	}
+	before, err := scrapeMetrics(base + "/v1/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics before advance: %w", err)
+	}
+	digests := map[string]string{}
+	advDone := make(chan error, 1)
+	go func() {
+		d, err := finish(st.ID)
+		digests[st.ID] = d
+		advDone <- err
+	}()
+	during, err := scrapeMetrics(base + "/v1/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics mid-advance: %w", err)
+	}
+	if err := <-advDone; err != nil {
+		return err
+	}
+	after, err := scrapeMetrics(base + "/v1/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics after advance: %w", err)
+	}
+	if err := checkMetrics(before, during, after); err != nil {
+		return fmt.Errorf("metrics gate: %w", err)
+	}
+	fmt.Printf("smoke: metrics gate PASS — %d series mid-advance, counters monotone t+%v\n",
+		len(during), time.Since(start).Round(time.Millisecond))
+	if digests[sibling.ID], err = finish(sibling.ID); err != nil {
+		return err
 	}
 	if digests[st.ID] != digests[sibling.ID] {
 		return fmt.Errorf("fork diverged: %s got %s, %s got %s", st.ID, digests[st.ID], sibling.ID, digests[sibling.ID])
@@ -147,6 +187,118 @@ func runSmoke(budget time.Duration) error {
 	}
 	fmt.Printf("smoke: PASS — both forks and the standalone run share digest %s… in %v (budget %v)\n",
 		digests[st.ID][:16], time.Since(start).Round(time.Millisecond), budget)
+	return nil
+}
+
+// smokeCoreSeries is the series set a healthy mid-advance scrape must
+// expose — service, session, scheduler, network, SDN and power layers
+// all reporting. Names match by prefix so labelled series qualify.
+var smokeCoreSeries = []string{
+	"pisim_sessions",
+	"pisim_images",
+	"pisim_fleet_plan_cache_hits_total",
+	"pisim_fleet_plans_cached",
+	"pisim_manager_sessions_created",
+	"pisim_manager_images_created",
+	"pisim_session_offset_ns",
+	"pisim_session_journal_lag_ns",
+	"pisim_session_subscribers",
+	"pisim_session_mailbox_depth",
+	"pisim_session_advances_total",
+	"pisim_session_events_total",
+	"pisim_session_advance_slice_seconds_count",
+	"pisim_kernel_virtual_time_seconds",
+	"pisim_sched_events_scheduled_total",
+	"pisim_sched_events_fired_total",
+	"pisim_sched_events_pending",
+	"pisim_net_flushes_total",
+	"pisim_net_flows_committed_total",
+	"pisim_net_active_flows",
+	"pisim_sdn_packet_ins_total",
+	"pisim_sdn_route_cache_hits_total",
+	"pisim_power_watts",
+}
+
+// smokeMonotone are the counters whose summed value must never step
+// back across the before/during/after scrapes.
+var smokeMonotone = []string{
+	"pisim_sched_events_fired_total",
+	"pisim_net_flushes_total",
+	"pisim_net_flows_committed_total",
+	"pisim_session_advances_total",
+	"pisim_sdn_packet_ins_total",
+}
+
+// scrapeMetrics GETs a Prometheus text exposition and returns series
+// (name plus rendered label set) → value.
+func scrapeMetrics(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return nil, fmt.Errorf("GET %s: content-type %q", url, ct)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sample line %q: %w", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out, sc.Err()
+}
+
+// seriesSum adds every series whose name starts with prefix (bare or
+// labelled).
+func seriesSum(m map[string]float64, prefix string) float64 {
+	var sum float64
+	for k, v := range m {
+		if k == prefix || strings.HasPrefix(k, prefix+"{") {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// checkMetrics enforces the metrics gate over the three scrapes.
+func checkMetrics(before, during, after map[string]float64) error {
+	if len(during) < 20 {
+		return fmt.Errorf("mid-advance scrape has %d series, want ≥20", len(during))
+	}
+	for _, name := range smokeCoreSeries {
+		found := false
+		for k := range during {
+			if k == name || strings.HasPrefix(k, name+"{") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("core series %s missing from mid-advance scrape", name)
+		}
+	}
+	for _, name := range smokeMonotone {
+		b, d, a := seriesSum(before, name), seriesSum(during, name), seriesSum(after, name)
+		if b > d || d > a {
+			return fmt.Errorf("counter %s not monotone: %v → %v → %v", name, b, d, a)
+		}
+	}
 	return nil
 }
 

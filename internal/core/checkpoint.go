@@ -57,6 +57,8 @@ type KernelState struct {
 func (c *Cloud) KernelState() KernelState {
 	c.Mu.Lock()
 	defer c.Mu.Unlock()
+	span := c.tracer.Begin("kernel-state", "checkpoint", c.Engine.Now())
+	defer func() { span.End(c.Engine.Now()) }()
 	h := sha256.New()
 	c.Engine.WriteState(h)
 	c.Net.WriteState(h)
@@ -106,6 +108,8 @@ func (k *Checkpoint) Fingerprint() string {
 // restore: a replay that drifted by so much as one committed float or
 // one pending event fails here instead of silently diverging later.
 func (k *Checkpoint) Verify(c *Cloud) error {
+	span := c.tracer.Begin("verify", "checkpoint", k.state.Now)
+	defer func() { span.End(k.state.Now) }()
 	got := c.KernelState()
 	if got == k.state {
 		return nil

@@ -27,6 +27,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/migration"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/pimaster"
 	"repro/internal/sdn"
 	"repro/internal/sim"
@@ -69,6 +70,10 @@ type Cloud struct {
 	byName map[string]*Node
 
 	fleet *fleet.Result
+
+	// tracer, when set, receives dual-stamped spans from the cloud's
+	// layers (netsim flushes, checkpoint capture/verify). See obs.go.
+	tracer *obs.Tracer
 
 	masterServer *httptest.Server
 }

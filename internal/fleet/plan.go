@@ -139,9 +139,10 @@ func planFor(cfg Config, topo *topology.Topology) *Plan {
 const warmCacheCap = 16
 
 var (
-	warmMu    sync.Mutex
-	warmPlans = map[shapeKey]*Plan{}
-	warmHits  uint64
+	warmMu     sync.Mutex
+	warmPlans  = map[shapeKey]*Plan{}
+	warmHits   uint64
+	warmMisses uint64
 )
 
 // lookupWarmPlan returns the cached plan for the config's shape, or nil.
@@ -151,6 +152,8 @@ func lookupWarmPlan(cfg Config) *Plan {
 	p := warmPlans[shapeOf(cfg)]
 	if p != nil {
 		warmHits++
+	} else {
+		warmMisses++
 	}
 	return p
 }
@@ -173,12 +176,28 @@ func WarmHits() uint64 {
 	return warmHits
 }
 
+// CacheStats is the warm plan cache's hit/miss/occupancy snapshot for
+// the observability layer.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+	Plans  int
+}
+
+// WarmCacheStats samples the process-wide plan cache counters.
+func WarmCacheStats() CacheStats {
+	warmMu.Lock()
+	defer warmMu.Unlock()
+	return CacheStats{Hits: warmHits, Misses: warmMisses, Plans: len(warmPlans)}
+}
+
 // ResetWarmCache drops all cached plans (test isolation).
 func ResetWarmCache() {
 	warmMu.Lock()
 	defer warmMu.Unlock()
 	warmPlans = map[shapeKey]*Plan{}
 	warmHits = 0
+	warmMisses = 0
 }
 
 // --- Snapshots ---
@@ -198,6 +217,15 @@ type Snapshot struct {
 // Snapshot captures this fleet's shape and construction plan.
 func (r *Result) Snapshot() *Snapshot {
 	return &Snapshot{cfg: r.Config, plan: r.plan}
+}
+
+// BuildShards reports how many rack shards the construction plan
+// partitioned bring-up into (the parallel build fan-out).
+func (r *Result) BuildShards() int {
+	if r.plan == nil {
+		return 0
+	}
+	return len(r.plan.rackSpans)
 }
 
 // Config returns the captured (defaults-filled) configuration.

@@ -219,3 +219,48 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(float64(i % 1000))
 	}
 }
+
+// mutexCounter is the pre-PR-8 Counter implementation, kept here as the
+// baseline for the parallel-increment benchmark pair below: the atomic
+// CAS counter must beat the mutex under contention (on one core the two
+// are comparable; the win shows up with -cpu 4,8).
+type mutexCounter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+func (c *mutexCounter) Inc() {
+	c.mu.Lock()
+	c.v++
+	c.mu.Unlock()
+}
+
+func BenchmarkCounterParallelAtomic(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if got := c.Value(); got != float64(b.N) {
+		b.Fatalf("counter = %v, want %v", got, b.N)
+	}
+}
+
+func BenchmarkCounterParallelMutex(b *testing.B) {
+	var c mutexCounter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkGaugeSetParallel(b *testing.B) {
+	var g Gauge
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			g.Set(1)
+		}
+	})
+}

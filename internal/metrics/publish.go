@@ -1,0 +1,98 @@
+// Bridging the legacy per-daemon metrics vocabulary into the unified
+// observability registry (internal/obs). Registries created by node
+// daemons, the REST API layer and the session manager publish
+// themselves once; from then on every scrape of the obs registry reads
+// their instruments through a read-time collector — no double
+// bookkeeping, no copies on the increment path.
+package metrics
+
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// RegisterCounter files an existing counter under name, making a
+// struct-embedded instrument reachable through the registry (and so
+// through Publish). A later Counter(name) returns the same instrument;
+// registering over an existing name replaces the entry.
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	r.mu.Lock()
+	r.counters[name] = c
+	r.mu.Unlock()
+}
+
+// RegisterGauge files an existing gauge under name (see RegisterCounter).
+func (r *Registry) RegisterGauge(name string, g *Gauge) {
+	r.mu.Lock()
+	r.gauges[name] = g
+	r.mu.Unlock()
+}
+
+// RegisterHistogram files an existing histogram under name (see
+// RegisterCounter).
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	r.mu.Lock()
+	r.hists[name] = h
+	r.mu.Unlock()
+}
+
+// RegisterSeries files an existing time series under name (see
+// RegisterCounter).
+func (r *Registry) RegisterSeries(name string, ts *TimeSeries) {
+	r.mu.Lock()
+	r.series[name] = ts
+	r.mu.Unlock()
+}
+
+// Publish registers every instrument in r into the observability
+// registry o as a read-time collector. Counters export under
+// prefix+name as Prometheus counters, gauges as gauges; histograms
+// export the same summary triple Snapshot has always produced
+// (_count as a counter, _mean and _p99 as gauges); time series export
+// their latest sample as <name>_last. Instruments created after
+// Publish are picked up automatically on the next scrape.
+func (r *Registry) Publish(o *obs.Registry, prefix string, labels ...obs.Label) {
+	o.RegisterCollector(func(e *obs.Emitter) {
+		r.mu.Lock()
+		type kv struct {
+			name string
+			c    *Counter
+			g    *Gauge
+			h    *Histogram
+			s    *TimeSeries
+		}
+		items := make([]kv, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.series))
+		for name, c := range r.counters {
+			items = append(items, kv{name: name, c: c})
+		}
+		for name, g := range r.gauges {
+			items = append(items, kv{name: name, g: g})
+		}
+		for name, h := range r.hists {
+			items = append(items, kv{name: name, h: h})
+		}
+		for name, s := range r.series {
+			items = append(items, kv{name: name, s: s})
+		}
+		r.mu.Unlock()
+		sort.Slice(items, func(i, j int) bool { return items[i].name < items[j].name })
+
+		for _, it := range items {
+			switch {
+			case it.c != nil:
+				e.Counter(prefix+it.name, it.c.Value(), labels...)
+			case it.g != nil:
+				e.Gauge(prefix+it.name, it.g.Value(), labels...)
+			case it.h != nil:
+				e.Counter(prefix+it.name+"_count", float64(it.h.Count()), labels...)
+				e.Gauge(prefix+it.name+"_mean", it.h.Mean(), labels...)
+				e.Gauge(prefix+it.name+"_p99", it.h.Quantile(0.99), labels...)
+			case it.s != nil:
+				if last, ok := it.s.Last(); ok {
+					e.Gauge(prefix+it.name+"_last", last.Value, labels...)
+				}
+			}
+		}
+	})
+}

@@ -181,6 +181,7 @@ const parallelSolveMinFlows = 4096
 // solved what, and when. Serial, parallel, and any GOMAXPROCS produce
 // byte-identical traces (TestParallelSolveMatchesSerial).
 func (n *Network) solveDirty() {
+	span, profStart := n.beginFlushObs()
 	if n.fullRecompute {
 		n.enqueueAllDomains()
 	}
@@ -205,7 +206,15 @@ func (n *Network) solveDirty() {
 	n.dirtyDomains = n.dirtyDomains[:0]
 
 	now := n.engine.Now()
+	var solveStart time.Time
+	if n.stats.profEnabled {
+		solveStart = time.Now()
+	}
 	if workers := n.solveFanout(claimed); workers > 1 {
+		n.stats.parallel++
+		if workers > n.stats.maxFanout {
+			n.stats.maxFanout = workers
+		}
 		n.solveParallel(claimed, now, workers)
 	} else {
 		for _, d := range claimed {
@@ -215,11 +224,18 @@ func (n *Network) solveDirty() {
 		n.changedFlows = append(n.changedFlows, n.scratch.changed...)
 		clearFlows(&n.scratch.changed)
 	}
+	var solveWall time.Duration
+	if n.stats.profEnabled {
+		solveWall = time.Since(solveStart)
+	}
+	n.stats.flushes++
+	n.stats.domains += uint64(len(claimed))
 	for i := range claimed {
 		claimed[i] = nil
 	}
 	n.claimed = claimed[:0]
 	n.rescheduleChanged()
+	n.endFlushObs(span, profStart, solveWall)
 }
 
 // clearFlows nils and truncates a flow slice, dropping references for
@@ -555,6 +571,7 @@ func (n *Network) rescheduleChanged() {
 			continue
 		}
 		f.rateDirty = false
+		n.stats.rescheduled++
 		f.schedRate = f.rate
 		f.complete.Cancel()
 		f.complete = sim.Event{}

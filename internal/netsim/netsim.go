@@ -18,6 +18,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -357,6 +358,11 @@ type Network struct {
 	groupOrder  []int
 	groupStale  bool
 	removedTags map[linkKey]int
+	// stats and tracer are the observability taps (see stats.go):
+	// telemetry counters outside every digest, an optional dual-clock
+	// span per flush, and opt-in phase profiling.
+	stats  netStats
+	tracer *obs.Tracer
 }
 
 // solveScratch is one solver goroutine's private buffers, reused across
@@ -943,6 +949,7 @@ func (n *Network) endFlow(f *Flow, reason EndReason) {
 // owns the flow's domain; it touches only the flow and its path links,
 // which belong to that domain alone, so no synchronisation is needed.
 func (n *Network) commitFlow(f *Flow, now sim.Time) {
+	n.stats.commits.Add(1)
 	dt := now.Sub(f.lastCalc).Seconds()
 	if dt > 0 && f.rate > 0 {
 		moved := f.rate * dt

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition is a minimal Prometheus text-format parser used to
+// prove the encoder's output is machine-readable: TYPE headers, series
+// lines with escaped label values, and numeric sample values.
+type parsedSeries struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+func parseExposition(t *testing.T, text string) (types map[string]string, series []parsedSeries) {
+	t.Helper()
+	types = map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if _, dup := types[parts[2]]; dup {
+				t.Fatalf("duplicate TYPE for %s", parts[2])
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown type %q in %q", parts[3], line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		s := parseSeriesLine(t, line)
+		series = append(series, s)
+	}
+	return types, series
+}
+
+func parseSeriesLine(t *testing.T, line string) parsedSeries {
+	t.Helper()
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		t.Fatalf("no value separator in %q", line)
+	}
+	head, valText := line[:sp], line[sp+1:]
+	var v float64
+	switch valText {
+	case "+Inf", "-Inf", "NaN":
+		// accepted spellings
+	default:
+		f, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			t.Fatalf("bad value %q in %q: %v", valText, line, err)
+		}
+		v = f
+	}
+	out := parsedSeries{labels: map[string]string{}}
+	brace := strings.IndexByte(head, '{')
+	if brace < 0 {
+		out.name = head
+		return parsedSeries{name: head, labels: out.labels, value: v}
+	}
+	out.name = head[:brace]
+	body := head[brace:]
+	if !strings.HasSuffix(body, "}") {
+		t.Fatalf("unterminated label set in %q", line)
+	}
+	body = body[1 : len(body)-1]
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
+			t.Fatalf("malformed label in %q", line)
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				default:
+					t.Fatalf("bad escape in %q", line)
+				}
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			val.WriteByte(rest[i])
+		}
+		if i == len(rest) {
+			t.Fatalf("unterminated label value in %q", line)
+		}
+		out.labels[key] = val.String()
+		body = rest[i+1:]
+		body = strings.TrimPrefix(body, ",")
+	}
+	out.value = v
+	return out
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pisim_events_total", L("session", "s-0001")).Add(12)
+	r.Counter("pisim_events_total", L("session", "s-0002")).Add(3)
+	r.Gauge("pisim_pending").Set(99)
+	r.SetHelp("pisim_pending", "events pending in the scheduler")
+	h := r.Histogram("pisim_slice_seconds", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	types, series := parseExposition(t, text)
+	if types["pisim_events_total"] != "counter" {
+		t.Fatalf("events_total type = %q", types["pisim_events_total"])
+	}
+	if types["pisim_pending"] != "gauge" {
+		t.Fatalf("pending type = %q", types["pisim_pending"])
+	}
+	if types["pisim_slice_seconds"] != "histogram" {
+		t.Fatalf("slice type = %q", types["pisim_slice_seconds"])
+	}
+	if !strings.Contains(text, "# HELP pisim_pending events pending in the scheduler") {
+		t.Fatalf("missing HELP line:\n%s", text)
+	}
+
+	find := func(name string, labels map[string]string) (parsedSeries, bool) {
+		for _, s := range series {
+			if s.name != name || len(s.labels) != len(labels) {
+				continue
+			}
+			match := true
+			for k, v := range labels {
+				if s.labels[k] != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				return s, true
+			}
+		}
+		return parsedSeries{}, false
+	}
+
+	if s, ok := find("pisim_events_total", map[string]string{"session": "s-0001"}); !ok || s.value != 12 {
+		t.Fatalf("s-0001 events = %+v ok=%v", s, ok)
+	}
+	// Histogram: cumulative buckets, +Inf equals _count, _sum is the total.
+	if s, ok := find("pisim_slice_seconds_bucket", map[string]string{"le": "0.01"}); !ok || s.value != 1 {
+		t.Fatalf("bucket le=0.01 = %+v ok=%v", s, ok)
+	}
+	if s, ok := find("pisim_slice_seconds_bucket", map[string]string{"le": "1"}); !ok || s.value != 2 {
+		t.Fatalf("bucket le=1 = %+v ok=%v", s, ok)
+	}
+	if s, ok := find("pisim_slice_seconds_bucket", map[string]string{"le": "+Inf"}); !ok || s.value != 3 {
+		t.Fatalf("bucket le=+Inf = %+v ok=%v", s, ok)
+	}
+	if s, ok := find("pisim_slice_seconds_count", nil); !ok || s.value != 3 {
+		t.Fatalf("count = %+v ok=%v", s, ok)
+	}
+	if s, ok := find("pisim_slice_seconds_sum", nil); !ok || s.value != 0.005+0.05+5 {
+		t.Fatalf("sum = %+v ok=%v", s, ok)
+	}
+}
+
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("weird-name.metric", L("path", `C:\tmp`), L("msg", "line1\nline2"), L("q", `say "hi"`)).Set(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "weird_name_metric") {
+		t.Fatalf("name not sanitized:\n%s", text)
+	}
+	_, series := parseExposition(t, text)
+	if len(series) != 1 {
+		t.Fatalf("series = %+v", series)
+	}
+	s := series[0]
+	if s.labels["path"] != `C:\tmp` || s.labels["msg"] != "line1\nline2" || s.labels["q"] != `say "hi"` {
+		t.Fatalf("labels did not round-trip: %+v", s.labels)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name:x":  "ok_name:x",
+		"9starts":    "_starts",
+		"dash-dot.a": "dash_dot_a",
+		"":           "_",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Fatalf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	for v, want := range map[float64]string{
+		1:    "1",
+		0.25: "0.25",
+	} {
+		if got := formatValue(v); got != want {
+			t.Fatalf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := fmt.Sprint(formatValue(math.Inf(1))); got != "+Inf" {
+		t.Fatalf("inf = %q", got)
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterParallel(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %v, want %v", got, workers*per)
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	var g Gauge
+	g.Set(3.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Fatalf("gauge = %v, want 2.25", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1.0, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	bounds, cum, total := h.snapshot()
+	if len(bounds) != 3 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// <=1: 0.5 and 1.0 (bound is inclusive); <=10 adds 5; <=100 adds 50.
+	want := []uint64{2, 3, 4}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cum[%d] = %d, want %d (cum=%v)", i, cum[i], want[i], cum)
+		}
+	}
+	if total != 6 {
+		t.Fatalf("total = %d, want 6", total)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+5+50+500+5000; got != want {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryHandlesAreStable(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", L("shard", "0"))
+	b := r.Counter("x_total", L("shard", "0"))
+	if a != b {
+		t.Fatal("same series returned distinct handles")
+	}
+	c := r.Counter("x_total", L("shard", "1"))
+	if a == c {
+		t.Fatal("distinct labels shared a handle")
+	}
+	a.Add(2)
+	if b.Value() != 2 {
+		t.Fatal("aliased handle did not observe the add")
+	}
+}
+
+func TestGatherIncludesCollectors(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("direct_total").Add(7)
+	r.RegisterCollector(func(e *Emitter) {
+		e.Gauge("sampled", 42, L("layer", "sim"))
+		e.Counter("sampled_total", 9)
+	})
+	byID := map[string]Sample{}
+	for _, s := range r.Gather() {
+		byID[seriesID(s.Name, s.Labels)] = s
+	}
+	if s, ok := byID["direct_total"]; !ok || s.Value != 7 || s.Kind != KindCounter {
+		t.Fatalf("direct_total = %+v", s)
+	}
+	if s, ok := byID[`sampled{layer=sim}`]; !ok || s.Value != 42 || s.Kind != KindGauge {
+		t.Fatalf("sampled = %+v", s)
+	}
+	if s, ok := byID["sampled_total"]; !ok || s.Value != 9 {
+		t.Fatalf("sampled_total = %+v", s)
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := newHistogram(DefBuckets)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.003)
+		}
+	})
+}

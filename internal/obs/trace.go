@@ -1,0 +1,237 @@
+// A virtual-clock-aware span tracer: cheap begin/end spans around
+// kernel phases (advance slices, domain flushes, checkpoint/verify,
+// fork re-enactment, recovery replay), each dual-stamped with the
+// wall clock and the simulated clock, held in a fixed-capacity ring
+// buffer so megafleet-length runs stay bounded, and exported as Chrome
+// trace-event JSON that Perfetto (ui.perfetto.dev) loads directly.
+//
+// Every method is safe on a nil *Tracer and does nothing: call sites
+// in the kernel carry a tracer pointer that is nil unless someone
+// asked for a trace, so the disabled cost is one pointer test.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Span is one completed, dual-stamped interval.
+type Span struct {
+	Name string
+	Cat  string // category: one Perfetto track per category
+
+	WallStart time.Time
+	WallDur   time.Duration
+
+	SimStart sim.Time
+	SimEnd   sim.Time
+}
+
+// Tracer collects spans into a ring buffer. Begin reads the wall clock
+// and returns a handle; End appends the completed span under a short
+// mutex. Spans are coarse (an advance slice, a domain flush), so the
+// per-span cost is negligible next to the work being measured — and
+// none of it touches engine state, RNG draws or event ordering.
+type Tracer struct {
+	mu      sync.Mutex
+	spans   []Span
+	next    int
+	wrapped bool
+	dropped uint64
+	epoch   time.Time
+}
+
+// DefaultTraceCap bounds a tracer to ~64k spans (~6 MB of JSON), deep
+// enough for a megafleet run's flush timeline with room to spare.
+const DefaultTraceCap = 1 << 16
+
+// NewTracer returns a tracer with the given ring capacity (values < 1
+// get DefaultTraceCap).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{spans: make([]Span, capacity), epoch: time.Now()}
+}
+
+// SpanHandle carries a begun span's start stamps until End.
+type SpanHandle struct {
+	t        *Tracer
+	name     string
+	cat      string
+	wall     time.Time
+	simStart sim.Time
+}
+
+// Begin opens a span. On a nil tracer it returns an inert handle.
+func (t *Tracer) Begin(name, cat string, simNow sim.Time) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	return SpanHandle{t: t, name: name, cat: cat, wall: time.Now(), simStart: simNow}
+}
+
+// End completes the span, recording wall duration and the simulated
+// interval it covered. No-op on handles from a nil tracer.
+func (h SpanHandle) End(simNow sim.Time) {
+	if h.t == nil {
+		return
+	}
+	h.t.record(Span{
+		Name:      h.name,
+		Cat:       h.cat,
+		WallStart: h.wall,
+		WallDur:   time.Since(h.wall),
+		SimStart:  h.simStart,
+		SimEnd:    simNow,
+	})
+}
+
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	if t.wrapped {
+		t.dropped++
+	}
+	t.spans[t.next] = s
+	t.next++
+	if t.next == len(t.spans) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the retained spans in wall-start order. Nil tracer
+// returns nil.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var out []Span
+	if t.wrapped {
+		out = append(out, t.spans[t.next:]...)
+		out = append(out, t.spans[:t.next]...)
+	} else {
+		out = append(out, t.spans[:t.next]...)
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].WallStart.Before(out[j].WallStart) })
+	return out
+}
+
+// Len returns how many spans are retained; Dropped how many were
+// evicted by the ring wrapping.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wrapped {
+		return len(t.spans)
+	}
+	return t.next
+}
+
+// Dropped returns the count of spans evicted by ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// chromeEvent is one complete ("ph":"X") trace event in the Chrome
+// trace-event JSON format. ts/dur are microseconds of wall time; the
+// simulated interval rides in args so Perfetto shows both clocks.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeMetadata struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// WriteChromeTrace renders the retained spans as a Chrome trace-event
+// JSON object ({"traceEvents": [...]}) loadable in Perfetto. Spans are
+// grouped onto one track (tid) per category, with thread_name metadata
+// naming each track.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+
+	tids := map[string]int{}
+	var cats []string
+	for _, s := range spans {
+		if _, ok := tids[s.Cat]; !ok {
+			tids[s.Cat] = 0
+			cats = append(cats, s.Cat)
+		}
+	}
+	sort.Strings(cats)
+	for i, c := range cats {
+		tids[c] = i + 1
+	}
+
+	var epoch time.Time
+	if t != nil {
+		epoch = t.epoch
+	}
+
+	events := make([]any, 0, len(spans)+len(cats)+1)
+	events = append(events, chromeMetadata{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "piscale kernel"},
+	})
+	for _, c := range cats {
+		events = append(events, chromeMetadata{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[c],
+			Args: map[string]any{"name": c},
+		})
+	}
+	for _, s := range spans {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			Ts:   float64(s.WallStart.Sub(epoch)) / float64(time.Microsecond),
+			Dur:  float64(s.WallDur) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  tids[s.Cat],
+			Args: map[string]any{
+				"sim_start_s": time.Duration(s.SimStart).Seconds(),
+				"sim_end_s":   time.Duration(s.SimEnd).Seconds(),
+				"sim_dur_s":   time.Duration(s.SimEnd - s.SimStart).Seconds(),
+			},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	payload := map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	}
+	if err := enc.Encode(payload); err != nil {
+		return fmt.Errorf("obs: encode chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	h := tr.Begin("x", "cat", 0)
+	h.End(5) // must not panic
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer reported state")
+	}
+	if err := tr.WriteChromeTrace(&strings.Builder{}); err != nil {
+		t.Fatalf("nil tracer write: %v", err)
+	}
+}
+
+func TestTracerRecordsDualStamps(t *testing.T) {
+	tr := NewTracer(8)
+	h := tr.Begin("advance", "session", sim.Time(10*time.Second))
+	h.End(sim.Time(20 * time.Second))
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "advance" || s.Cat != "session" {
+		t.Fatalf("span = %+v", s)
+	}
+	if s.SimStart != sim.Time(10*time.Second) || s.SimEnd != sim.Time(20*time.Second) {
+		t.Fatalf("sim stamps = %v..%v", s.SimStart, s.SimEnd)
+	}
+	if s.WallDur < 0 {
+		t.Fatalf("wall dur = %v", s.WallDur)
+	}
+}
+
+func TestTracerRingCap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		h := tr.Begin("s", "c", sim.Time(i))
+		h.End(sim.Time(i + 1))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	spans := tr.Spans()
+	// The survivors are the newest four.
+	for i, s := range spans {
+		if want := sim.Time(6 + i); s.SimStart != want {
+			t.Fatalf("span %d sim start = %v, want %v", i, s.SimStart, want)
+		}
+	}
+}
+
+// validateChromeTrace decodes trace JSON and checks the invariants
+// Perfetto relies on: every event is metadata or a complete event with
+// non-negative ts/dur, tids are consistent per category, and complete
+// events on one track nest or abut — a span either fully contains, is
+// fully contained by, or is disjoint from every other span on its
+// track (allowing exact-boundary touch).
+func validateChromeTrace(t *testing.T, raw []byte) (events int) {
+	t.Helper()
+	var payload struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	catTid := map[string]float64{}
+	type iv struct{ start, end float64 }
+	tracks := map[float64][]iv{}
+	for _, ev := range payload.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			t.Fatalf("unexpected phase %q in %v", ph, ev)
+		}
+		events++
+		name, _ := ev["name"].(string)
+		if name == "" {
+			t.Fatalf("event without name: %v", ev)
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok || ts < 0 {
+			t.Fatalf("bad ts in %v", ev)
+		}
+		dur, ok := ev["dur"].(float64)
+		if !ok || dur < 0 {
+			t.Fatalf("bad dur in %v", ev)
+		}
+		cat, _ := ev["cat"].(string)
+		tid, ok := ev["tid"].(float64)
+		if !ok {
+			t.Fatalf("bad tid in %v", ev)
+		}
+		if prev, seen := catTid[cat]; seen && prev != tid {
+			t.Fatalf("category %q on two tracks (%v, %v)", cat, prev, tid)
+		}
+		catTid[cat] = tid
+		args, _ := ev["args"].(map[string]any)
+		if args != nil {
+			ss, sok := args["sim_start_s"].(float64)
+			se, eok := args["sim_end_s"].(float64)
+			if sok && eok && se < ss {
+				t.Fatalf("sim interval inverted in %v", ev)
+			}
+		}
+		tracks[tid] = append(tracks[tid], iv{ts, ts + dur})
+	}
+	for tid, ivs := range tracks {
+		for i := 0; i < len(ivs); i++ {
+			for j := i + 1; j < len(ivs); j++ {
+				a, b := ivs[i], ivs[j]
+				disjoint := a.end <= b.start || b.end <= a.start
+				aInB := a.start >= b.start && a.end <= b.end
+				bInA := b.start >= a.start && b.end <= a.end
+				if !disjoint && !aInB && !bInA {
+					t.Fatalf("track %v: spans partially overlap: %+v vs %+v", tid, a, b)
+				}
+			}
+		}
+	}
+	return events
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	outer := tr.Begin("advance", "session", 0)
+	inner := tr.Begin("flush", "netsim", sim.Time(time.Second))
+	inner.End(sim.Time(2 * time.Second))
+	outer.End(sim.Time(3 * time.Second))
+	h := tr.Begin("checkpoint", "core", sim.Time(3*time.Second))
+	h.End(sim.Time(3 * time.Second))
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if n := validateChromeTrace(t, []byte(b.String())); n != 3 {
+		t.Fatalf("events = %d, want 3", n)
+	}
+}

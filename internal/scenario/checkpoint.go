@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // Checkpoint is a forkable mid-scenario restore point.
@@ -71,7 +73,15 @@ func (r *Run) Checkpoint() *Checkpoint {
 // the capture byte-for-byte. The returned run is independent of the
 // original and of every other fork — inject divergent faults with
 // Inject, then Execute to finish its timeline.
-func (c *Checkpoint) Fork() (*Run, error) {
+func (c *Checkpoint) Fork() (*Run, error) { return c.ForkTraced(nil) }
+
+// ForkTraced is Fork with a span tracer attached to the fresh cloud
+// before the replay begins, so the re-enactment itself — every RunTo
+// and flush of the replayed history, plus one enclosing "fork-reenact"
+// span — lands on the trace timeline. Tracing never perturbs the
+// replay: the forked trace prefix must still match the capture digest
+// byte-for-byte.
+func (c *Checkpoint) ForkTraced(tr *obs.Tracer) (*Run, error) {
 	var r *Run
 	buildStart := time.Now()
 	spec := c.Spec
@@ -80,6 +90,9 @@ func (c *Checkpoint) Fork() (*Run, error) {
 	// fork's — array.
 	spec.Faults = append([]Fault(nil), c.Spec.Faults...)
 	_, err := core.Resume(c.Core, func(cloud *core.Cloud) error {
+		cloud.SetTracer(tr)
+		span := tr.Begin("fork-reenact", "checkpoint", 0)
+		defer func() { span.End(sim.Time(c.At)) }()
 		rr, err := Install(cloud, spec)
 		if err != nil {
 			return err

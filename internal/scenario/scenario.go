@@ -26,6 +26,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/migration"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/pimaster"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -425,7 +426,11 @@ func (r *Run) startSampler() {
 // itself.
 func (r *Run) RunTo(target time.Duration) error {
 	wallStart := time.Now()
-	defer func() { r.runWall += time.Since(wallStart) }()
+	span := r.Cloud.Tracer().Begin("run-to", "scenario", r.base+sim.Time(r.offset))
+	defer func() {
+		r.runWall += time.Since(wallStart)
+		span.End(r.base + sim.Time(r.offset))
+	}()
 	if target > r.Spec.Duration {
 		target = r.Spec.Duration
 	}
@@ -456,6 +461,18 @@ func (r *Run) RunTo(target time.Duration) error {
 
 // Offset returns the run's current position on its timeline.
 func (r *Run) Offset() time.Duration { return r.offset }
+
+// SimNow returns the cloud's absolute virtual instant at the current
+// offset — what span emitters stamp (the engine clock, not the
+// timeline offset: forked runs resume mid-clock).
+func (r *Run) SimNow() sim.Time { return r.base + sim.Time(r.offset) }
+
+// SetTracer attaches (or detaches, with nil) a span tracer to the
+// run's cloud: RunTo emits one dual-stamped span per call, the network
+// kernel one per domain flush, and checkpoint capture/verify their
+// own. Tracing is observation-only — the zero-perturbation gate proves
+// traced runs digest bit-identically to untraced ones.
+func (r *Run) SetTracer(t *obs.Tracer) { r.Cloud.SetTracer(t) }
 
 // Inject adds a fault to an installed run's remaining timeline — the
 // branch-divergence primitive: runs forked from one checkpoint inject
@@ -603,6 +620,14 @@ func (r *Run) report(wall time.Duration) *Report {
 	}
 	if r.crashedVMs > 0 {
 		rep.Metrics["vms_crashed"] = float64(r.crashedVMs)
+	}
+	// Per-phase wall attribution, present only when the caller enabled
+	// the network kernel's profiling (Cloud.Net.EnableProfiling): how
+	// much of the run wall went to domain flushes, and within those, to
+	// the solve arithmetic itself.
+	if ns := c.Net.Stats(); ns.FlushWall > 0 {
+		rep.Metrics["phase_flush_wall_s"] = ns.FlushWall.Seconds()
+		rep.Metrics["phase_solve_wall_s"] = ns.SolveWall.Seconds()
 	}
 	if len(r.samples) > 0 {
 		mean := 0.0

@@ -5,6 +5,7 @@
 // checkpoint file and a POST body.
 //
 //	GET    /v1/healthz                      liveness + service counters
+//	GET    /v1/metrics                      Prometheus text exposition
 //	GET    /v1/scenarios                    catalog listing
 //	POST   /v1/images                       build a base image {name, at_ns, spec}
 //	GET    /v1/images                       list base images
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/cliconfig"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -35,42 +37,11 @@ import (
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, req *http.Request) {
-		sessions := m.Sessions()
-		detail := make([]map[string]any, 0, len(sessions))
-		var dropped float64
-		for _, s := range sessions {
-			snap := s.reg.Snapshot()
-			dropped += snap["events_dropped"]
-			off, durable := s.Offset(), s.DurableOffset()
-			lag := off - durable
-			if lag < 0 {
-				lag = 0
-			}
-			st := s.StatusLocal()
-			detail = append(detail, map[string]any{
-				"id":                s.ID,
-				"state":             st.State,
-				"failure":           st.Failure,
-				"offset_ns":         int64(off),
-				"durable_offset_ns": int64(durable),
-				"journal_lag_ns":    int64(lag),
-				"subscribers":       s.Subscribers(),
-				"events_dropped":    snap["events_dropped"],
-			})
-		}
-		body := map[string]any{
-			"ok":                   true,
-			"sessions":             len(sessions),
-			"images":               len(m.Images()),
-			"events_dropped":       dropped,
-			"session_detail":       detail,
-			"sessions_quarantined": m.QuarantinedAll(),
-			"metrics":              m.Metrics(),
-		}
-		if st := m.Store(); st != nil {
-			body["data_dir"] = st.Dir()
-		}
-		writeJSON(w, http.StatusOK, body)
+		writeJSON(w, http.StatusOK, m.healthz())
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		_ = m.obs.WritePrometheus(w)
 	})
 	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"scenarios": scenario.Names()})

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/scenario"
+	"repro/internal/sim"
 	"repro/internal/store"
 )
 
@@ -222,6 +223,11 @@ func (m *Manager) recoverSession(st *store.Store, id string) (reason string, ret
 		return err.Error(), false
 	}
 	last := recs[0]
+	// One span per recovered session covers the whole verified replay;
+	// it closes at the journal's last durable offset whichever way the
+	// recovery ends.
+	span := m.Tracer().Begin("recover-session", "recovery", 0)
+	defer func() { span.End(sim.Time(last.At)) }()
 	for _, rec := range recs[1:] {
 		if err := replayRecord(r, rec); err != nil {
 			r.Cloud.Close()

@@ -38,7 +38,9 @@ import (
 	"time"
 
 	"repro/internal/cliconfig"
+	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/store"
 )
@@ -135,6 +137,18 @@ type Session struct {
 	durableOffset   time.Duration
 	lastTraceLen    int
 	lastTraceDigest string
+	// kstats is the kernel-stats snapshot taken at the last paused
+	// instant (adopt, then every advance slice boundary). HTTP-side
+	// scrapes read this cache; they never touch the kernel itself, so a
+	// mid-advance scrape is safe and lag-bounded by one slice.
+	kstats      core.KernelStats
+	kstatsValid bool
+
+	// Latency instruments on the manager's obs registry, labelled with
+	// this session's id: wall time per advance slice, wall time per
+	// journal append+fsync.
+	sliceHist   *obs.Histogram
+	journalHist *obs.Histogram
 }
 
 // loop is the session kernel goroutine: it owns r exclusively.
@@ -207,7 +221,14 @@ func (s *Session) advance(r *scenario.Run, to time.Duration) error {
 		if next > to {
 			next = to
 		}
-		if err := r.RunTo(next); err != nil {
+		sliceStart := time.Now()
+		span := r.Cloud.Tracer().Begin("advance-slice", "session", r.SimNow())
+		err := r.RunTo(next)
+		span.End(r.SimNow())
+		if s.sliceHist != nil {
+			s.sliceHist.Observe(time.Since(sliceStart).Seconds())
+		}
+		if err != nil {
 			s.emit(Event{Type: "lifecycle", Offset: int64(r.Offset()), Kind: "error", Detail: err.Error()})
 			if jerr := s.journalAdvance(r); jerr != nil {
 				return jerr
@@ -216,6 +237,7 @@ func (s *Session) advance(r *scenario.Run, to time.Duration) error {
 		}
 		moved = true
 		s.setOffset(r.Offset())
+		s.sampleKernel(r)
 		s.emitTelemetry(r)
 		// Drain first: the journal append must be durable before the
 		// no-op barrier Manager.Drain queued behind this boundary is
@@ -607,7 +629,12 @@ func (s *Session) journalStamped(rec store.Record) error {
 	if s.jr == nil {
 		return nil
 	}
-	if err := s.jr.Append(rec); err != nil {
+	appendStart := time.Now()
+	err := s.jr.Append(rec)
+	if s.journalHist != nil {
+		s.journalHist.Observe(time.Since(appendStart).Seconds())
+	}
+	if err != nil {
 		s.markFailed(fmt.Sprintf("journal append: %v", err), nil)
 		return &FailedError{ID: s.ID, Reason: err.Error()}
 	}

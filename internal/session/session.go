@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/cliconfig"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/store"
 )
@@ -124,18 +125,30 @@ type Manager struct {
 	// fingerprint, sessions created/closed/recovered/failed, forks,
 	// journal records, quarantines.
 	reg *metrics.Registry
+	// obs is the unified observability registry behind GET /v1/metrics:
+	// the service counters above (published under pisim_manager_), every
+	// live session's kernel and service series (labelled by session id),
+	// the per-session latency histograms, and the process-wide fleet
+	// warm-cache series. See obs.go.
+	obs *obs.Registry
+	// tracer, when non-nil, attaches to every subsequently adopted
+	// session's cloud and receives recovery-replay spans.
+	tracer *obs.Tracer
 }
 
 // NewManager returns an empty, memory-only session manager.
 func NewManager() *Manager {
-	return &Manager{
+	m := &Manager{
 		images:      map[string]*BaseImage{},
 		byFP:        map[string]*BaseImage{},
 		sessions:    map[string]*Session{},
 		quarantined: map[string]string{},
 		drainCh:     make(chan struct{}),
 		reg:         metrics.NewRegistry(),
+		obs:         obs.NewRegistry(),
 	}
+	m.initObs()
+	return m
 }
 
 // Metrics exposes the service-level registry snapshot.
@@ -441,7 +454,15 @@ func (m *Manager) adopt(r *scenario.Run, cfg adoptConfig) (*Session, error) {
 		durableOffset:   durOff,
 		lastTraceLen:    traceLen,
 		lastTraceDigest: traceDigest,
+		sliceHist:       m.obs.Histogram("pisim_session_advance_slice_seconds", obs.DefBuckets, obs.L("session", id)),
+		journalHist:     m.obs.Histogram("pisim_journal_append_seconds", obs.DefBuckets, obs.L("session", id)),
 	}
+	if tr := m.Tracer(); tr != nil {
+		r.SetTracer(tr)
+	}
+	// Seed the stats cache at this paused instant so scrapes see kernel
+	// series before the first advance.
+	s.sampleKernel(r)
 	m.mu.Lock()
 	m.sessions[id] = s
 	m.mu.Unlock()

@@ -237,6 +237,9 @@ type calendarQueue struct {
 	horizon float64
 	// horizonOps counts pushes since the last width check.
 	horizonOps int
+	// reshapes counts adaptive rebuilds since construction — pure
+	// telemetry (never part of WriteState), read by Engine.SchedStats.
+	reshapes uint64
 }
 
 func newCalendarQueue() *calendarQueue {
@@ -426,6 +429,7 @@ func (c *calendarQueue) reshape(n int, lo, hi Time) {
 // by the count crossing the hysteresis thresholds, so its O(n) cost is
 // amortised O(1) per operation.
 func (c *calendarQueue) rebuild() {
+	c.reshapes++
 	nodes := make([]*eventNode, 0, c.count)
 	c.forEach(func(n *eventNode) { nodes = append(nodes, n) })
 	lo, hi := Time(math.MaxInt64), Time(0)

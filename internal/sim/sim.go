@@ -193,6 +193,12 @@ type Engine struct {
 	stopped bool
 	fired   uint64
 	free    []*eventNode
+
+	// tombstones counts cancelled events discarded on the pop/peek
+	// paths — the observable face of Event.Cancel, which only flags the
+	// node. Telemetry only: not part of WriteState, so observing it can
+	// never shift a kernel fingerprint.
+	tombstones uint64
 }
 
 // NewEngine returns an engine at the epoch using the given RNG seed.
@@ -246,6 +252,45 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events waiting in the queue, including
 // cancelled events not yet discarded.
 func (e *Engine) Pending() int { return e.sched.size() }
+
+// SchedStats is a read-only snapshot of the scheduler's operational
+// counters for the observability layer: everything here is either
+// already part of the engine's explicit state (scheduled, fired,
+// pending) or a pure telemetry counter outside WriteState (tombstones,
+// calendar shape), so sampling it cannot perturb a run.
+type SchedStats struct {
+	Now        Time
+	Scheduled  uint64 // events scheduled so far (the sequence counter)
+	Fired      uint64 // events executed
+	Pending    int    // queued, including undiscarded tombstones
+	Tombstones uint64 // cancelled events discarded on pop/peek
+	Classic    bool   // seed binary heap in use (ablation mode)
+
+	// Calendar shape; zero when the classic heap is active.
+	Buckets  int    // current bucket count
+	WidthLog int    // log2 of the bucket day width in ns
+	Reshapes uint64 // adaptive rebuilds since construction
+}
+
+// SchedStats samples the scheduler counters. Like all engine methods it
+// must be called from the goroutine that owns the engine (or under the
+// cloud lock).
+func (e *Engine) SchedStats() SchedStats {
+	st := SchedStats{
+		Now:        e.now,
+		Scheduled:  e.seq,
+		Fired:      e.fired,
+		Pending:    e.sched.size(),
+		Tombstones: e.tombstones,
+		Classic:    e.classic,
+	}
+	if cq, ok := e.sched.(*calendarQueue); ok {
+		st.Buckets = len(cq.buckets)
+		st.WidthLog = int(cq.widthLog)
+		st.Reshapes = cq.reshapes
+	}
+	return st
+}
 
 // PendingEvent is the externally visible identity of one queued event:
 // its fire time and sequence number — everything the (time, sequence)
@@ -345,6 +390,7 @@ func (e *Engine) Step() bool {
 			return false
 		}
 		if ev.canceled {
+			e.tombstones++
 			e.release(ev)
 			continue
 		}
@@ -412,6 +458,7 @@ func (e *Engine) peek() *eventNode {
 			return ev
 		}
 		e.sched.popMin()
+		e.tombstones++
 		e.release(ev)
 	}
 }
