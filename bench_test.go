@@ -325,6 +325,49 @@ func BenchmarkScenarioMegafleet100000(b *testing.B) {
 	b.ReportMetric(float64(r.Nodes), "nodes")
 }
 
+// BenchmarkScenarioMegafleet100000Sharded re-runs the 10⁵-node scale
+// gate with the pod-sharded conservative-parallel advance on (auto
+// shard count — one shard per rack group up to GOMAXPROCS — staged by
+// 4 workers): the serial-vs-sharded events/s comparison CI tracks
+// next to BenchmarkScenarioMegafleet100000, under the same wall-time
+// budget. Bit-equality of the two arms is proved by the determinism
+// gates (TestShardedAdvanceMatchesSerial and the bench-json digest
+// cross-check), so this benchmark only tracks the throughput side.
+func BenchmarkScenarioMegafleet100000Sharded(b *testing.B) {
+	budget := megafleet100kBudget
+	if s := os.Getenv("MEGAFLEET100K_BUDGET"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			b.Fatalf("bad MEGAFLEET100K_BUDGET %q: %v", s, err)
+		}
+		budget = d
+	}
+	var last *scenario.Report
+	for i := 0; i < b.N; i++ {
+		spec, err := scenario.Catalog("megafleet-100000")
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec.Cloud.Kernel.ShardedAdvance = true
+		spec.Cloud.Kernel.ShardWorkers = 4
+		rep, err := scenario.Execute(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+	}
+	if last.Nodes < 100000 {
+		b.Fatalf("megafleet ran on %d nodes, want ≥ 100000", last.Nodes)
+	}
+	if total := last.BuildWallTime + last.WallTime; total > budget {
+		b.Fatalf("sharded scale gate blew its wall-time budget: built in %v + ran in %v > %v",
+			last.BuildWallTime.Round(time.Millisecond), last.WallTime.Round(time.Millisecond), budget)
+	}
+	b.ReportMetric(last.SimTime.Seconds()/last.WallTime.Seconds(), "sim-s/wall-s")
+	b.ReportMetric(float64(last.EventsFired)/last.WallTime.Seconds(), "events/s")
+	b.ReportMetric(float64(last.Nodes), "nodes")
+}
+
 // megafleet1MBudget is the wall-time budget of the 10⁶-node scale
 // gate: construction plus the full fault-and-traffic timeline. A
 // single-core reference box builds the 1,000,192-node fleet in ~50 s

@@ -15,7 +15,8 @@
 //	piscale -scenario rack-blackout -checkpoint-at 45s
 //	piscale -resume-from rack-blackout.ckpt.json
 //	piscale -study bisect-blackout
-//	piscale -bench-json BENCH_PR8.json
+//	piscale -scenario megafleet-100000 -sharded-advance -shard-workers 4
+//	piscale -bench-json BENCH_PR9.json
 package main
 
 import (
@@ -186,6 +187,11 @@ type benchEntry struct {
 	// domain bookkeeping around the solves.
 	FlushSeconds float64 `json:"flush_s,omitempty"`
 	SolveSeconds float64 `json:"solve_s,omitempty"`
+	// MaxRSSBytes is the process's peak resident set size (getrusage
+	// ru_maxrss) sampled as this arm finished. Peak RSS is monotone
+	// over the process, so each row is the high-water mark so far —
+	// the series the PR 9 sharded advance must not regress.
+	MaxRSSBytes uint64 `json:"max_rss_bytes,omitempty"`
 }
 
 // pr1Baseline records the PR 1 numbers for the scenarios that existed
@@ -244,9 +250,18 @@ type schedEntry struct {
 	Scheduler string `json:"scheduler"`
 }
 
+// advEntry is one arm of the serial-vs-sharded advance series.
+type advEntry struct {
+	benchEntry
+	// Advance is "serial" (single-loop engine) or "sharded(KxW)" for K
+	// pod shards staged by W workers.
+	Advance string `json:"advance"`
+}
+
 // runBenchJSON executes every canned scenario once (the calendar
 // scheduler is the default), reruns the megafleets on the classic heap
-// for the scheduler events/s series, and writes the whole trajectory —
+// for the scheduler events/s series and under the pod-sharded advance
+// for the serial-vs-sharded series, and writes the whole trajectory —
 // plus the PR 1–PR 3 baselines; the classic arm doubles as the PR 4
 // kernel baseline, since the scheduler is the only run-phase change —
 // to path. The emitted series also records each arm's trace digest, so
@@ -268,6 +283,11 @@ func runBenchJSON(path string) error {
 		// SchedulerSeries is the classic-vs-calendar events/s comparison
 		// at 10k/100k/1M nodes.
 		SchedulerSeries []schedEntry `json:"scheduler_series"`
+		// AdvanceSeries is the serial-vs-sharded advance events/s
+		// comparison at the same scales; both arms' trace digests are
+		// asserted identical before the artifact is written, so the
+		// file itself witnesses the equivalence claim.
+		AdvanceSeries []advEntry `json:"advance_series"`
 	}
 	out := trajectory{
 		GeneratedBy: "piscale -bench-json",
@@ -307,6 +327,7 @@ func runBenchJSON(path string) error {
 			TraceDigest:  rep.TraceDigest(),
 			FlushSeconds: rep.Metrics["phase_flush_wall_s"],
 			SolveSeconds: rep.Metrics["phase_solve_wall_s"],
+			MaxRSSBytes:  maxRSSBytes(),
 		}, nil
 	}
 	calendar := map[string]benchEntry{}
@@ -346,6 +367,30 @@ func runBenchJSON(path string) error {
 		fmt.Printf("%-18s classic-heap rerun: %8.0f events/s (calendar %8.0f), digests identical\n",
 			n, classic.EventsPerS, cal.EventsPerS)
 	}
+	for _, n := range schedulerSeriesScenarios {
+		spec, err := scenario.Catalog(n)
+		if err != nil {
+			return err
+		}
+		// Auto shard/worker counts: one shard per rack group up to
+		// GOMAXPROCS, staged by up to GOMAXPROCS workers. The serial arm
+		// is the calendar run already recorded above.
+		spec.Cloud.Kernel.ShardedAdvance = true
+		sharded, err := execute(spec)
+		if err != nil {
+			return err
+		}
+		cal := calendar[n]
+		if sharded.TraceDigest != cal.TraceDigest {
+			return fmt.Errorf("scenario %s: sharded-advance trace digest %s differs from serial %s",
+				n, sharded.TraceDigest, cal.TraceDigest)
+		}
+		out.AdvanceSeries = append(out.AdvanceSeries,
+			advEntry{benchEntry: cal, Advance: "serial"},
+			advEntry{benchEntry: sharded, Advance: fmt.Sprintf("sharded(%d workers)", runtime.GOMAXPROCS(0))})
+		fmt.Printf("%-18s sharded rerun: %8.0f events/s (serial %8.0f), digests identical\n",
+			n, sharded.EventsPerS, cal.EventsPerS)
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -354,7 +399,8 @@ func runBenchJSON(path string) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d scenarios, %d scheduler-series arms)\n", path, len(out.Scenarios), len(out.SchedulerSeries))
+	fmt.Printf("wrote %s (%d scenarios, %d scheduler-series arms, %d advance-series arms)\n",
+		path, len(out.Scenarios), len(out.SchedulerSeries), len(out.AdvanceSeries))
 	return nil
 }
 
@@ -376,7 +422,18 @@ func kernelModeLine(c cliconfig.Common) string {
 	if c.EagerAdvance {
 		advance = "eager"
 	}
-	return fmt.Sprintf("run-phase kernel: scheduler=%s solver=%s advance=%s", scheduler, solver, advance)
+	run := "single-loop"
+	if c.ShardedAdvance || c.ShardWorkers > 0 || c.Shards > 0 {
+		shards, workers := "auto", "auto"
+		if c.Shards > 0 {
+			shards = fmt.Sprintf("%d", c.Shards)
+		}
+		if c.ShardWorkers > 0 {
+			workers = fmt.Sprintf("%d", c.ShardWorkers)
+		}
+		run = fmt.Sprintf("sharded(shards=%s workers=%s)", shards, workers)
+	}
+	return fmt.Sprintf("run-phase kernel: scheduler=%s solver=%s advance=%s run=%s", scheduler, solver, advance, run)
 }
 
 // specFor resolves a catalog scenario with the command-line overrides
@@ -496,6 +553,15 @@ func resume(path string, o runOpts) error {
 	if o.common.SolveWorkers > 0 {
 		req.SolveWorkers = o.common.SolveWorkers
 	}
+	if o.common.ShardedAdvance || o.common.ShardWorkers > 0 || o.common.Shards > 0 {
+		req.ShardedAdvance = true
+	}
+	if o.common.ShardWorkers > 0 {
+		req.ShardWorkers = o.common.ShardWorkers
+	}
+	if o.common.Shards > 0 {
+		req.Shards = o.common.Shards
+	}
 	spec, err := req.Resolve()
 	if err != nil {
 		return err
@@ -504,6 +570,8 @@ func resume(path string, o runOpts) error {
 		spec.Name, path, p.At, kernelModeLine(cliconfig.Common{
 			ClassicHeap: req.ClassicHeap, SerialSolve: req.SerialSolve,
 			EagerAdvance: req.EagerAdvance, SolveWorkers: req.SolveWorkers,
+			ShardedAdvance: req.ShardedAdvance, ShardWorkers: req.ShardWorkers,
+			Shards: req.Shards,
 		}))
 	r, err := scenario.New(spec)
 	if err != nil {

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package main
+
+import "runtime"
+
+// maxRSSBytes approximates peak resident memory where getrusage is
+// unavailable or reports in platform-specific units: total bytes the
+// Go runtime has obtained from the OS. An overestimate of live heap
+// but comparable run-to-run, which is what the bench series needs.
+func maxRSSBytes() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.Sys
+}

@@ -1,0 +1,17 @@
+//go:build linux
+
+package main
+
+import "syscall"
+
+// maxRSSBytes returns the process's peak resident set size in bytes.
+// Linux reports ru_maxrss in KiB. Peak RSS is monotone over the
+// process lifetime, so within one bench trajectory each row records
+// the high-water mark up to and including that arm.
+func maxRSSBytes() uint64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return uint64(ru.Maxrss) * 1024
+}

@@ -100,6 +100,22 @@ type KernelOptions struct {
 	// sharded build is byte-identical by construction
 	// (TestShardedBuildMatchesSerial).
 	SerialBuild bool
+	// ShardedAdvance enables the pod-sharded conservative-parallel run
+	// phase: the fleet is partitioned by rack group into shards, each
+	// with its own calendar scheduler, and the engine advances in
+	// conservative windows sized by the minimum link latency, staging
+	// shard queues on a worker pool. Execution order stays the exact
+	// serial (time, seq) total order, so traces are byte-identical
+	// either way (TestShardedAdvanceMatchesSerial).
+	ShardedAdvance bool
+	// ShardWorkers bounds the stage-phase worker pool when
+	// ShardedAdvance is on: 0 auto-sizes one per core (at least two, so
+	// the parallel path is exercised even on single-core machines),
+	// capped at the shard count.
+	ShardWorkers int
+	// Shards is the pod-shard count when ShardedAdvance is on: 0
+	// auto-sizes one per core (at least two), capped at the rack count.
+	Shards int
 }
 
 // Union folds another option set into this one: booleans OR (a knob
@@ -113,8 +129,15 @@ func (k KernelOptions) Union(o KernelOptions) KernelOptions {
 	k.SerialSolve = k.SerialSolve || o.SerialSolve
 	k.FullRecompute = k.FullRecompute || o.FullRecompute
 	k.SerialBuild = k.SerialBuild || o.SerialBuild
+	k.ShardedAdvance = k.ShardedAdvance || o.ShardedAdvance
 	if k.SolveWorkers == 0 {
 		k.SolveWorkers = o.SolveWorkers
+	}
+	if k.ShardWorkers == 0 {
+		k.ShardWorkers = o.ShardWorkers
+	}
+	if k.Shards == 0 {
+		k.Shards = o.Shards
 	}
 	return k
 }
@@ -403,6 +426,7 @@ func assemble(cfg Config, cloudMu *sync.Mutex, plan *Plan) (*Result, error) {
 	if len(plan.hosts) != len(topo.Hosts) {
 		return nil, fmt.Errorf("fleet: plan holds %d hosts, fabric wired %d", len(plan.hosts), len(topo.Hosts))
 	}
+	applySharding(engine, net, cfg, plan)
 
 	ctrl := sdn.NewController(engine, net, sdn.DefaultConfig())
 	for _, id := range topo.Switches() {
@@ -471,6 +495,69 @@ func assemble(cfg Config, cloudMu *sync.Mutex, plan *Plan) (*Result, error) {
 		return nil, err
 	}
 	return r, nil
+}
+
+// applySharding enables the engine's pod-sharded advance when the
+// kernel options ask for it: racks are grouped into contiguous pod
+// shards, each host mapped to its rack's shard, the conservative
+// lookahead derived from the fabric's minimum link latency, and flow
+// completions tagged with their source pod via the network's shard
+// map. Sits after topology build (the rack layout and link latencies
+// must exist) and runs on cold boots, warm boots and resume alike —
+// assemble is the single construction path.
+func applySharding(engine *sim.Engine, net *netsim.Network, cfg Config, plan *Plan) {
+	if !cfg.Kernel.ShardedAdvance {
+		return
+	}
+	racks := len(plan.rackSpans)
+	k := cfg.Kernel.Shards
+	if k <= 0 {
+		// Auto: one shard per core, at least two — mirroring the build
+		// pool's policy so the windowed path (and its determinism) is
+		// exercised even on single-core machines.
+		k = runtime.GOMAXPROCS(0)
+		if k < 2 {
+			k = 2
+		}
+	}
+	if k > racks {
+		k = racks
+	}
+	if k <= 1 {
+		// Nothing to partition (single-rack fleet): the single-loop
+		// engine already is the 1-shard advance.
+		return
+	}
+	w := cfg.Kernel.ShardWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w < 2 {
+			w = 2
+		}
+	}
+	if w > k {
+		w = k
+	}
+	// Contiguous rack → shard grouping: rack r belongs to shard
+	// r·k/racks, so pods are whole rack runs and every host inherits
+	// its rack's shard. Switches and other non-host identities stay on
+	// the global queue.
+	shardOf := make(map[netsim.NodeID]int, len(plan.hosts))
+	for i := range plan.hosts {
+		hp := &plan.hosts[i]
+		shardOf[netsim.NodeID(hp.name)] = hp.rack * k / racks
+	}
+	engine.SetSharded(sim.ShardConfig{
+		Shards:    k,
+		Workers:   w,
+		Lookahead: net.MinLinkLatency(),
+	})
+	net.SetShardMap(func(id netsim.NodeID) int {
+		if sh, ok := shardOf[id]; ok {
+			return sh
+		}
+		return sim.GlobalShard
+	})
 }
 
 // stampAll builds every node from the template. Shards are contiguous

@@ -204,6 +204,19 @@ func (n *Network) solveDirty() {
 		n.dirtyDomains[i] = nil
 	}
 	n.dirtyDomains = n.dirtyDomains[:0]
+	if n.shardOf != nil {
+		// Telemetry for the sharded advance: how many solved domains
+		// span pods this flush — the contention surface a multi-process
+		// split would have to exchange at window boundaries. The union-
+		// find partition already merges cross-pod flows into one domain,
+		// so sharding composes with parallel solving by construction;
+		// this just measures how often it happens.
+		for _, d := range claimed {
+			if n.domainSpansShards(d) {
+				n.stats.crossShardDomains++
+			}
+		}
+	}
 
 	now := n.engine.Now()
 	var solveStart time.Time
@@ -539,6 +552,27 @@ func rateChanged(old, new float64) bool {
 	return diff > rateReschedEps*limit
 }
 
+// domainSpansShards reports whether a domain's live member flows touch
+// more than one pod shard (sources and destinations both considered —
+// a flow is traffic on every pod it terminates in).
+func (n *Network) domainSpansShards(d *domain) bool {
+	first, seen := 0, false
+	for _, f := range d.flows {
+		if f.ended {
+			continue
+		}
+		for _, id := range [2]NodeID{f.Spec.Src, f.Spec.Dst} {
+			sh := n.shardOf(id)
+			if !seen {
+				first, seen = sh, true
+			} else if sh != first {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // rescheduleChanged re-arms the completion event of every finite flow
 // whose rate actually changed, in admission (flow-ID) order so the
 // engine's event sequence — and with it whole-run determinism — is
@@ -585,7 +619,7 @@ func (n *Network) rescheduleChanged() {
 		seconds := f.remaining / f.rate
 		d := time.Duration(seconds * float64(time.Second))
 		f := f
-		f.complete = n.engine.Schedule(d, func() {
+		fn := func() {
 			n.advance()
 			// Commit the final span, clamp the float drift left by the
 			// event-time truncation, and finish.
@@ -593,7 +627,15 @@ func (n *Network) rescheduleChanged() {
 			f.remaining = 0
 			n.endFlow(f, EndCompleted)
 			n.markDirty()
-		})
+		}
+		if n.shardOf != nil {
+			// Tag the completion with the source pod so the standing
+			// mass of pending completions spreads over the per-shard
+			// scheduler queues (routing hint only; see SetShardMap).
+			f.complete = n.engine.ScheduleShard(d, n.shardOf(f.Spec.Src), fn)
+		} else {
+			f.complete = n.engine.Schedule(d, fn)
+		}
 	}
 	for i := range n.changedFlows {
 		n.changedFlows[i] = nil

@@ -358,6 +358,11 @@ type Network struct {
 	groupOrder  []int
 	groupStale  bool
 	removedTags map[linkKey]int
+	// shardOf maps a node to its pod shard under the engine's sharded
+	// advance (SetShardMap); nil when sharding is off. Used only to tag
+	// completion events with a locality hint — tags are routing, never
+	// ordering, so the map cannot affect a trace.
+	shardOf func(NodeID) int
 	// stats and tracer are the observability taps (see stats.go):
 	// telemetry counters outside every digest, an optional dual-clock
 	// span per flush, and opt-in phase profiling.
@@ -398,6 +403,30 @@ func New(engine *sim.Engine) *Network {
 	}
 	n.flushFn = n.flush
 	return n
+}
+
+// SetShardMap installs (or, with nil, removes) the node → pod-shard map
+// the engine's sharded advance partitions by. With a map installed,
+// each flow-completion event is tagged with the shard of the flow's
+// source node, so the standing mass of pending completions lands in
+// per-pod scheduler queues and the stage phase parallelises across
+// pods. The map is a locality hint only: execution order stays the
+// global (time, seq) total order, so traces are identical with any map
+// — including none.
+func (n *Network) SetShardMap(fn func(NodeID) int) { n.shardOf = fn }
+
+// MinLinkLatency returns the smallest base (unshaped) latency over all
+// current links — the conservative lookahead bound for the sharded
+// advance: no effect can cross between nodes, and so between pods,
+// faster than the fastest cable. Zero when the network has no links.
+func (n *Network) MinLinkLatency() time.Duration {
+	var min time.Duration
+	for _, l := range n.linkList {
+		if l.baseLatency > 0 && (min == 0 || l.baseLatency < min) {
+			min = l.baseLatency
+		}
+	}
+	return min
 }
 
 // markDirty defers rate recomputation to the end of the current virtual

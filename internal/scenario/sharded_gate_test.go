@@ -1,0 +1,147 @@
+package scenario
+
+// Gates for the pod-sharded conservative-parallel advance at scenario
+// level. The sharded engine stages per-pod scheduler queues on a worker
+// pool and executes windows in the exact serial (time, seq) order, so
+// every run — traces, metrics, event counts, checkpoint bytes — must be
+// bit-identical to the single-loop engine's, whatever the shard count,
+// worker count or lookahead:
+//
+//   - TestShardedAdvanceMatchesSerial runs the whole shrunk catalog
+//     across shard counts {1, 2, 4} (1 degenerates to the single-loop
+//     engine by design) plus a sharded × classic-heap combination, and
+//     requires byte-identical reports. With `go test -race` (the CI
+//     race job) this doubles as the race-detector run of the parallel
+//     stage phase.
+//
+//   - TestShardedAdvanceCrossPodRandomized drives a purpose-built
+//     cross-pod-heavy scenario — gravity-model traffic (most pairs
+//     cross pods on an 8-rack fleet), Pareto ON/OFF background, node
+//     churn and a fabric degrade — across several seeds and shard
+//     counts {1, 2, 4, 8}, the dense cross-shard message pattern the
+//     window-boundary exchange must keep in order.
+//
+//   - TestShardedScenarioTraceDigests re-runs the pinned digest table
+//     with sharding ON: the sharded advance must reproduce the seed
+//     kernel's fingerprints bit for bit, not merely self-agree.
+//
+// The matching engine-level gate (synthetic workloads, cancel/staging
+// interplay) is sim's TestShardedEngineMatchesSerial.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/workload"
+)
+
+// shardedVariant returns a configure func enabling the sharded advance
+// with the given shard count.
+func shardedVariant(shards, workers int) func(*core.Config) {
+	return func(cfg *core.Config) {
+		cfg.Kernel.ShardedAdvance = true
+		cfg.Kernel.Shards = shards
+		cfg.Kernel.ShardWorkers = workers
+	}
+}
+
+func TestShardedAdvanceMatchesSerial(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := Catalog(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec = shrinkForGate(spec)
+			base := kernelBaseline(t, name)
+			for _, shards := range []int{1, 2, 4} {
+				got := executeKernelVariant(t, spec, shardedVariant(shards, 2))
+				requireIdentical(t, fmt.Sprintf("serial vs sharded advance (%d shards)", shards), base, got)
+			}
+			// The scheduler ablation composes: classic heap per shard
+			// queue under the windowed advance.
+			classic := executeKernelVariant(t, spec, func(cfg *core.Config) {
+				shardedVariant(4, 2)(cfg)
+				cfg.Kernel.ClassicHeap = true
+			})
+			classicBase := executeKernelVariant(t, spec, func(cfg *core.Config) { cfg.Kernel.ClassicHeap = true })
+			requireIdentical(t, "classic heap vs sharded classic heap", classicBase, classic)
+		})
+	}
+}
+
+// crossPodSpec builds the randomized cross-pod-heavy scenario: an
+// 8-rack fleet where the gravity matrix re-rolls every 5 s (most drawn
+// pairs cross rack groups, so completions tagged by source pod
+// constantly message sibling shards), Pareto ON/OFF sources layered on
+// top, plus node churn and a mid-run fabric degrade to move link state
+// while windows are in flight.
+func crossPodSpec(seed int64) Spec {
+	return Spec{
+		Name:        fmt.Sprintf("cross-pod-fuzz-%d", seed),
+		Description: "randomized cross-pod-heavy traffic with faults (sharded-advance gate)",
+		Cloud: core.Config{
+			Racks: 8, HostsPerRack: 8, AggSwitches: 4, Seed: seed,
+		},
+		Duration:    90 * time.Second,
+		SampleEvery: 10 * time.Second,
+		Traffic: TrafficSpec{
+			OnOff:   &workload.OnOffConfig{Sources: 24},
+			Gravity: &workload.GravityConfig{EpochSeconds: 5, FlowsPerEpoch: 40},
+		},
+		Faults: []Fault{
+			NodeChurn{Start: 10 * time.Second, Every: 15 * time.Second, Outage: 5 * time.Second},
+			Degrade{At: 30 * time.Second, Outage: 20 * time.Second,
+				Shaping: netsim.Shaping{CapacityScale: 0.5, ExtraLatency: 200 * time.Microsecond}},
+		},
+	}
+}
+
+func TestShardedAdvanceCrossPodRandomized(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			spec := crossPodSpec(seed)
+			base := executeKernelVariant(t, spec, nil)
+			if base.EventsFired < 1000 {
+				t.Fatalf("cross-pod workload too small to gate on: %d events", base.EventsFired)
+			}
+			for _, shards := range []int{1, 2, 4, 8} {
+				got := executeKernelVariant(t, spec, shardedVariant(shards, 4))
+				requireIdentical(t, fmt.Sprintf("serial vs sharded cross-pod (%d shards)", shards), base, got)
+			}
+		})
+	}
+}
+
+// TestShardedScenarioTraceDigests re-runs the pinned full-size catalog
+// digests with the sharded advance enabled: sharding must reproduce the
+// seed kernel's exact fingerprints, not merely agree with itself.
+func TestShardedScenarioTraceDigests(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("digests pinned for amd64 rounding; GOARCH=%s", runtime.GOARCH)
+	}
+	for name, want := range scenarioDigests {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			spec, err := Catalog(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.Cloud.Kernel.ShardedAdvance = true
+			rep, err := Execute(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rep.TraceDigest(); got != want {
+				t.Fatalf("%s trace digest drifted under the sharded advance:\n  got  %s\n  want %s",
+					name, got, want)
+			}
+		})
+	}
+}

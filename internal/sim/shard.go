@@ -1,0 +1,478 @@
+// Pod-sharded conservative-parallel advance: the engine's multi-core
+// run-phase mode. The fleet is partitioned by pod/rack group into K
+// shards; each shard owns its own calendar scheduler instance for
+// shard-local events (flow completions re-armed for hosts in that pod),
+// while a global scheduler keeps everything unpartitioned (generator
+// ticks, samplers, events scheduled outside any shard context). Advance
+// proceeds in conservative windows [T, T+lookahead), where the
+// lookahead is derived from the minimum cross-shard link latency in the
+// topology:
+//
+//   - Stage phase (parallel): shard workers concurrently drain each
+//     scheduler of every event due inside the window into a per-shard
+//     staged run. Each drain touches only that shard's structure, so
+//     the calendar's organise/sort/pop work — the dominant serial
+//     scheduler cost of the single-loop engine once solves went
+//     parallel — fans out across cores.
+//   - Execute phase (serial): the staged runs (each already in (time,
+//     seq) order) are K-way merged and executed in exact global (time,
+//     seq) order. Mid-window arrivals (zero-delay flushes, same-instant
+//     re-arms) land back in the live schedulers; a per-queue dirty flag
+//     folds them into the merge without re-peeking idle queues.
+//     Callbacks run on the engine goroutine only, so the engine RNG,
+//     netsim counters and SDN tables need no locking — and the event
+//     sequence is bit-identical to the single-loop engine, which is
+//     what keeps every pinned catalog trace digest unchanged.
+//   - Window barrier: the next window opens only after the previous
+//     one's staged runs are fully executed; cross-shard effects (an
+//     event executing in shard A scheduling into shard B) are the
+//     timestamped messages exchanged at these boundaries, counted as
+//     such.
+//
+// Events scheduled while a shard event executes inherit that shard
+// (affinity), so completion → flush → re-arm chains stay pod-local
+// without every layer tagging explicitly; ScheduleShard overrides the
+// affinity for layers that know better (netsim tags completions with
+// the flow source's pod). Shard tags are routing only — execution order
+// is always the global (time, seq) total order — so WriteState,
+// PendingEvents and every checkpoint fingerprint are byte-identical to
+// the single-loop engine's.
+//
+// This in-process form is the stepping stone the later multi-process
+// sharding reuses: per-shard schedulers become per-process pending
+// sets, the staged-run exchange becomes the wire protocol, and the
+// window barrier becomes the coordinator's conservative clock.
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// GlobalShard is the shard tag of unpartitioned events: generator
+// ticks, metric samplers, and anything scheduled outside a shard
+// context. They live in the engine's global scheduler.
+const GlobalShard = -1
+
+// ShardConfig parameterises the sharded advance. The zero value (or
+// Shards ≤ 1) disables it, restoring the single-loop engine.
+type ShardConfig struct {
+	// Shards is the number of per-pod scheduler instances.
+	Shards int
+	// Workers bounds the stage-phase pool; values ≤ 1 stage serially
+	// (the windowed advance itself still runs, which is what the
+	// shard-count equivalence gates exercise on one core).
+	Workers int
+	// Lookahead is the conservative window width — derived by the
+	// caller from the minimum cross-shard link latency, floored at 1µs.
+	Lookahead Duration
+}
+
+// ShardStats is the sharded advance's telemetry snapshot. Like the
+// scheduler's tombstone counter it lives outside WriteState, so
+// sampling it can never shift a kernel fingerprint. Zero value when
+// sharding is off. The per-shard slices have Shards+1 entries: index
+// Shards is the global (unpartitioned) queue.
+type ShardStats struct {
+	Shards    int
+	Workers   int
+	Lookahead Duration
+	// Windows counts conservative windows executed.
+	Windows uint64
+	// Stalls counts shard-windows where a shard staged nothing while a
+	// sibling shard had work — the barrier idle time a finer partition
+	// or a longer lookahead would recover. Counted over the real shards
+	// only, not the global queue.
+	Stalls uint64
+	// CrossShardMessages counts events scheduled from one shard's
+	// executing context into a different shard — the window-boundary
+	// message traffic a multi-process split would put on the wire.
+	CrossShardMessages uint64
+	// StagedPerShard counts events staged per queue across all windows.
+	StagedPerShard []uint64
+	// PendingPerShard is each queue's current depth (tombstones
+	// included).
+	PendingPerShard []int
+}
+
+// shardState is the engine's sharded-mode machinery. The staged,
+// cursor, liveHeads, liveDirty and stagedCnt slices have
+// len(scheds)+1 entries — the last indexes the engine's global queue.
+type shardState struct {
+	cfg    ShardConfig
+	scheds []scheduler
+	// staged/cursor are the per-queue window runs and their execute
+	// cursors; reused across windows.
+	staged [][]*eventNode
+	cursor []int
+	// liveHeads/liveDirty cache each queue's earliest live node during
+	// the execute phase so the merge only re-peeks queues that were
+	// actually pushed to mid-window.
+	liveHeads []*eventNode
+	liveDirty []bool
+
+	windows    uint64
+	stalls     uint64
+	crossShard uint64
+	stagedCnt  []uint64
+}
+
+// SetSharded switches the engine between the single-loop mode and the
+// pod-sharded windowed advance, migrating queued events. Enabling
+// routes already-queued shard-tagged events into their shard
+// schedulers; disabling drains every shard scheduler back into the
+// global one. Like SetClassicHeap this realises the identical (time,
+// seq) total order either way — the knob exists for the equivalence
+// gates and as the ShardedAdvance kernel option's application point.
+// Must not be called from inside a running window (i.e. from an event
+// callback while the sharded advance is active).
+func (e *Engine) SetSharded(cfg ShardConfig) {
+	// Tear down any existing sharding first so reconfiguration (a
+	// different shard count) starts from one flat queue.
+	if e.shard != nil {
+		for _, q := range e.shard.scheds {
+			for _, n := range q.drain() {
+				e.sched.push(n)
+			}
+		}
+		e.shard = nil
+	}
+	if cfg.Shards <= 1 {
+		return
+	}
+	if cfg.Lookahead <= 0 {
+		cfg.Lookahead = time.Microsecond
+	}
+	nq := cfg.Shards + 1
+	s := &shardState{
+		cfg:       cfg,
+		scheds:    make([]scheduler, cfg.Shards),
+		staged:    make([][]*eventNode, nq),
+		cursor:    make([]int, nq),
+		liveHeads: make([]*eventNode, nq),
+		liveDirty: make([]bool, nq),
+		stagedCnt: make([]uint64, nq),
+	}
+	for i := range s.scheds {
+		s.scheds[i] = e.newSched()
+	}
+	// Route the global queue's shard-tagged events (scheduled before
+	// sharding was enabled, e.g. netsim completions armed during boot)
+	// into their shard schedulers.
+	for _, n := range e.sched.drain() {
+		e.routeNode(s, n)
+	}
+	e.shard = s
+}
+
+// newSched builds a scheduler of the engine's current kind.
+func (e *Engine) newSched() scheduler {
+	if e.classic {
+		return &heapQueue{}
+	}
+	return newCalendarQueue()
+}
+
+// routeNode pushes a node onto its owning scheduler under s.
+func (e *Engine) routeNode(s *shardState, n *eventNode) {
+	if sh := int(n.shard); sh >= 0 && sh < len(s.scheds) {
+		s.scheds[sh].push(n)
+		return
+	}
+	e.sched.push(n)
+}
+
+// queueAt returns the scheduler behind queue index qi (the global
+// queue at index len(scheds)).
+func (e *Engine) queueAt(qi int) scheduler {
+	if s := e.shard; qi < len(s.scheds) {
+		return s.scheds[qi]
+	}
+	return e.sched
+}
+
+// Sharded reports whether the pod-sharded advance is active.
+func (e *Engine) Sharded() bool { return e.shard != nil }
+
+// ShardStats samples the sharded advance's telemetry counters; the
+// zero value when sharding is off.
+func (e *Engine) ShardStats() ShardStats {
+	s := e.shard
+	if s == nil {
+		return ShardStats{}
+	}
+	st := ShardStats{
+		Shards:             s.cfg.Shards,
+		Workers:            s.cfg.Workers,
+		Lookahead:          s.cfg.Lookahead,
+		Windows:            s.windows,
+		Stalls:             s.stalls,
+		CrossShardMessages: s.crossShard,
+		StagedPerShard:     append([]uint64(nil), s.stagedCnt...),
+		PendingPerShard:    make([]int, len(s.scheds)+1),
+	}
+	for i := range st.PendingPerShard {
+		st.PendingPerShard[i] = e.queueAt(i).size()
+	}
+	return st
+}
+
+// SetWindowHook installs fn to observe each executed window (start,
+// conservative bound, events staged). Observation only — the hook runs
+// between windows, after the barrier, and core uses it to emit tracer
+// spans. nil detaches.
+func (e *Engine) SetWindowHook(fn func(start, end Time, staged int)) { e.onWindow = fn }
+
+// ScheduleShard queues fn after delay d on the given shard's scheduler
+// (GlobalShard for the global queue). Shard tags are routing only: the
+// (time, seq) total order — and with it every trace — is independent
+// of them, so a layer may tag with its best locality guess freely.
+func (e *Engine) ScheduleShard(d Duration, shard int, fn func()) Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAtShard(e.now.Add(d), shard, fn)
+}
+
+// ScheduleAtShard is ScheduleAt with an explicit shard tag.
+func (e *Engine) ScheduleAtShard(t Time, shard int, fn func()) Event {
+	if shard < GlobalShard {
+		shard = GlobalShard
+	}
+	return e.scheduleAt(t, int32(shard), fn)
+}
+
+// peelTombs returns q's earliest node, discarding cancelled tombstones
+// at its front (the same compaction the single-loop peek applies).
+func (e *Engine) peelTombs(q scheduler) *eventNode {
+	for {
+		n := q.peekMin()
+		if n == nil || !n.canceled {
+			return n
+		}
+		q.popMin()
+		e.tombstones++
+		e.release(n)
+	}
+}
+
+// peekSharded returns the (time, seq)-earliest live node across the
+// global and every shard scheduler.
+func (e *Engine) peekSharded() *eventNode {
+	best := e.peelTombs(e.sched)
+	for _, q := range e.shard.scheds {
+		if n := e.peelTombs(q); n != nil && (best == nil || eventLess(n, best)) {
+			best = n
+		}
+	}
+	return best
+}
+
+// stepSharded is Step for the sharded engine: pop the global minimum
+// across all schedulers and execute it. The windowed advance is the
+// fast path; this exists so Run/Settle/Step callers work unchanged
+// while sharding is on.
+func (e *Engine) stepSharded() bool {
+	s := e.shard
+	best := e.peelTombs(e.sched)
+	bq := e.sched
+	for _, q := range s.scheds {
+		if n := e.peelTombs(q); n != nil && (best == nil || eventLess(n, best)) {
+			best, bq = n, q
+		}
+	}
+	if best == nil {
+		return false
+	}
+	bq.popMin()
+	e.fire(best)
+	return true
+}
+
+// fire advances the clock to n and executes it, with the event's shard
+// installed as the scheduling affinity for the callback's duration.
+func (e *Engine) fire(n *eventNode) {
+	if n.at < e.now {
+		panic("sim: event time before now")
+	}
+	e.now = n.at
+	e.fired++
+	fn := n.fn
+	sh := n.shard
+	e.release(n)
+	prev := e.affinity
+	e.affinity = sh
+	fn()
+	e.affinity = prev
+}
+
+// runWindowedUntil is RunUntil for the sharded engine: conservative
+// windows of lookahead width, parallel staging, serial in-order
+// execution, a barrier between windows. Idle gaps are skipped — each
+// window opens at the earliest pending event.
+func (e *Engine) runWindowedUntil(t Time) error {
+	s := e.shard
+	e.stopped = false
+	for !e.stopped {
+		nxt := e.peekSharded()
+		if nxt == nil || nxt.at > t {
+			break
+		}
+		// The bound is exclusive; RunUntil executes events with at ≤ t,
+		// i.e. at < t+1 (Time is integer nanoseconds).
+		bound := nxt.at + Time(s.cfg.Lookahead)
+		if limit := t + 1; bound > limit || bound < nxt.at {
+			bound = limit
+		}
+		staged := e.stageWindow(bound)
+		e.executeWindow(bound)
+		s.windows++
+		if e.onWindow != nil {
+			e.onWindow(nxt.at, bound, staged)
+		}
+	}
+	if e.stopped {
+		return ErrStopped
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return nil
+}
+
+// stageWindow drains every scheduler (shard and global) of events due
+// before bound into the per-queue staged runs, fanning the drains out
+// across the worker pool. Each worker touches only its claimed queues'
+// structures and private slots of the staged table, so the phase needs
+// no locks; cancelled tombstones stay in the runs and are discarded in
+// order by the serial execute phase, keeping the free list and cancel
+// semantics off the parallel path. Returns the total staged count.
+func (e *Engine) stageWindow(bound Time) int {
+	s := e.shard
+	nq := len(s.scheds) + 1
+	stage := func(qi int) {
+		q := e.queueAt(qi)
+		buf := s.staged[qi][:0]
+		for {
+			n := q.peekMin()
+			if n == nil || n.at >= bound {
+				break
+			}
+			q.popMin()
+			// Staged nodes are still "stored" — a cancel between staging
+			// and execution must keep working, exactly as it would have
+			// against the scheduler.
+			n.index = 0
+			buf = append(buf, n)
+		}
+		s.staged[qi] = buf
+		s.cursor[qi] = 0
+	}
+	if w := s.cfg.Workers; w > 1 {
+		if w > nq {
+			w = nq
+		}
+		var next atomic.Int32
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					qi := int(next.Add(1)) - 1
+					if qi >= nq {
+						return
+					}
+					stage(qi)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for qi := 0; qi < nq; qi++ {
+			stage(qi)
+		}
+	}
+	total, busy, idle := 0, 0, 0
+	for qi := 0; qi < nq; qi++ {
+		c := len(s.staged[qi])
+		total += c
+		s.stagedCnt[qi] += uint64(c)
+		if qi < len(s.scheds) { // stall accounting covers real shards only
+			if c == 0 {
+				idle++
+			} else {
+				busy++
+			}
+		}
+	}
+	if busy > 0 {
+		s.stalls += uint64(idle)
+	}
+	return total
+}
+
+// executeWindow runs every event due before bound in exact (time, seq)
+// order: the staged runs K-way merged, plus whatever lands back in the
+// live schedulers mid-window (zero-delay flushes, same-instant
+// re-arms), folded in via the dirty-head cache. Serial — this is where
+// callbacks touch shared kernel state.
+func (e *Engine) executeWindow(bound Time) {
+	s := e.shard
+	nq := len(s.staged)
+	// Staging left every queue's earliest node at ≥ bound, so the live
+	// caches start empty; scheduleAt marks a queue dirty when a
+	// mid-window push could change that.
+	for qi := 0; qi < nq; qi++ {
+		s.liveHeads[qi] = nil
+		s.liveDirty[qi] = false
+	}
+	for !e.stopped {
+		var best *eventNode
+		bestStaged, bestLive := -1, -1
+		for qi := 0; qi < nq; qi++ {
+			if s.liveDirty[qi] {
+				s.liveHeads[qi] = e.peelTombs(e.queueAt(qi))
+				s.liveDirty[qi] = false
+			}
+			if c := s.cursor[qi]; c < len(s.staged[qi]) {
+				if n := s.staged[qi][c]; best == nil || eventLess(n, best) {
+					best, bestStaged, bestLive = n, qi, -1
+				}
+			}
+			if n := s.liveHeads[qi]; n != nil && n.at < bound && (best == nil || eventLess(n, best)) {
+				best, bestStaged, bestLive = n, -1, qi
+			}
+		}
+		if best == nil {
+			break
+		}
+		if bestLive >= 0 {
+			e.queueAt(bestLive).popMin()
+			s.liveHeads[bestLive] = nil
+			s.liveDirty[bestLive] = true
+		} else {
+			s.cursor[bestStaged]++
+		}
+		if best.canceled {
+			e.tombstones++
+			e.release(best)
+			continue
+		}
+		e.fire(best)
+	}
+	for qi := 0; qi < nq; qi++ {
+		// Stop() can leave staged events unexecuted: hand them back to
+		// their scheduler so nothing is lost, then reset the runs.
+		for _, n := range s.staged[qi][s.cursor[qi]:] {
+			e.routeNode(s, n)
+		}
+		run := s.staged[qi]
+		for i := range run {
+			run[i] = nil
+		}
+		s.staged[qi] = run[:0]
+		s.cursor[qi] = 0
+	}
+}

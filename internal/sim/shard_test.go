@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// shardWorkload drives a synthetic event mix over an engine: timer
+// chains that reschedule themselves on their own shard, explicit
+// cross-shard schedules, cancellations (including of staged-window
+// events), RNG draws in callbacks, and a ticker. It appends an
+// execution record per fired event to log.
+func shardWorkload(e *Engine, shards int, log *[]string) {
+	record := func(tag string) {
+		*log = append(*log, fmt.Sprintf("%d %s", int64(e.Now()), tag))
+	}
+	var chain func(sh, depth int) func()
+	chain = func(sh, depth int) func() {
+		return func() {
+			record(fmt.Sprintf("chain s%d d%d r%d", sh, depth, e.Rand().Intn(1000)))
+			if depth == 0 {
+				return
+			}
+			d := Duration(50+e.Rand().Intn(400)) * time.Microsecond
+			if e.Rand().Intn(4) == 0 {
+				// Cross-shard hop: schedule the continuation on a
+				// different shard than the one executing.
+				e.ScheduleShard(d, (sh+1)%shards, chain((sh+1)%shards, depth-1))
+			} else {
+				e.Schedule(d, chain(sh, depth-1))
+			}
+			if e.Rand().Intn(5) == 0 {
+				// Schedule-then-cancel inside the same window: the event
+				// lands ~10µs out, well inside a 100µs lookahead, so under
+				// the sharded advance it is cancelled after being staged.
+				ev := e.Schedule(10*time.Microsecond, func() { record("never") })
+				if !ev.Cancel() {
+					record("cancel-failed")
+				}
+			}
+		}
+	}
+	for sh := 0; sh < shards; sh++ {
+		for k := 0; k < 4; k++ {
+			e.ScheduleShard(Duration(sh*30+k*70)*time.Microsecond, sh, chain(sh, 25))
+		}
+	}
+	// Unpartitioned ticker, as the samplers are in a real run.
+	e.NewTicker(500*time.Microsecond, func(t Time) { record("tick") })
+	// A burst of plain global events with zero and equal delays to
+	// exercise same-instant ordering.
+	for k := 0; k < 8; k++ {
+		k := k
+		e.Schedule(time.Millisecond, func() { record(fmt.Sprintf("burst %d", k)) })
+	}
+}
+
+// runShardWorkload executes the workload to a horizon and returns the
+// execution log plus the engine's WriteState bytes.
+func runShardWorkload(t *testing.T, cfg ShardConfig, classic bool, horizon Time) ([]string, []byte) {
+	t.Helper()
+	e := NewEngine(42)
+	e.SetClassicHeap(classic)
+	var log []string
+	// The workload always spreads tags over 4 logical shards, whatever
+	// the engine's shard count: tags outside [0, Shards) route to the
+	// global queue, which is itself part of the contract under test.
+	shardWorkload(e, 4, &log)
+	e.SetSharded(cfg)
+	// Split the horizon over several RunUntil calls so windows straddle
+	// run boundaries.
+	for i := Time(1); i <= 4; i++ {
+		if err := e.RunUntil(horizon * i / 4); err != nil {
+			t.Fatalf("RunUntil: %v", err)
+		}
+	}
+	var st bytes.Buffer
+	e.WriteState(&st)
+	fmt.Fprintf(&st, "pending=%d\n", e.Pending())
+	return log, st.Bytes()
+}
+
+// TestShardedEngineMatchesSerial asserts the pod-sharded windowed
+// advance executes the exact serial (time, seq) order: identical
+// execution logs (RNG draws included) and identical WriteState bytes
+// across shard counts, worker counts, and both scheduler kinds.
+func TestShardedEngineMatchesSerial(t *testing.T) {
+	const horizon = Time(40 * time.Millisecond)
+	for _, classic := range []bool{false, true} {
+		wantLog, wantState := runShardWorkload(t, ShardConfig{}, classic, horizon)
+		if len(wantLog) < 100 {
+			t.Fatalf("workload too small: %d events", len(wantLog))
+		}
+		for _, cfg := range []ShardConfig{
+			{Shards: 1, Workers: 1, Lookahead: 100 * time.Microsecond},
+			{Shards: 2, Workers: 1, Lookahead: 100 * time.Microsecond},
+			{Shards: 2, Workers: 2, Lookahead: 100 * time.Microsecond},
+			{Shards: 4, Workers: 4, Lookahead: 100 * time.Microsecond},
+			{Shards: 4, Workers: 2, Lookahead: time.Microsecond},
+			{Shards: 8, Workers: 8, Lookahead: 5 * time.Millisecond},
+		} {
+			name := fmt.Sprintf("classic=%v/shards=%d/workers=%d/la=%s", classic, cfg.Shards, cfg.Workers, cfg.Lookahead)
+			gotLog, gotState := runShardWorkload(t, cfg, classic, horizon)
+			if len(gotLog) != len(wantLog) {
+				t.Fatalf("%s: fired %d events, serial fired %d", name, len(gotLog), len(wantLog))
+			}
+			for i := range wantLog {
+				if gotLog[i] != wantLog[i] {
+					t.Fatalf("%s: event %d = %q, serial %q", name, i, gotLog[i], wantLog[i])
+				}
+			}
+			if !bytes.Equal(gotState, wantState) {
+				t.Fatalf("%s: WriteState diverged:\n%s\nvs serial:\n%s", name, gotState, wantState)
+			}
+		}
+	}
+}
+
+// TestShardedToggleMigratesQueue asserts SetSharded moves pending
+// events between the global and shard queues without losing, reordering
+// or duplicating any — enabling mid-life, re-sharding, and disabling.
+func TestShardedToggleMigratesQueue(t *testing.T) {
+	e := NewEngine(7)
+	var log []string
+	shardWorkload(e, 4, &log)
+	if err := e.RunUntil(Time(2 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	before := e.PendingEvents()
+	e.SetSharded(ShardConfig{Shards: 4, Workers: 2, Lookahead: 100 * time.Microsecond})
+	if got := e.PendingEvents(); fmt.Sprint(got) != fmt.Sprint(before) {
+		t.Fatalf("enable changed pending set:\n%v\nvs\n%v", got, before)
+	}
+	e.SetSharded(ShardConfig{Shards: 2, Workers: 2, Lookahead: 100 * time.Microsecond})
+	if got := e.PendingEvents(); fmt.Sprint(got) != fmt.Sprint(before) {
+		t.Fatalf("re-shard changed pending set")
+	}
+	if err := e.RunUntil(Time(4 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.ShardStats()
+	if st.Windows == 0 || st.Shards != 2 {
+		t.Fatalf("expected windowed advance to run, stats %+v", st)
+	}
+	e.SetSharded(ShardConfig{})
+	if e.Sharded() {
+		t.Fatal("disable left sharding on")
+	}
+	if err := e.RunUntil(Time(6 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedStopAndResume asserts Stop() inside a window returns
+// ErrStopped, loses no staged events, and the run can continue to the
+// serial-identical completion afterwards.
+func TestShardedStopAndResume(t *testing.T) {
+	run := func(cfg ShardConfig, stopAfter int) []string {
+		e := NewEngine(99)
+		var log []string
+		shardWorkload(e, 4, &log)
+		e.SetSharded(cfg)
+		if stopAfter > 0 {
+			fired := 0
+			// A ticker that stops the engine mid-run (and mid-window when
+			// sharded: the period is shorter than the lookahead).
+			e.NewTicker(30*time.Microsecond, func(Time) {
+				fired++
+				if fired == stopAfter {
+					e.Stop()
+				}
+			})
+		}
+		err := e.RunUntil(Time(20 * time.Millisecond))
+		if stopAfter > 0 {
+			if err != ErrStopped {
+				t.Fatalf("want ErrStopped, got %v", err)
+			}
+			if err := e.RunUntil(Time(20 * time.Millisecond)); err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	cfg := ShardConfig{Shards: 4, Workers: 2, Lookahead: 200 * time.Microsecond}
+	want := run(ShardConfig{}, 17)
+	got := run(cfg, 17)
+	if len(got) != len(want) {
+		t.Fatalf("stopped+resumed sharded run fired %d, serial %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %q, serial %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardedStatsCounters sanity-checks the telemetry the obs layer
+// exports per shard.
+func TestShardedStatsCounters(t *testing.T) {
+	e := NewEngine(1)
+	var log []string
+	shardWorkload(e, 4, &log)
+	e.SetSharded(ShardConfig{Shards: 4, Workers: 2, Lookahead: 100 * time.Microsecond})
+	if err := e.RunUntil(Time(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.ShardStats()
+	if st.Shards != 4 || st.Workers != 2 || st.Lookahead != 100*time.Microsecond {
+		t.Fatalf("config echo wrong: %+v", st)
+	}
+	if st.Windows == 0 {
+		t.Fatal("no windows executed")
+	}
+	if len(st.StagedPerShard) != 5 || len(st.PendingPerShard) != 5 {
+		t.Fatalf("per-shard slices should have Shards+1 entries, got %d/%d", len(st.StagedPerShard), len(st.PendingPerShard))
+	}
+	var staged uint64
+	for _, c := range st.StagedPerShard {
+		staged += c
+	}
+	if staged == 0 {
+		t.Fatal("nothing staged")
+	}
+	if st.CrossShardMessages == 0 {
+		t.Fatal("workload hops shards but no cross-shard messages counted")
+	}
+	// Unsharded engines report the zero value.
+	if got := NewEngine(1).ShardStats(); got.Shards != 0 || got.Windows != 0 {
+		t.Fatalf("unsharded stats not zero: %+v", got)
+	}
+}
+
+// TestShardedRandomizedChurn fuzzes schedule/cancel churn across many
+// seeds, comparing sharded and serial logs.
+func TestShardedRandomizedChurn(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		run := func(cfg ShardConfig) []string {
+			e := NewEngine(seed)
+			e.SetSharded(cfg)
+			src := rand.New(rand.NewSource(seed * 77))
+			var log []string
+			var pendings []Event
+			var spawn func(depth int) func()
+			spawn = func(depth int) func() {
+				return func() {
+					log = append(log, fmt.Sprintf("%d %d %d", int64(e.Now()), depth, e.Rand().Intn(100)))
+					if depth == 0 {
+						return
+					}
+					for i := 0; i < 2; i++ {
+						sh := src.Intn(5) - 1 // includes GlobalShard
+						ev := e.ScheduleShard(Duration(src.Intn(3000))*time.Microsecond, sh, spawn(depth-1))
+						pendings = append(pendings, ev)
+					}
+					if len(pendings) > 4 && src.Intn(3) == 0 {
+						pendings[src.Intn(len(pendings))].Cancel()
+					}
+				}
+			}
+			for i := 0; i < 6; i++ {
+				e.ScheduleShard(Duration(i)*time.Millisecond, i%4, spawn(6))
+			}
+			if err := e.RunUntil(Time(80 * time.Millisecond)); err != nil {
+				t.Fatal(err)
+			}
+			return log
+		}
+		want := run(ShardConfig{})
+		got := run(ShardConfig{Shards: 4, Workers: 4, Lookahead: 250 * time.Microsecond})
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: sharded fired %d, serial %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: event %d = %q, serial %q", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
