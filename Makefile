@@ -38,24 +38,25 @@ bench-smoke:
 # The determinism-vs-parallelism proof: every digest pin and every
 # serial/parallel/lazy/eager/calendar-vs-heap/sharded-advance
 # equivalence gate (the *MatchesSerial pattern includes the pod-sharded
-# windowed advance and its randomized cross-pod scenario), plus the
-# checkpoint-resume byte-identity and study-digest gates, executed with
-# a single scheduler thread. Together with the default-GOMAXPROCS test
+# windowed advance, its randomized cross-pod scenario, and the fat-tree
+# cross-pod gate), plus the checkpoint-resume byte-identity and
+# study-digest gates, executed with a single scheduler thread. Together with the default-GOMAXPROCS test
 # job this shows the traces are independent of how much hardware ran
 # them.
 determinism-single-core:
 	GOMAXPROCS=1 $(GO) test -run 'TraceDigest|MatchesSerial|MatchesEager|MatchesFullSolver|BitwiseEquivalence|MatchesClassicHeap|CheckpointResume|StudyDigests' ./internal/scenario ./internal/netsim ./internal/sim
 
 # The benchmark trajectory: one run of every canned scenario, written as
-# BENCH_PR9.json (per-scenario sim-s/wall-s, events/s, peak-RSS,
+# BENCH_PR10.json (per-scenario sim-s/wall-s, events/s, peak-RSS,
 # run-phase wall series, the fleet-construction wall-time series, the
 # flush/solve phase-profile wall split, trace digests, the
 # classic-vs-calendar scheduler events/s series at 10k/100k/1M nodes,
-# the serial-vs-sharded advance series at the same scales — digest
+# the serial-vs-sharded advance series at the same scales, and the
+# synthesis-vs-Dijkstra routing series on the 100k fat-tree — digest
 # equality between arms asserted before the file is written — plus the
 # PR 1–PR 4 baselines). CI uploads it as an artifact.
 bench-json:
-	$(GO) run ./cmd/piscale -bench-json BENCH_PR9.json
+	$(GO) run ./cmd/piscale -bench-json BENCH_PR10.json
 
 # A Perfetto-loadable span trace of the 1000-node scale scenario:
 # advance slices, per-domain netsim flushes and checkpoint spans with

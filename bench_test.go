@@ -368,6 +368,112 @@ func BenchmarkScenarioMegafleet100000Sharded(b *testing.B) {
 	b.ReportMetric(float64(last.Nodes), "nodes")
 }
 
+// BenchmarkScenarioMegafleetFattree1000 runs the k=16 fat-tree
+// megafleet: 1024 nodes, gravity-heavy cross-pod load, churn, and an
+// edge-uplink outage. Every cross-pod cold route must be answered by
+// the structured synthesis — the LinkFail prunes ECMP fans but never
+// leaves the provable two-tier shape, so fallbacks stay at zero here
+// too.
+func BenchmarkScenarioMegafleetFattree1000(b *testing.B) {
+	r := runScenario(b, "megafleet-fattree-1000")
+	if r.Nodes < 1000 {
+		b.Fatalf("fat-tree megafleet ran on %d nodes, want ≥ 1000", r.Nodes)
+	}
+	if r.Metrics["route_synth_hits"] == 0 {
+		b.Fatal("route synthesis never engaged on the fat-tree")
+	}
+	if fb := r.Metrics["dijkstra_fallbacks"]; fb != 0 {
+		b.Fatalf("%v Dijkstra fallbacks on the k=16 fat-tree", fb)
+	}
+	b.ReportMetric(float64(r.Nodes), "nodes")
+}
+
+// megafleetFattree100kBudget is the wall-time budget of the 10⁵-node
+// fat-tree scale gate. The k=74 fabric wires ~104k cables across three
+// switch tiers, so construction dominates; the budget mirrors the
+// multi-root 100k gate's headroom policy. Override with
+// MEGAFLEET_FATTREE100K_BUDGET (a Go duration) when qualifying slower
+// hardware.
+const megafleetFattree100kBudget = 4 * time.Minute
+
+func fattree100kBudget(b *testing.B) time.Duration {
+	b.Helper()
+	budget := megafleetFattree100kBudget
+	if s := os.Getenv("MEGAFLEET_FATTREE100K_BUDGET"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			b.Fatalf("bad MEGAFLEET_FATTREE100K_BUDGET %q: %v", s, err)
+		}
+		budget = d
+	}
+	return budget
+}
+
+// BenchmarkScenarioMegafleetFattree100000 is the PR 10 scale gate for
+// cross-pod route synthesis: 101,306 nodes in a k=74 fat-tree where
+// the gravity mix makes almost every cold route cross-pod. All links
+// stay up, so a single Dijkstra fallback means the synthesis failed to
+// cover a provable shape — at this scale one fallback settles the
+// whole 100k-node fabric, which is exactly the cost the synthesis
+// exists to avoid. The gate therefore requires zero fallbacks, not
+// just a fast run.
+func BenchmarkScenarioMegafleetFattree100000(b *testing.B) {
+	budget := fattree100kBudget(b)
+	r := runScenario(b, "megafleet-fattree-100000")
+	if r.Nodes < 100000 {
+		b.Fatalf("fat-tree megafleet ran on %d nodes, want ≥ 100000", r.Nodes)
+	}
+	if r.Metrics["route_synth_hits"] == 0 {
+		b.Fatal("route synthesis never engaged on the fat-tree")
+	}
+	if fb := r.Metrics["dijkstra_fallbacks"]; fb != 0 {
+		b.Fatalf("%v Dijkstra fallbacks on an all-links-up fat-tree; cross-pod synthesis must cover every pair", fb)
+	}
+	if total := r.BuildWallTime + r.WallTime; total > budget {
+		b.Fatalf("fat-tree scale gate blew its wall-time budget: built in %v + ran in %v > %v",
+			r.BuildWallTime.Round(time.Millisecond), r.WallTime.Round(time.Millisecond), budget)
+	}
+	b.ReportMetric(r.BuildWallTime.Seconds(), "build-s")
+	b.ReportMetric(float64(r.Nodes), "nodes")
+}
+
+// BenchmarkScenarioMegafleetFattree100000Sharded re-runs the fat-tree
+// scale gate with the pod-sharded advance (racks are pods, so shards
+// align with fat-tree pods and every cross-shard message is core-tier
+// cross-pod traffic). Bit-equality with the serial arm is proved by
+// TestFatTreeCrossPodShardedAdvanceMatchesSerial and the bench-json
+// digest cross-check; this benchmark tracks the throughput side.
+func BenchmarkScenarioMegafleetFattree100000Sharded(b *testing.B) {
+	budget := fattree100kBudget(b)
+	var last *scenario.Report
+	for i := 0; i < b.N; i++ {
+		spec, err := scenario.Catalog("megafleet-fattree-100000")
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec.Cloud.Kernel.ShardedAdvance = true
+		spec.Cloud.Kernel.ShardWorkers = 4
+		rep, err := scenario.Execute(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+	}
+	if last.Nodes < 100000 {
+		b.Fatalf("fat-tree megafleet ran on %d nodes, want ≥ 100000", last.Nodes)
+	}
+	if fb := last.Metrics["dijkstra_fallbacks"]; fb != 0 {
+		b.Fatalf("%v Dijkstra fallbacks on an all-links-up fat-tree", fb)
+	}
+	if total := last.BuildWallTime + last.WallTime; total > budget {
+		b.Fatalf("sharded fat-tree scale gate blew its wall-time budget: built in %v + ran in %v > %v",
+			last.BuildWallTime.Round(time.Millisecond), last.WallTime.Round(time.Millisecond), budget)
+	}
+	b.ReportMetric(last.SimTime.Seconds()/last.WallTime.Seconds(), "sim-s/wall-s")
+	b.ReportMetric(float64(last.EventsFired)/last.WallTime.Seconds(), "events/s")
+	b.ReportMetric(float64(last.Nodes), "nodes")
+}
+
 // megafleet1MBudget is the wall-time budget of the 10⁶-node scale
 // gate: construction plus the full fault-and-traffic timeline. A
 // single-core reference box builds the 1,000,192-node fleet in ~50 s

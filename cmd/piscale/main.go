@@ -16,7 +16,8 @@
 //	piscale -resume-from rack-blackout.ckpt.json
 //	piscale -study bisect-blackout
 //	piscale -scenario megafleet-100000 -sharded-advance -shard-workers 4
-//	piscale -bench-json BENCH_PR9.json
+//	piscale -scenario megafleet-fattree-100000 -no-route-synth
+//	piscale -bench-json BENCH_PR10.json
 package main
 
 import (
@@ -192,6 +193,12 @@ type benchEntry struct {
 	// over the process, so each row is the high-water mark so far —
 	// the series the PR 9 sharded advance must not regress.
 	MaxRSSBytes uint64 `json:"max_rss_bytes,omitempty"`
+	// RouteSynthHits/DijkstraFallbacks split cold-route work between
+	// the structured synthesis and the full Dijkstra — the PR 10
+	// cross-pod series. An all-links-up fat-tree run must show zero
+	// fallbacks (asserted before the artifact is written).
+	RouteSynthHits    uint64 `json:"route_synth_hits,omitempty"`
+	DijkstraFallbacks uint64 `json:"dijkstra_fallbacks,omitempty"`
 }
 
 // pr1Baseline records the PR 1 numbers for the scenarios that existed
@@ -258,10 +265,26 @@ type advEntry struct {
 	Advance string `json:"advance"`
 }
 
+// routeSynthSeriesScenarios is where cold-route cost is the dominant
+// run-phase term: the k=74 fat-tree, whose gravity mix makes almost
+// every cold pair cross-pod.
+var routeSynthSeriesScenarios = []string{"megafleet-fattree-100000"}
+
+// routeEntry is one arm of the synthesis-vs-Dijkstra routing series.
+type routeEntry struct {
+	benchEntry
+	// Routes is "synth" (the default: structured synthesis with
+	// Dijkstra fallback), "dijkstra-only" (the -no-route-synth
+	// ablation), or "synth+sharded(W workers)".
+	Routes string `json:"routes"`
+}
+
 // runBenchJSON executes every canned scenario once (the calendar
 // scheduler is the default), reruns the megafleets on the classic heap
 // for the scheduler events/s series and under the pod-sharded advance
-// for the serial-vs-sharded series, and writes the whole trajectory —
+// for the serial-vs-sharded series, reruns the 100k fat-tree with
+// route synthesis ablated (and sharded) for the synthesis-vs-Dijkstra
+// series, and writes the whole trajectory —
 // plus the PR 1–PR 3 baselines; the classic arm doubles as the PR 4
 // kernel baseline, since the scheduler is the only run-phase change —
 // to path. The emitted series also records each arm's trace digest, so
@@ -288,6 +311,14 @@ func runBenchJSON(path string) error {
 		// asserted identical before the artifact is written, so the
 		// file itself witnesses the equivalence claim.
 		AdvanceSeries []advEntry `json:"advance_series"`
+		// RouteSynthSeries is the synthesis-vs-Dijkstra comparison on
+		// the 100k-node fat-tree: the default arm (which must finish
+		// with zero fallbacks), the -no-route-synth ablation (every
+		// cold route pays the full Dijkstra), and the pod-sharded
+		// rerun. All three digests are asserted identical, and the
+		// synth arm is asserted faster than the ablation, before the
+		// artifact is written.
+		RouteSynthSeries []routeEntry `json:"route_synth_series"`
 	}
 	out := trajectory{
 		GeneratedBy: "piscale -bench-json",
@@ -314,20 +345,22 @@ func runBenchJSON(path string) error {
 		}
 		wall := rep.WallTime.Seconds()
 		return benchEntry{
-			Name:         rep.Name,
-			Nodes:        rep.Nodes,
-			Racks:        rep.Racks,
-			SimSeconds:   rep.SimTime.Seconds(),
-			WallSeconds:  wall,
-			BuildSeconds: rep.BuildWallTime.Seconds(),
-			NsPerOp:      rep.WallTime.Nanoseconds(),
-			Events:       rep.EventsFired,
-			EventsPerS:   float64(rep.EventsFired) / wall,
-			SimPerWall:   rep.SimTime.Seconds() / wall,
-			TraceDigest:  rep.TraceDigest(),
-			FlushSeconds: rep.Metrics["phase_flush_wall_s"],
-			SolveSeconds: rep.Metrics["phase_solve_wall_s"],
-			MaxRSSBytes:  maxRSSBytes(),
+			Name:              rep.Name,
+			Nodes:             rep.Nodes,
+			Racks:             rep.Racks,
+			SimSeconds:        rep.SimTime.Seconds(),
+			WallSeconds:       wall,
+			BuildSeconds:      rep.BuildWallTime.Seconds(),
+			NsPerOp:           rep.WallTime.Nanoseconds(),
+			Events:            rep.EventsFired,
+			EventsPerS:        float64(rep.EventsFired) / wall,
+			SimPerWall:        rep.SimTime.Seconds() / wall,
+			TraceDigest:       rep.TraceDigest(),
+			FlushSeconds:      rep.Metrics["phase_flush_wall_s"],
+			SolveSeconds:      rep.Metrics["phase_solve_wall_s"],
+			MaxRSSBytes:       maxRSSBytes(),
+			RouteSynthHits:    uint64(rep.Metrics["route_synth_hits"]),
+			DijkstraFallbacks: uint64(rep.Metrics["dijkstra_fallbacks"]),
 		}, nil
 	}
 	calendar := map[string]benchEntry{}
@@ -391,6 +424,59 @@ func runBenchJSON(path string) error {
 		fmt.Printf("%-18s sharded rerun: %8.0f events/s (serial %8.0f), digests identical\n",
 			n, sharded.EventsPerS, cal.EventsPerS)
 	}
+	for _, n := range routeSynthSeriesScenarios {
+		cal := calendar[n]
+		// The headline claim first: the default arm settled every cold
+		// route by synthesis. On an all-links-up fat-tree a single
+		// fallback is a coverage bug, not noise.
+		if cal.DijkstraFallbacks != 0 {
+			return fmt.Errorf("scenario %s: %d Dijkstra fallbacks on an all-links-up fat-tree", n, cal.DijkstraFallbacks)
+		}
+		if cal.RouteSynthHits == 0 {
+			return fmt.Errorf("scenario %s: route synthesis never engaged", n)
+		}
+		spec, err := scenario.Catalog(n)
+		if err != nil {
+			return err
+		}
+		spec.Cloud.Kernel.DisableRouteSynthesis = true
+		ablated, err := execute(spec)
+		if err != nil {
+			return err
+		}
+		if ablated.TraceDigest != cal.TraceDigest {
+			return fmt.Errorf("scenario %s: dijkstra-only trace digest %s differs from synth %s",
+				n, ablated.TraceDigest, cal.TraceDigest)
+		}
+		if ablated.RouteSynthHits != 0 || ablated.DijkstraFallbacks == 0 {
+			return fmt.Errorf("scenario %s: ablation arm did not disable synthesis (synth %d, dijkstra %d)",
+				n, ablated.RouteSynthHits, ablated.DijkstraFallbacks)
+		}
+		if ablated.EventsPerS >= cal.EventsPerS {
+			return fmt.Errorf("scenario %s: dijkstra-only arm (%0.f events/s) not slower than synthesis (%0.f events/s) — the optimisation claim failed",
+				n, ablated.EventsPerS, cal.EventsPerS)
+		}
+		spec, err = scenario.Catalog(n)
+		if err != nil {
+			return err
+		}
+		spec.Cloud.Kernel.ShardedAdvance = true
+		spec.Cloud.Kernel.ShardWorkers = 4
+		sharded, err := execute(spec)
+		if err != nil {
+			return err
+		}
+		if sharded.TraceDigest != cal.TraceDigest {
+			return fmt.Errorf("scenario %s: sharded trace digest %s differs from serial %s",
+				n, sharded.TraceDigest, cal.TraceDigest)
+		}
+		out.RouteSynthSeries = append(out.RouteSynthSeries,
+			routeEntry{benchEntry: cal, Routes: "synth"},
+			routeEntry{benchEntry: ablated, Routes: "dijkstra-only"},
+			routeEntry{benchEntry: sharded, Routes: "synth+sharded(4 workers)"})
+		fmt.Printf("%-18s routes: synth %8.0f events/s (0 fallbacks), dijkstra-only %8.0f, sharded %8.0f — digests identical\n",
+			n, cal.EventsPerS, ablated.EventsPerS, sharded.EventsPerS)
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -399,8 +485,8 @@ func runBenchJSON(path string) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d scenarios, %d scheduler-series arms, %d advance-series arms)\n",
-		path, len(out.Scenarios), len(out.SchedulerSeries), len(out.AdvanceSeries))
+	fmt.Printf("wrote %s (%d scenarios, %d scheduler-series arms, %d advance-series arms, %d route-series arms)\n",
+		path, len(out.Scenarios), len(out.SchedulerSeries), len(out.AdvanceSeries), len(out.RouteSynthSeries))
 	return nil
 }
 
@@ -433,7 +519,11 @@ func kernelModeLine(c cliconfig.Common) string {
 		}
 		run = fmt.Sprintf("sharded(shards=%s workers=%s)", shards, workers)
 	}
-	return fmt.Sprintf("run-phase kernel: scheduler=%s solver=%s advance=%s run=%s", scheduler, solver, advance, run)
+	routes := "synth+dijkstra"
+	if c.NoRouteSynth {
+		routes = "dijkstra-only"
+	}
+	return fmt.Sprintf("run-phase kernel: scheduler=%s solver=%s advance=%s run=%s routes=%s", scheduler, solver, advance, run, routes)
 }
 
 // specFor resolves a catalog scenario with the command-line overrides

@@ -41,6 +41,8 @@ type Common struct {
 	ShardedAdvance bool
 	ShardWorkers   int
 	Shards         int
+
+	NoRouteSynth bool
 }
 
 // Register installs the shared flags on fs, with the receiver's current
@@ -59,6 +61,7 @@ func (c *Common) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&c.ShardedAdvance, "sharded-advance", c.ShardedAdvance, "advance the run phase in pod-sharded conservative windows (traces stay byte-identical)")
 	fs.IntVar(&c.ShardWorkers, "shard-workers", c.ShardWorkers, "stage-phase worker pool for the sharded advance (0 = one per core, min 2; implies -sharded-advance when >0)")
 	fs.IntVar(&c.Shards, "shards", c.Shards, "pod-shard count for the sharded advance (0 = one per core capped at racks; implies -sharded-advance when >0)")
+	fs.BoolVar(&c.NoRouteSynth, "no-route-synth", c.NoRouteSynth, "disable structured route synthesis: every route-cache miss runs the full Dijkstra (ablation; traces stay byte-identical)")
 }
 
 // Kernel renders the kernel-mode knobs as the unified options struct.
@@ -73,6 +76,8 @@ func (c Common) Kernel() core.KernelOptions {
 		ShardedAdvance: c.ShardedAdvance || c.ShardWorkers > 0 || c.Shards > 0,
 		ShardWorkers:   c.ShardWorkers,
 		Shards:         c.Shards,
+
+		DisableRouteSynthesis: c.NoRouteSynth,
 	}
 }
 
@@ -94,6 +99,8 @@ func (c Common) SpecRequest(scenarioName string) SpecRequest {
 		ShardedAdvance: c.ShardedAdvance,
 		ShardWorkers:   c.ShardWorkers,
 		Shards:         c.Shards,
+
+		DisableRouteSynthesis: c.NoRouteSynth,
 	}
 	if c.Seed >= 0 {
 		s := c.Seed
@@ -169,6 +176,8 @@ type SpecRequest struct {
 	ShardedAdvance bool `json:"sharded_advance,omitempty"`
 	ShardWorkers   int  `json:"shard_workers,omitempty"`
 	Shards         int  `json:"shards,omitempty"`
+
+	DisableRouteSynthesis bool `json:"disable_route_synthesis,omitempty"`
 }
 
 // Resolve looks the scenario up in the catalog and applies the
@@ -208,6 +217,8 @@ func (r SpecRequest) Resolve() (scenario.Spec, error) {
 		ShardedAdvance: r.ShardedAdvance || r.ShardWorkers > 0 || r.Shards > 0,
 		ShardWorkers:   r.ShardWorkers,
 		Shards:         r.Shards,
+
+		DisableRouteSynthesis: r.DisableRouteSynthesis,
 	})
 	return spec, nil
 }

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/sdn"
 	"repro/internal/sim"
 )
 
@@ -46,14 +47,19 @@ func (c *Cloud) Tracer() *obs.Tracer { return c.tracer }
 // hit/miss/evict/synth rates plus the derived count of full Dijkstra
 // fallbacks (misses the structured synthesis could not serve).
 type SdnStats struct {
-	PacketIns         uint64
-	RulesInstalled    uint64
-	RouteCacheHits    uint64
-	RouteCacheMisses  uint64
-	RouteCacheEvicts  uint64
-	RouteCacheSize    int
-	RouteSynthHits    uint64
-	DijkstraFallbacks uint64
+	PacketIns        uint64
+	RulesInstalled   uint64
+	RouteCacheHits   uint64
+	RouteCacheMisses uint64
+	RouteCacheEvicts uint64
+	RouteCacheSize   int
+	RouteSynthHits   uint64
+	// RouteSynthHitsByTier splits RouteSynthHits by which structured
+	// case answered, indexed like sdn.SynthTierNames
+	// (same-edge/adjacent/one-mid/cross-pod); the entries sum to the
+	// unlabelled total.
+	RouteSynthHitsByTier [len(sdn.SynthTierNames)]uint64
+	DijkstraFallbacks    uint64
 }
 
 // KernelStats aggregates every kernel layer's operational counters at
@@ -98,6 +104,13 @@ func CollectKernelStats(e *obs.Emitter, ks KernelStats, labels ...obs.Label) {
 	e.Counter("pisim_sdn_route_cache_evictions_total", float64(ks.Sdn.RouteCacheEvicts), labels...)
 	e.Gauge("pisim_sdn_route_cache_size", float64(ks.Sdn.RouteCacheSize), labels...)
 	e.Counter("pisim_sdn_route_synth_hits_total", float64(ks.Sdn.RouteSynthHits), labels...)
+	// The same count split by structured case. The unlabelled total
+	// stays as its own monotone series for existing scrapes; the
+	// tier=<case> series are additive bookkeeping alongside it.
+	for tier, name := range sdn.SynthTierNames {
+		tierLabels := append(append([]obs.Label(nil), labels...), obs.L("tier", name))
+		e.Counter("pisim_sdn_route_synth_hits_total", float64(ks.Sdn.RouteSynthHitsByTier[tier]), tierLabels...)
+	}
 	e.Counter("pisim_sdn_dijkstra_fallbacks_total", float64(ks.Sdn.DijkstraFallbacks), labels...)
 	e.Gauge("pisim_power_watts", ks.PowerW, labels...)
 	if ks.Shard.Shards > 0 {
@@ -144,14 +157,15 @@ func (c *Cloud) kernelStatsLocked() KernelStats {
 		Sched: c.Engine.SchedStats(),
 		Net:   c.Net.Stats(),
 		Sdn: SdnStats{
-			PacketIns:         c.Ctrl.PacketIns(),
-			RulesInstalled:    c.Ctrl.RulesInstalled(),
-			RouteCacheHits:    c.Ctrl.RouteCacheHits(),
-			RouteCacheMisses:  misses,
-			RouteCacheEvicts:  c.Ctrl.RouteCacheEvictions(),
-			RouteCacheSize:    c.Ctrl.RouteCacheSize(),
-			RouteSynthHits:    synth,
-			DijkstraFallbacks: misses - synth,
+			PacketIns:            c.Ctrl.PacketIns(),
+			RulesInstalled:       c.Ctrl.RulesInstalled(),
+			RouteCacheHits:       c.Ctrl.RouteCacheHits(),
+			RouteCacheMisses:     misses,
+			RouteCacheEvicts:     c.Ctrl.RouteCacheEvictions(),
+			RouteCacheSize:       c.Ctrl.RouteCacheSize(),
+			RouteSynthHits:       synth,
+			RouteSynthHitsByTier: c.Ctrl.RouteSynthHitsByTier(),
+			DijkstraFallbacks:    misses - synth,
 		},
 		PowerW: c.Meter.TotalWatts(),
 		Shard:  c.Engine.ShardStats(),

@@ -116,6 +116,13 @@ type KernelOptions struct {
 	// Shards is the pod-shard count when ShardedAdvance is on: 0
 	// auto-sizes one per core (at least two), capped at the rack count.
 	Shards int
+	// DisableRouteSynthesis turns off the SDN controller's structured
+	// route synthesis, forcing every route-cache miss through the full
+	// Dijkstra (see sdn.Config.DisableRouteSynthesis). The synthesis is
+	// provably bit-identical (TestRouteSynthesisMatchesDijkstra), so
+	// this is the ablation arm of the fat-tree bench series, not a
+	// behaviour switch.
+	DisableRouteSynthesis bool
 }
 
 // Union folds another option set into this one: booleans OR (a knob
@@ -130,6 +137,7 @@ func (k KernelOptions) Union(o KernelOptions) KernelOptions {
 	k.FullRecompute = k.FullRecompute || o.FullRecompute
 	k.SerialBuild = k.SerialBuild || o.SerialBuild
 	k.ShardedAdvance = k.ShardedAdvance || o.ShardedAdvance
+	k.DisableRouteSynthesis = k.DisableRouteSynthesis || o.DisableRouteSynthesis
 	if k.SolveWorkers == 0 {
 		k.SolveWorkers = o.SolveWorkers
 	}
@@ -428,7 +436,9 @@ func assemble(cfg Config, cloudMu *sync.Mutex, plan *Plan) (*Result, error) {
 	}
 	applySharding(engine, net, cfg, plan)
 
-	ctrl := sdn.NewController(engine, net, sdn.DefaultConfig())
+	sdnCfg := sdn.DefaultConfig()
+	sdnCfg.DisableRouteSynthesis = cfg.Kernel.DisableRouteSynthesis
+	ctrl := sdn.NewController(engine, net, sdnCfg)
 	for _, id := range topo.Switches() {
 		ctrl.RegisterSwitch(openflow.NewSwitch(id, engine))
 	}
@@ -541,7 +551,11 @@ func applySharding(engine *sim.Engine, net *netsim.Network, cfg Config, plan *Pl
 	// Contiguous rack → shard grouping: rack r belongs to shard
 	// r·k/racks, so pods are whole rack runs and every host inherits
 	// its rack's shard. Switches and other non-host identities stay on
-	// the global queue.
+	// the global queue. On a fat-tree fabric racks ARE the fat-tree
+	// pods (topology.BuildFatTree's rack groups), so a shard boundary
+	// never splits a pod: each engine shard owns whole fat-tree pods
+	// and the cross-shard traffic is exactly the cross-pod (core-tier)
+	// traffic (TestFatTreePodShardAlignment pins this).
 	shardOf := make(map[netsim.NodeID]int, len(plan.hosts))
 	for i := range plan.hosts {
 		hp := &plan.hosts[i]

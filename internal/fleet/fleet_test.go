@@ -9,6 +9,7 @@ import (
 	"repro/internal/dhcp"
 	"repro/internal/dns"
 	"repro/internal/hw"
+	"repro/internal/netsim"
 	"repro/internal/topology"
 )
 
@@ -250,5 +251,47 @@ func TestSerialAndShardedProduceSameRegistry(t *testing.T) {
 				t.Fatal("DNS registries differ between serial and sharded builds")
 			}
 		})
+	}
+}
+
+// TestFatTreePodShardAlignment pins the pod → rack-group mapping the
+// fat-tree megafleet scenarios rely on: topology racks ARE fat-tree
+// pods, the construction plan assigns every host the rack index of its
+// pod, and the sharded advance's contiguous rack → shard grouping
+// therefore never splits a pod across engine shards — cross-shard
+// traffic is exactly the cross-pod (core-tier) traffic.
+func TestFatTreePodShardAlignment(t *testing.T) {
+	cfg := Config{
+		Racks: 8, HostsPerRack: 16,
+		Fabric: topology.FabricFatTree, FatTreeK: 8,
+		Kernel: KernelOptions{ShardedAdvance: true, Shards: 4, ShardWorkers: 2},
+	}
+	r := assembleFleet(t, cfg)
+	if !r.Engine.Sharded() {
+		t.Fatal("sharded advance requested but the engine is not sharded")
+	}
+	if got := len(r.Topo.Racks); got != cfg.FatTreeK {
+		t.Fatalf("fat-tree topology has %d racks, want one per pod (k=%d)", got, cfg.FatTreeK)
+	}
+	racks := len(r.plan.rackSpans)
+	shards := cfg.Kernel.Shards
+	podShard := map[int]int{}
+	for i := range r.plan.hosts {
+		hp := &r.plan.hosts[i]
+		pod, ok := r.Topo.HostRack[netsim.NodeID(hp.name)]
+		if !ok {
+			t.Fatalf("host %s missing from the topology's pod map", hp.name)
+		}
+		if hp.rack != pod {
+			t.Fatalf("host %s planned into rack %d but wired into pod %d", hp.name, hp.rack, pod)
+		}
+		shard := hp.rack * shards / racks // applySharding's grouping
+		if prev, seen := podShard[pod]; seen && prev != shard {
+			t.Fatalf("pod %d split across shards %d and %d", pod, prev, shard)
+		}
+		podShard[pod] = shard
+	}
+	if len(podShard) != cfg.FatTreeK {
+		t.Fatalf("hosts cover %d pods, want %d", len(podShard), cfg.FatTreeK)
 	}
 }

@@ -210,6 +210,52 @@ func catalog() []Spec {
 			},
 		},
 		{
+			Name:        "megafleet-fattree-1000",
+			Description: "1024 nodes in a k=16 fat-tree: gravity-heavy cross-pod load with churn and an uplink outage",
+			// Racks are fat-tree pods (16 pods × 64 hosts fills the
+			// k³/4 capacity exactly), so the sharded advance's
+			// contiguous rack grouping never splits a pod. Every
+			// cross-pod cold route exercises the edge→agg→core→agg→edge
+			// synthesis case; the LinkFail prunes one pod's ECMP fan
+			// without pushing any pair outside the provable shape.
+			Cloud: core.Config{
+				Seed: 173, Racks: 16, HostsPerRack: 64,
+				Fabric: topology.FabricFatTree, FatTreeK: 16,
+			},
+			Duration: 2 * time.Minute,
+			Fleet:    FleetSpec{VMs: 48, Image: "webserver"},
+			Traffic: TrafficSpec{
+				OnOff:   &workload.OnOffConfig{Sources: 32},
+				Gravity: &workload.GravityConfig{EpochSeconds: 15, FlowsPerEpoch: 40},
+			},
+			Faults: []Fault{
+				NodeChurn{Start: 20 * time.Second, Every: 15 * time.Second, Outage: 30 * time.Second},
+				LinkFail{At: 45 * time.Second, Outage: 30 * time.Second},
+			},
+		},
+		{
+			Name:        "megafleet-fattree-100000",
+			Description: "101,306 nodes in a k=74 fat-tree: the cross-pod route-synthesis scale gate",
+			// 74 pods × 1369 hosts fills the k³/4 capacity; the
+			// gravity mix makes almost every cold route cross-pod. No
+			// link faults: all links stay up, so the run must finish
+			// with zero Dijkstra fallbacks — at this scale a single
+			// cold cross-pod fallback settles the whole 100k-node
+			// fabric, which is exactly what the synthesis exists to
+			// avoid (BenchmarkScenarioMegafleetFattree100000 asserts
+			// it).
+			Cloud: core.Config{
+				Seed: 181, Racks: 74, HostsPerRack: 1369,
+				Fabric: topology.FabricFatTree, FatTreeK: 74,
+			},
+			Duration: 30 * time.Second,
+			Fleet:    FleetSpec{VMs: 64, Image: "webserver"},
+			Traffic: TrafficSpec{
+				OnOff:   &workload.OnOffConfig{Sources: 64},
+				Gravity: &workload.GravityConfig{EpochSeconds: 10, FlowsPerEpoch: 40},
+			},
+		},
+		{
 			Name:        "megafleet-1000",
 			Description: "1040 nodes in 20 racks: mixed load, churn, and a fabric brownout",
 			Cloud: core.Config{

@@ -57,6 +57,12 @@ func shrinkForGate(spec Spec) Spec {
 	case "megafleet-1000000":
 		spec.Cloud.Racks = 2
 		spec.Cloud.HostsPerRack = 500
+	case "megafleet-fattree-100000":
+		// A k=8 fat-tree filled to capacity: same cross-pod wiring
+		// shape, gate-sized fleet.
+		spec.Cloud.FatTreeK = 8
+		spec.Cloud.Racks = 8
+		spec.Cloud.HostsPerRack = 16
 	}
 	return spec
 }

@@ -596,8 +596,11 @@ func (r *Run) report(wall time.Duration) *Report {
 	// cache), so it doubles as a fault-plumbing check.
 	rep.Metrics["topo_epoch"] = float64(c.Net.TopoEpoch())
 	// Cold-routing telemetry: how many route-cache misses the
-	// structured synthesis fast path answered without a Dijkstra.
+	// structured synthesis fast path answered without a Dijkstra, and
+	// how many it could not (the fat-tree scale gates require zero
+	// fallbacks on an all-links-up run).
 	rep.Metrics["route_synth_hits"] = float64(c.Ctrl.RouteSynthHits())
+	rep.Metrics["dijkstra_fallbacks"] = float64(c.Ctrl.RouteCacheMisses() - c.Ctrl.RouteSynthHits())
 	// Cross-rack volume from the hierarchical per-rack sub-totals —
 	// O(racks + disturbed racks), so it is affordable even at megafleet
 	// scale.

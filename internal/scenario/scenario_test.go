@@ -129,6 +129,13 @@ func shrink(s Spec) Spec {
 		s.Duration = time.Minute
 	case "megafleet-100000":
 		s.Duration = 30 * time.Second
+	case "megafleet-fattree-1000":
+		// A capacity-filled k=8 fat-tree: same pair classes (cross-pod
+		// included), no empty pods for the gravity mix to sample.
+		s.Cloud.FatTreeK = 8
+		s.Cloud.Racks = 8
+		s.Cloud.HostsPerRack = 16
+		s.Duration = time.Minute
 	}
 	return s
 }

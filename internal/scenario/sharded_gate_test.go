@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
@@ -141,6 +142,65 @@ func TestShardedScenarioTraceDigests(t *testing.T) {
 			if got := rep.TraceDigest(); got != want {
 				t.Fatalf("%s trace digest drifted under the sharded advance:\n  got  %s\n  want %s",
 					name, got, want)
+			}
+		})
+	}
+}
+
+// fatTreeCrossPodSpec builds the fat-tree analogue of crossPodSpec: a
+// capacity-filled k=8 fat-tree (every engine shard owns whole pods, so
+// cross-shard messages are exactly the core-tier cross-pod traffic),
+// a gravity matrix re-rolled every 5 s so most drawn pairs cross pods,
+// Pareto ON/OFF sources, node churn, and a mid-run edge-uplink outage
+// that prunes one pod's ECMP fan while windows are in flight.
+func fatTreeCrossPodSpec(seed int64) Spec {
+	return Spec{
+		Name:        fmt.Sprintf("fattree-cross-pod-fuzz-%d", seed),
+		Description: "randomized cross-pod fat-tree traffic with faults (sharded-advance gate)",
+		Cloud: core.Config{
+			Racks: 8, HostsPerRack: 16, Seed: seed,
+			Fabric: topology.FabricFatTree, FatTreeK: 8,
+		},
+		Duration:    90 * time.Second,
+		SampleEvery: 10 * time.Second,
+		Traffic: TrafficSpec{
+			OnOff:   &workload.OnOffConfig{Sources: 24},
+			Gravity: &workload.GravityConfig{EpochSeconds: 5, FlowsPerEpoch: 40},
+		},
+		Faults: []Fault{
+			NodeChurn{Start: 10 * time.Second, Every: 15 * time.Second, Outage: 5 * time.Second},
+			LinkFail{At: 30 * time.Second, Outage: 20 * time.Second},
+		},
+	}
+}
+
+// TestFatTreeCrossPodShardedAdvanceMatchesSerial is the fat-tree gate
+// of the sharded-equivalence suite (its name keeps it inside both the
+// determinism-single-core target and the CI race job's regex): the
+// pod-aligned sharded advance must be byte-identical to serial on
+// cross-pod-heavy fat-tree traffic, the cross-pod synthesis must carry
+// every cold route (zero Dijkstra fallbacks — the uplink outage prunes
+// parent sets but never leaves the provable shape), and the per-shard
+// partition must align with fat-tree pods for every shard count that
+// divides them.
+func TestFatTreeCrossPodShardedAdvanceMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			spec := fatTreeCrossPodSpec(seed)
+			base := executeKernelVariant(t, spec, nil)
+			if base.EventsFired < 1000 {
+				t.Fatalf("fat-tree cross-pod workload too small to gate on: %d events", base.EventsFired)
+			}
+			if base.Metrics["route_synth_hits"] == 0 {
+				t.Fatal("route synthesis never engaged on a fat-tree run")
+			}
+			if fb := base.Metrics["dijkstra_fallbacks"]; fb != 0 {
+				t.Fatalf("%v Dijkstra fallbacks on a fat-tree run; cross-pod synthesis must cover every pair", fb)
+			}
+			for _, shards := range []int{2, 4, 8} {
+				got := executeKernelVariant(t, spec, shardedVariant(shards, 4))
+				requireIdentical(t, fmt.Sprintf("serial vs sharded fat-tree (%d shards)", shards), base, got)
 			}
 		})
 	}

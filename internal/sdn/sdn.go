@@ -127,8 +127,20 @@ type Controller struct {
 	cacheMisses      uint64
 	cacheEvictions   uint64
 	// synthHits counts cache misses answered by structured route
-	// synthesis instead of a full Dijkstra.
-	synthHits uint64
+	// synthesis instead of a full Dijkstra; synthTierHits splits the
+	// same count by which structured case answered (the slices always
+	// sum to synthHits).
+	synthHits     uint64
+	synthTierHits [numSynthTiers]uint64
+
+	// uplinkCache memoises soleUplink per host for the current
+	// topology epoch: every cache-miss route consults both endpoints'
+	// uplinks, and re-scanning NeighborLinks for each is the dominant
+	// cost of the short synthesis cases. Any epoch bump (link state,
+	// shaping, re-cable) discards the whole map, exactly like the
+	// route cache.
+	uplinkCache map[netsim.NodeID]*netsim.Link
+	uplinkEpoch uint64
 }
 
 // pairKey identifies one cached routing question.
@@ -191,6 +203,27 @@ func (c *Controller) RouteCacheSize() int { return len(c.routeCache) }
 // RouteSynthHits returns how many cache misses were answered by the
 // structured route synthesis fast path instead of a full Dijkstra.
 func (c *Controller) RouteSynthHits() uint64 { return c.synthHits }
+
+// synthTier indexes which structured case answered a synthesis — the
+// four provable shapes of synthDAG, cheapest first.
+type synthTier int
+
+const (
+	tierSameEdge synthTier = iota
+	tierAdjacent
+	tierOneMid
+	tierCrossPod
+	numSynthTiers
+)
+
+// SynthTierNames are the exposition labels for the per-tier synthesis
+// counters, indexed like RouteSynthHitsByTier.
+var SynthTierNames = [numSynthTiers]string{"same-edge", "adjacent", "one-mid", "cross-pod"}
+
+// RouteSynthHitsByTier returns the synthesis hit counts split by
+// structured case (same order as SynthTierNames); the entries sum to
+// RouteSynthHits.
+func (c *Controller) RouteSynthHitsByTier() [numSynthTiers]uint64 { return c.synthTierHits }
 
 // WriteState writes the control plane's simulated state in a
 // deterministic text form — one layer of the cross-layer kernel
@@ -384,9 +417,10 @@ func (c *Controller) PathFor(src, dst netsim.NodeID, policy Policy, key uint64) 
 		return materialisePath(e.parents, src, dst, tiebreak, e.visited)
 	}
 	c.cacheMisses++
-	parents, visited, ok := c.synthDAG(src, dst)
+	parents, visited, tier, ok := c.synthDAG(src, dst)
 	if ok {
 		c.synthHits++
+		c.synthTierHits[tier]++
 	} else {
 		var err error
 		parents, visited, err = c.shortestDAG(src, dst, weightHops)
@@ -412,8 +446,26 @@ func (c *Controller) PathFor(src, dst netsim.NodeID, policy Policy, key uint64) 
 }
 
 // soleUplink returns the single up link leaving host h, or nil when h
-// is not a host with exactly one live uplink to a switch.
+// is not a host with exactly one live uplink to a switch. Resolutions
+// (including negative ones) are memoised per topology epoch: the
+// answer is a pure function of wiring and link state, both of which
+// bump the epoch on every change.
 func (c *Controller) soleUplink(h netsim.NodeID) *netsim.Link {
+	if epoch := c.net.TopoEpoch(); epoch != c.uplinkEpoch || c.uplinkCache == nil {
+		c.uplinkCache = make(map[netsim.NodeID]*netsim.Link, len(c.uplinkCache))
+		c.uplinkEpoch = epoch
+	}
+	if up, ok := c.uplinkCache[h]; ok {
+		return up
+	}
+	up := c.scanSoleUplink(h)
+	c.uplinkCache[h] = up
+	return up
+}
+
+// scanSoleUplink is the uncached resolution: one pass over h's
+// adjacency list.
+func (c *Controller) scanSoleUplink(h netsim.NodeID) *netsim.Link {
 	node := c.net.Node(h)
 	if node == nil || node.Kind != netsim.KindHost {
 		return nil
@@ -441,13 +493,15 @@ func (c *Controller) upLink(a, b netsim.NodeID) bool {
 }
 
 // synthDAG is the structured route synthesis fast path: for host pairs
-// whose edge switches are at most one middle tier apart — the same-rack
-// and rack-to-rack cases of the multi-root tree and leaf-spine fabrics,
-// and the pod-local cases of a fat-tree — the hop-count shortest-path
-// DAG is written down directly from the local wiring instead of running
-// Dijkstra over the whole fabric. At 10⁵–10⁶ nodes a cold cross-rack
-// Dijkstra settles every host in the fleet before reaching dst; the
-// synthesised answer touches one adjacency list.
+// whose edge switches are at most two middle tiers apart — the
+// same-rack and rack-to-rack cases of the multi-root tree and
+// leaf-spine fabrics, and both the pod-local and the cross-pod
+// (edge→agg→core→agg→edge) cases of a fat-tree — the hop-count
+// shortest-path DAG is written down directly from the local wiring
+// instead of running Dijkstra over the whole fabric. At 10⁵–10⁶ nodes
+// a cold cross-rack Dijkstra settles every host in the fleet before
+// reaching dst; the synthesised answer touches a handful of adjacency
+// lists.
 //
 // The fast path must be invisible: where it answers (ok=true), the DAG
 // is provably the one shortestDAG would compute — same parent sets,
@@ -466,35 +520,39 @@ func (c *Controller) upLink(a, b netsim.NodeID) bool {
 //   - one middle tier (some switch m with eA→m and m→eB up): dst
 //     settles at 4 hops; the distance-2 predecessors of eB are exactly
 //     the common switch neighbours of eA and eB (hosts at distance 2
-//     never relay), which is the mids list. If no such m exists, eB is
-//     at distance ≥ 4 and the fabric shape is beyond the fast path —
-//     fall back (ok=false), e.g. fat-tree cross-pod pairs, or a
-//     multi-root fabric whose agg tier is down and detours via the
-//     gateway.
+//     never relay), which is the mids list.
+//   - two middle tiers (no mid, but a live agg→core→agg relay): dst
+//     settles at 6 hops; see crossPodDAG for the construction and the
+//     proof.
+//
+// If none of the four shapes applies — any uplink asymmetry or partial
+// failure that would put dst at 5 hops, or at ≥ 7 — the pair is beyond
+// the fast path and falls back (ok=false), e.g. a multi-root fabric
+// whose agg tier is down and detours via the gateway.
 //
 // Link state is read live (l.Up), so a synthesised entry is exactly as
 // valid as a Dijkstra one for the topology epoch it is cached under.
-func (c *Controller) synthDAG(src, dst netsim.NodeID) (map[netsim.NodeID][]netsim.NodeID, int, bool) {
+func (c *Controller) synthDAG(src, dst netsim.NodeID) (map[netsim.NodeID][]netsim.NodeID, int, synthTier, bool) {
 	if c.cfg.DisableRouteSynthesis || src == dst {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	upA := c.soleUplink(src)
 	upB := c.soleUplink(dst)
 	if upA == nil || upB == nil {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	eA, eB := upA.To, upB.To
 	// The return legs of the duplex cables (SetLinkUp fails both
 	// directions together, but verify — the DAG walks src→dst).
 	if !c.upLink(eB, dst) {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	if eA == eB {
 		parents := map[netsim.NodeID][]netsim.NodeID{
 			dst: {eA},
 			eA:  {src},
 		}
-		return parents, len(parents) + 1, true
+		return parents, len(parents) + 1, tierSameEdge, true
 	}
 	if c.upLink(eA, eB) {
 		parents := map[netsim.NodeID][]netsim.NodeID{
@@ -502,7 +560,7 @@ func (c *Controller) synthDAG(src, dst netsim.NodeID) (map[netsim.NodeID][]netsi
 			eB:  {eA},
 			eA:  {src},
 		}
-		return parents, len(parents) + 1, true
+		return parents, len(parents) + 1, tierAdjacent, true
 	}
 	var mids []netsim.NodeID
 	for _, l := range c.net.NeighborLinks(eA) {
@@ -514,7 +572,7 @@ func (c *Controller) synthDAG(src, dst netsim.NodeID) (map[netsim.NodeID][]netsi
 		}
 	}
 	if len(mids) == 0 {
-		return nil, 0, false
+		return c.crossPodDAG(src, dst, eA, eB)
 	}
 	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
 	parents := map[netsim.NodeID][]netsim.NodeID{
@@ -525,7 +583,141 @@ func (c *Controller) synthDAG(src, dst netsim.NodeID) (map[netsim.NodeID][]netsi
 	for _, m := range mids {
 		parents[m] = []netsim.NodeID{eA}
 	}
-	return parents, len(parents) + 1, true
+	return parents, len(parents) + 1, tierOneMid, true
+}
+
+// crossPodDAG synthesizes the fourth structured shape: dst at exactly
+// six hops through two middle tiers — src→eA→agg→core→agg→eB→dst, the
+// cross-pod case of a k-ary fat-tree. It is entered only from synthDAG
+// with the first three cases already excluded: soleUplinks exist on
+// both sides, eB→dst is up, eA ≠ eB, eA→eB is not up, and no single
+// mid connects them.
+//
+// Construction, mirroring the BFS layers Dijkstra would settle:
+//
+//	S2 = up switch neighbours of eA            (all distance-2 relays)
+//	S3 = up switch neighbours of S2 \ (S2∪{eA}) (all distance-3 relays)
+//	P  = switches b with b→eB up whose up-neighbour intersection
+//	     Cb = S3 ∩ upNbr(b) is non-empty       (eB's distance-4 parents)
+//
+// and the DAG is dst←eB←P, each b∈P←Cb, each used core←its S2 aggs,
+// each used agg←eA←src, every parent list sorted ascending.
+//
+// Proof that this is exactly shortestDAG's answer when it returns
+// ok=true (relying, like the other cases, on hosts never relaying and
+// each endpoint having one live uplink):
+//
+//   - S2 and S3 are complete and exact: distance-2 relays are
+//     precisely eA's up switch neighbours; distance-3 relays are
+//     precisely their up switch neighbours that are not eA or already
+//     at distance 2 (a member of S3 cannot secretly be closer — the
+//     distance-1 set is {eA} and the distance-2 relays are all of S2).
+//     eB itself can never appear in S3: an up a→eB link with a ∈ S2 is
+//     exactly the mid condition, and mids was empty.
+//   - dst settles at 6: eB is not at distance ≤ 3 (the same-edge,
+//     adjacent and mid checks excluded distances 1–3), and the guard
+//     below falls back if any S3 member reaches eB — so dist(eB) ≥ 5,
+//     and a non-empty P pins dist(eB) = 5, dist(dst) = 6. An empty P
+//     means dist(eB) ≥ 6 (beyond the shape) — fall back.
+//   - The parent sets match: every candidate b with Cb non-empty is at
+//     distance exactly 4 (it has a distance-3 predecessor, and b ∈
+//     S2∪S3∪{eA} is impossible — a b ∈ S2 with b→eB up would have been
+//     a mid, b ∈ S3 trips the guard, b = eA failed the adjacent
+//     check), so P is exactly eB's equal-cost parent set, Cb exactly
+//     b's, and the used cores' parents are exactly their up S2
+//     neighbours. parents(dst) = {eB} because dst's sole up link
+//     pairs with the only live link into dst (SetLinkUp fails both
+//     directions of a cable together). Sorting each list ascending
+//     reproduces shortestDAG's post-sort, so materialisePath draws
+//     identical ECMP tiebreaks no matter which path built the entry.
+func (c *Controller) crossPodDAG(src, dst, eA, eB netsim.NodeID) (map[netsim.NodeID][]netsim.NodeID, int, synthTier, bool) {
+	s2 := map[netsim.NodeID]bool{}
+	var s2list []netsim.NodeID
+	for _, l := range c.net.NeighborLinks(eA) {
+		if !l.Up() || l.DstKind() != netsim.KindSwitch {
+			continue
+		}
+		s2[l.To] = true
+		s2list = append(s2list, l.To)
+	}
+	s3 := map[netsim.NodeID]bool{}
+	for _, a := range s2list {
+		for _, l := range c.net.NeighborLinks(a) {
+			if !l.Up() || l.DstKind() != netsim.KindSwitch {
+				continue
+			}
+			if l.To == eA || s2[l.To] {
+				continue
+			}
+			s3[l.To] = true
+		}
+	}
+	if len(s3) == 0 {
+		return nil, 0, 0, false
+	}
+	// Guard: a live S3→eB link would settle eB at distance 4 — a
+	// 5-hop DAG this case does not model. Fall back to Dijkstra.
+	for m := range s3 {
+		if c.upLink(m, eB) {
+			return nil, 0, 0, false
+		}
+	}
+	// P(eB): enumerate eB's adjacency (duplex creation guarantees
+	// every link into eB has its return leg here), keep switches with
+	// a live leg towards eB, and compute each candidate's distance-3
+	// parent set Cb from its own adjacency list.
+	parents := map[netsim.NodeID][]netsim.NodeID{}
+	var pB []netsim.NodeID
+	usedCore := map[netsim.NodeID]bool{}
+	for _, l := range c.net.NeighborLinks(eB) {
+		b := l.To
+		if l.DstKind() != netsim.KindSwitch || !c.upLink(b, eB) {
+			continue
+		}
+		var cb []netsim.NodeID
+		for _, lb := range c.net.NeighborLinks(b) {
+			if s3[lb.To] && c.upLink(lb.To, b) {
+				cb = append(cb, lb.To)
+			}
+		}
+		if len(cb) == 0 {
+			continue // dist(b) > 4: not a parent of eB
+		}
+		sort.Slice(cb, func(i, j int) bool { return cb[i] < cb[j] })
+		parents[b] = cb
+		pB = append(pB, b)
+		for _, cn := range cb {
+			usedCore[cn] = true
+		}
+	}
+	if len(pB) == 0 {
+		return nil, 0, 0, false
+	}
+	sort.Slice(pB, func(i, j int) bool { return pB[i] < pB[j] })
+	// The used cores' parents, inverted: one pass over the S2 aggs'
+	// adjacency lists instead of one pass per core (a fat-tree core
+	// sees every pod; its parent agg is found from the src side).
+	usedAgg := map[netsim.NodeID]bool{}
+	for _, a := range s2list {
+		for _, l := range c.net.NeighborLinks(a) {
+			if !l.Up() || !usedCore[l.To] {
+				continue
+			}
+			parents[l.To] = append(parents[l.To], a)
+			usedAgg[a] = true
+		}
+	}
+	for cn := range usedCore {
+		ps := parents[cn]
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	}
+	for a := range usedAgg {
+		parents[a] = []netsim.NodeID{eA}
+	}
+	parents[eA] = []netsim.NodeID{src}
+	parents[eB] = pB
+	parents[dst] = []netsim.NodeID{eB}
+	return parents, len(parents) + 1, tierCrossPod, true
 }
 
 // pqItem is a priority-queue element for Dijkstra.

@@ -12,6 +12,7 @@ package sdn
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -152,10 +153,12 @@ func TestRouteSynthesisMatchesDijkstra(t *testing.T) {
 	}
 }
 
-// TestSynthesisFallsBackCrossPod pins the fast path's scope on a
-// fat-tree: pod-local pairs are synthesised, cross-pod pairs (two
-// middle tiers apart) fall back to Dijkstra.
-func TestSynthesisFallsBackCrossPod(t *testing.T) {
+// TestSynthesisCoversCrossPod pins the fast path's full fat-tree
+// coverage: pod-local pairs are synthesised by the short cases and
+// cross-pod pairs (two middle tiers apart) by the edge→agg→core→agg→
+// edge case — no healthy fat-tree pair falls back to Dijkstra — and
+// the per-tier counters attribute each hit to the case that answered.
+func TestSynthesisCoversCrossPod(t *testing.T) {
 	rig := buildSynthRig(t, synthFabrics()["fat-tree"])
 	podOf := rig.topo.HostRack
 
@@ -189,7 +192,149 @@ func TestSynthesisFallsBackCrossPod(t *testing.T) {
 	if _, err := rig.fast.PathFor(cross[0], cross[1], PolicyShortestPath, 0); err != nil {
 		t.Fatal(err)
 	}
-	if rig.fast.RouteSynthHits() != 1 {
-		t.Fatalf("cross-pod pair: synth hits = %d, want 1 (must fall back to Dijkstra)", rig.fast.RouteSynthHits())
+	if rig.fast.RouteSynthHits() != 2 {
+		t.Fatalf("cross-pod pair: synth hits = %d, want 2 (cross-pod must synthesise)", rig.fast.RouteSynthHits())
 	}
+	tiers := rig.fast.RouteSynthHitsByTier()
+	if tiers[tierCrossPod] != 1 {
+		t.Fatalf("cross-pod tier counter = %d, want 1 (by tier: %v)", tiers[tierCrossPod], tiers)
+	}
+	var sum uint64
+	for _, v := range tiers {
+		sum += v
+	}
+	if sum != rig.fast.RouteSynthHits() {
+		t.Fatalf("tier counters sum to %d, total is %d", sum, rig.fast.RouteSynthHits())
+	}
+}
+
+// TestSynthesisFallsBackFiveHopChain pins the cross-pod guard: when a
+// distance-3 switch reaches dst's edge directly, dst settles at five
+// hops — outside every provable shape — and the fast path must fall
+// back rather than synthesise a six-hop DAG. The chain
+// h1–e1–a1–c1–e2–h2 is exactly that situation.
+func TestSynthesisFallsBackFiveHopChain(t *testing.T) {
+	engine := sim.NewEngine(1)
+	net := netsim.New(engine)
+	for _, n := range []struct {
+		id   netsim.NodeID
+		kind netsim.NodeKind
+	}{
+		{"h1", netsim.KindHost}, {"e1", netsim.KindSwitch}, {"a1", netsim.KindSwitch},
+		{"c1", netsim.KindSwitch}, {"e2", netsim.KindSwitch}, {"h2", netsim.KindHost},
+	} {
+		if err := net.AddNode(n.id, n.kind); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hops := []netsim.NodeID{"h1", "e1", "a1", "c1", "e2", "h2"}
+	for i := 0; i+1 < len(hops); i++ {
+		if err := net.AddDuplexLink(hops[i], hops[i+1], 1e9, time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slowCfg := DefaultConfig()
+	slowCfg.DisableRouteSynthesis = true
+	fast := NewController(engine, net, DefaultConfig())
+	slow := NewController(engine, net, slowCfg)
+
+	fastPath, err := fast.PathFor("h1", "h2", PolicyShortestPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowPath, err := slow.PathFor("h1", "h2", PolicyShortestPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(fastPath) != fmt.Sprint(slowPath) {
+		t.Fatalf("paths differ:\n  synth:    %v\n  dijkstra: %v", fastPath, slowPath)
+	}
+	if fast.RouteSynthHits() != 0 {
+		t.Fatalf("five-hop pair: synth hits = %d, want 0 (guard must fall back)", fast.RouteSynthHits())
+	}
+}
+
+// TestRouteSynthesisMatchesDijkstraRandomFatTree is the randomized
+// fat-tree differential: for k ∈ {4, 6, 8}, seeded random subsets of
+// the agg and core fabric links are failed and shaped, and every host
+// pair under every policy/key must agree between the synthesising and
+// the Dijkstra-only controller — synthesis either answers with the
+// identical DAG or falls back; it never answers where Dijkstra's DAG
+// differs.
+func TestRouteSynthesisMatchesDijkstraRandomFatTree(t *testing.T) {
+	for _, k := range []int{4, 6, 8} {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			seeds := []int64{1, 2}
+			if k == 8 {
+				// k=8 is 16k pairs per round; one round keeps the
+				// race-detector run of this gate inside its budget.
+				seeds = seeds[:1]
+			}
+			for _, seed := range seeds {
+				rng := rand.New(rand.NewSource(seed<<8 | int64(k)))
+				rig := buildSynthRig(t, func(n *netsim.Network) (*topology.Topology, error) {
+					return topology.BuildFatTree(n, topology.FatTreeConfig{K: k})
+				})
+				// Every edge→agg and agg→core cable of the fabric.
+				var fabric [][2]netsim.NodeID
+				for _, sw := range append(append([]netsim.NodeID{}, rig.topo.Edge...), rig.topo.Agg...) {
+					for _, l := range rig.net.NeighborLinks(sw) {
+						if l.DstKind() == netsim.KindSwitch && sw < l.To {
+							fabric = append(fabric, [2]netsim.NodeID{sw, l.To})
+						}
+					}
+				}
+				rng.Shuffle(len(fabric), func(i, j int) { fabric[i], fabric[j] = fabric[j], fabric[i] })
+				down := fabric[:k]
+				for _, cable := range down {
+					if err := rig.net.SetLinkUp(cable[0], cable[1], false); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for _, cable := range fabric[k : 2*k] {
+					if err := rig.net.ShapeLink(cable[0], cable[1], netsim.Shaping{
+						CapacityScale: 0.25 + rng.Float64()/2,
+						ExtraLatency:  time.Duration(rng.Intn(1000)) * time.Microsecond,
+					}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				rig.comparePairs(t, fmt.Sprintf("k=%d seed=%d failed=%v", k, seed, down))
+				if rig.fast.RouteSynthHits() == 0 {
+					t.Fatalf("k=%d seed=%d: synthesis never engaged under partial failure", k, seed)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSoleUplink pins the satellite optimisation: resolving a
+// host's sole uplink is one map probe per topology epoch instead of an
+// adjacency-list scan per cache miss. The cold arm bumps the epoch
+// every iteration, forcing the pre-cache rescan behaviour.
+func BenchmarkSoleUplink(b *testing.B) {
+	engine := sim.NewEngine(1)
+	net := netsim.New(engine)
+	topo, err := topology.BuildFatTree(net, topology.FatTreeConfig{K: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl := NewController(engine, net, DefaultConfig())
+	hosts := topo.Hosts
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ctrl.soleUplink(hosts[i%len(hosts)]) == nil {
+				b.Fatal("host lost its uplink")
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net.BumpTopoEpoch()
+			if ctrl.soleUplink(hosts[i%len(hosts)]) == nil {
+				b.Fatal("host lost its uplink")
+			}
+		}
+	})
 }

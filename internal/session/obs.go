@@ -48,6 +48,7 @@ func (m *Manager) initObs() {
 	m.obs.SetHelp("pisim_sched_reshapes_total", "Calendar queue adaptive rebuilds.")
 	m.obs.SetHelp("pisim_net_flushes_total", "Network kernel dirty-domain flush passes.")
 	m.obs.SetHelp("pisim_net_domains_solved_total", "Dirty congestion domains claimed and re-solved.")
+	m.obs.SetHelp("pisim_sdn_route_synth_hits_total", "Route cache misses answered by structured synthesis; the tier label (same-edge/adjacent/one-mid/cross-pod) splits the unlabelled monotone total by which case answered.")
 	m.obs.SetHelp("pisim_sdn_dijkstra_fallbacks_total", "Route cache misses the structured synthesis could not serve.")
 	m.obs.SetHelp("pisim_fleet_plan_cache_hits_total", "Fleet builds served from the warm construction-plan cache.")
 	m.obs.SetHelp("pisim_power_watts", "Instantaneous whole-cloud power draw.")
